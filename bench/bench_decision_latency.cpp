@@ -1,0 +1,113 @@
+// Observation 10: scheduling decisions must complete in well under 10 ms
+// ("the proposed methods take less than 10 milliseconds to make a
+// decision"). Microbenchmarks of the arrival-time decision kernels at
+// various running-job counts, via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "core/advance_notice.h"
+#include "core/arrival.h"
+#include "core/preemption_cost.h"
+#include "core/shrink_expand.h"
+#include "metrics/collector.h"
+#include "sched/batch_scheduler.h"
+#include "sim/simulator.h"
+
+namespace hs {
+namespace {
+
+/// Builds an engine with `n` running jobs (alternating rigid/malleable).
+class LoadedEngine : public EventHandler {
+ public:
+  explicit LoadedEngine(int n)
+      : trace_(MakeTrace(n)), sim_(*this), collector_(), engine_(trace_, Config(),
+                                                                 collector_, sim_) {
+    for (int i = 0; i < n; ++i) {
+      engine_.EnqueueFresh(i, 0);
+      const bool ok = engine_.StartWaiting(i, trace_.jobs[i].size, 0);
+      if (!ok) throw std::runtime_error("LoadedEngine: machine too small");
+    }
+  }
+
+  void HandleEvent(const Event&, Simulator&) override {}
+  void OnQuiescent(SimTime, Simulator&) override {}
+
+  ExecutionEngine& engine() { return engine_; }
+
+ private:
+  static EngineConfig Config() {
+    EngineConfig config;
+    config.checkpoint.node_mtbf = 1000LL * 365 * kDay;
+    return config;
+  }
+  static Trace MakeTrace(int n) {
+    Trace trace;
+    trace.num_nodes = n * 16;
+    for (int i = 0; i < n; ++i) {
+      JobRecord rec;
+      rec.id = i;
+      rec.klass = (i % 2 == 0) ? JobClass::kRigid : JobClass::kMalleable;
+      rec.size = 16;
+      rec.min_size = rec.is_malleable() ? 4 : 16;
+      rec.compute_time = 10000 + i;
+      rec.setup_time = 100;
+      rec.estimate = 30000;
+      trace.jobs.push_back(rec);
+    }
+    return trace;
+  }
+
+  Trace trace_;
+  Simulator sim_;
+  Collector collector_;
+  ExecutionEngine engine_;
+};
+
+void BM_PaaDecision(benchmark::State& state) {
+  LoadedEngine loaded(static_cast<int>(state.range(0)));
+  const int needed = static_cast<int>(state.range(0)) * 4;
+  for (auto _ : state) {
+    const auto candidates = ListPreemptionCandidates(loaded.engine(), 5000);
+    const auto victims = SelectVictims(candidates, needed);
+    benchmark::DoNotOptimize(victims.size());
+  }
+}
+BENCHMARK(BM_PaaDecision)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SpaaDecision(benchmark::State& state) {
+  LoadedEngine loaded(static_cast<int>(state.range(0)));
+  const int needed = static_cast<int>(state.range(0)) * 2;
+  for (auto _ : state) {
+    const auto shrinkable = ListShrinkable(loaded.engine());
+    int supply = 0;
+    for (const auto& [id, cap] : shrinkable) supply += cap;
+    if (supply >= needed) {
+      const auto plan = PlanEvenShrink(shrinkable, needed);
+      benchmark::DoNotOptimize(plan.size());
+    }
+  }
+}
+BENCHMARK(BM_SpaaDecision)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CupPlanning(benchmark::State& state) {
+  LoadedEngine loaded(static_cast<int>(state.range(0)));
+  const int deficit = static_cast<int>(state.range(0)) * 4;
+  for (auto _ : state) {
+    const auto plan =
+        PlanCupPreemptions(loaded.engine(), 5000, 5000 + 1800, deficit, 120);
+    benchmark::DoNotOptimize(plan.size());
+  }
+}
+BENCHMARK(BM_CupPlanning)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ExpectedReleases(benchmark::State& state) {
+  LoadedEngine loaded(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectedReleaseNodes(loaded.engine(), 5000, 7000));
+  }
+}
+BENCHMARK(BM_ExpectedReleases)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace hs
+
+BENCHMARK_MAIN();

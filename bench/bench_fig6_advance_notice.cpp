@@ -1,0 +1,133 @@
+// Fig. 6 (with Table III): the paper's headline experiment. All six
+// mechanisms (plus the baseline) across the five advance-notice mixes
+// W1..W5, averaged over several randomly generated traces. One grid is
+// printed per metric panel.
+//
+// Shape expectations from the paper (checked narratively at the end):
+//   Obs. 1  mechanisms lift utilization and instant-start over baseline,
+//           at some turnaround cost;
+//   Obs. 2  N&PAA is worst overall;
+//   Obs. 3  SPAA > PAA on utilization and malleable preemption ratio;
+//   Obs. 5  CUA edges CUP on average;
+//   Obs. 6  malleable turnaround < rigid turnaround under CUA/CUP;
+//   Obs. 11 CUP peaks on W2 (accurate notices);
+//   Obs. 12 CUA's best turnaround is on W4 (late arrivals).
+#include <cstdio>
+
+#include "exp/experiment.h"
+#include "exp/paper_tables.h"
+#include "metrics/report.h"
+#include "util/env.h"
+
+using namespace hs;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale();
+  std::printf("=== Table III / Fig. 6: mechanisms x notice mixes "
+              "(%d weeks x %d seeds per cell) ===\n\n",
+              scale.weeks, scale.seeds);
+
+  std::printf("Table III notice mixes (no notice / accurate / early / late):\n");
+  for (const auto& mix : PaperNoticeMixes()) {
+    std::printf("  %s: %.0f%% / %.0f%% / %.0f%% / %.0f%%\n", mix.name.c_str(),
+                100 * mix.none, 100 * mix.accurate, 100 * mix.early, 100 * mix.late);
+  }
+  std::printf("\n");
+
+  ThreadPool pool;
+
+  // Configs: baseline + the six mechanisms.
+  std::vector<HybridConfig> configs = {MakePaperConfig(BaselineMechanism())};
+  std::vector<std::string> labels = {"FCFS/EASY"};
+  for (const Mechanism& mechanism : PaperMechanisms()) {
+    configs.push_back(MakePaperConfig(mechanism));
+    labels.push_back(ToString(mechanism));
+  }
+
+  // results[w][c] = mean over seeds.
+  std::vector<std::string> workload_names;
+  std::vector<std::vector<SimResult>> means;
+  for (const auto& mix : PaperNoticeMixes()) {
+    const ScenarioConfig scenario = MakePaperScenario(scale.weeks, mix.name);
+    const auto traces = BuildTraces(scenario, scale.seeds, 42, pool);
+    const auto grid = RunGrid(traces, configs, pool);
+    std::vector<SimResult> row;
+    row.reserve(configs.size());
+    for (const auto& per_seed : grid) row.push_back(MeanResult(per_seed));
+    means.push_back(std::move(row));
+    workload_names.push_back(mix.name);
+  }
+
+  for (const MetricKind metric : Fig6Metrics()) {
+    std::vector<std::vector<double>> cells(labels.size(),
+                                           std::vector<double>(workload_names.size()));
+    for (std::size_t c = 0; c < labels.size(); ++c) {
+      for (std::size_t w = 0; w < workload_names.size(); ++w) {
+        cells[c][w] = ExtractMetric(means[w][c], metric);
+      }
+    }
+    std::printf("%s\n",
+                RenderMetricGrid(MetricName(metric), labels, workload_names, cells,
+                                 MetricIsPercent(metric) ? 1 : 2,
+                                 MetricIsPercent(metric))
+                    .c_str());
+  }
+
+  // --- shape checks against the paper's observations -----------------------
+  auto avg_over_workloads = [&](std::size_t config_idx, MetricKind metric) {
+    double sum = 0.0;
+    for (std::size_t w = 0; w < workload_names.size(); ++w) {
+      sum += ExtractMetric(means[w][config_idx], metric);
+    }
+    return sum / static_cast<double>(workload_names.size());
+  };
+  auto mech_index = [&](const char* name) -> std::size_t {
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == name) return i;
+    }
+    return 0;
+  };
+
+  const double base_instant = avg_over_workloads(0, MetricKind::kOdInstantRate);
+  const double base_util = avg_over_workloads(0, MetricKind::kUtilization);
+  double mech_instant = 0.0, mech_util = 0.0;
+  double paa_util = 0.0, spaa_util = 0.0, paa_mall_pre = 0.0, spaa_mall_pre = 0.0;
+  double cua_tat = 0.0, cup_tat = 0.0;
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    mech_instant += avg_over_workloads(i, MetricKind::kOdInstantRate) / 6.0;
+    mech_util += avg_over_workloads(i, MetricKind::kUtilization) / 6.0;
+    const bool spaa = labels[i].find("SPAA") != std::string::npos;
+    (spaa ? spaa_util : paa_util) += avg_over_workloads(i, MetricKind::kUtilization) / 3.0;
+    (spaa ? spaa_mall_pre : paa_mall_pre) +=
+        avg_over_workloads(i, MetricKind::kMalleablePreemptRatio) / 3.0;
+    if (labels[i].rfind("CUA", 0) == 0) {
+      cua_tat += avg_over_workloads(i, MetricKind::kAvgTurnaroundH) / 2.0;
+    }
+    if (labels[i].rfind("CUP", 0) == 0) {
+      cup_tat += avg_over_workloads(i, MetricKind::kAvgTurnaroundH) / 2.0;
+    }
+  }
+
+  const std::size_t cua_spaa = mech_index("CUA&SPAA");
+  const double mall_tat = avg_over_workloads(cua_spaa, MetricKind::kMalleableTurnaroundH);
+  const double rigid_tat = avg_over_workloads(cua_spaa, MetricKind::kRigidTurnaroundH);
+
+  std::printf("shape checks vs paper:\n");
+  std::printf("  [%s] Obs.1  instant-start: baseline %.0f%% -> mechanisms %.0f%%\n",
+              mech_instant > base_instant + 0.3 ? "ok" : "??",
+              100 * base_instant, 100 * mech_instant);
+  std::printf("  [%s] Obs.1  utilization: baseline %.1f%% -> mechanisms %.1f%%\n",
+              mech_util >= base_util - 0.02 ? "ok" : "??", 100 * base_util,
+              100 * mech_util);
+  std::printf("  [%s] Obs.3  SPAA util %.1f%% >= PAA util %.1f%%\n",
+              spaa_util >= paa_util - 0.005 ? "ok" : "??", 100 * spaa_util,
+              100 * paa_util);
+  std::printf("  [%s] Obs.3  SPAA malleable preemption %.1f%% < PAA %.1f%%\n",
+              spaa_mall_pre < paa_mall_pre ? "ok" : "??", 100 * spaa_mall_pre,
+              100 * paa_mall_pre);
+  std::printf("  [%s] Obs.5  CUA turnaround %.1f h <= CUP %.1f h\n",
+              cua_tat <= cup_tat + 0.5 ? "ok" : "??", cua_tat, cup_tat);
+  std::printf("  [%s] Obs.6  CUA&SPAA malleable %.1f h < rigid %.1f h (incentive)\n",
+              mall_tat < rigid_tat ? "ok" : "??", mall_tat, rigid_tat);
+  return 0;
+}

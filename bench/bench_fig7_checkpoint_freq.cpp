@@ -1,0 +1,89 @@
+// Fig. 7: impact of the rigid jobs' checkpointing frequency. The interval
+// is swept as a fraction of the Daly optimum (paper: "50% means rigid jobs
+// make checkpoints twice as frequent as the optimal frequency").
+//
+// Expected shape (Obs. 13): more frequent checkpoints reduce rigid
+// turnaround and raise utilization, because preemptions for on-demand jobs
+// dominate failures.
+#include <cstdio>
+
+#include "exp/experiment.h"
+#include "exp/paper_tables.h"
+#include "metrics/report.h"
+#include "util/env.h"
+
+using namespace hs;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale();
+  const std::vector<double> interval_scales = {0.25, 0.5, 1.0, 2.0};
+  std::printf("=== Fig. 7: checkpoint interval sweep on W5 "
+              "(%d weeks x %d seeds) ===\n\n",
+              scale.weeks, scale.seeds);
+
+  ThreadPool pool;
+  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
+  const auto traces = BuildTraces(scenario, scale.seeds, 77, pool);
+
+  std::vector<HybridConfig> configs;
+  std::vector<std::string> labels;
+  std::vector<std::string> columns;
+  for (const Mechanism& mechanism : PaperMechanisms()) {
+    labels.push_back(ToString(mechanism));
+    for (const double s : interval_scales) {
+      HybridConfig config = MakePaperConfig(mechanism);
+      config.engine.checkpoint.interval_scale = s;
+      configs.push_back(config);
+    }
+  }
+  for (const double s : interval_scales) {
+    columns.push_back(Fmt(s, 2) + "x Daly");
+  }
+
+  const auto grid = RunGrid(traces, configs, pool);
+
+  const std::vector<MetricKind> metrics = {MetricKind::kRigidTurnaroundH,
+                                           MetricKind::kUtilization,
+                                           MetricKind::kOdInstantRate};
+  for (const MetricKind metric : metrics) {
+    std::vector<std::vector<double>> cells(labels.size(),
+                                           std::vector<double>(interval_scales.size()));
+    for (std::size_t m = 0; m < labels.size(); ++m) {
+      for (std::size_t s = 0; s < interval_scales.size(); ++s) {
+        cells[m][s] = ExtractMetric(MeanResult(grid[m * interval_scales.size() + s]),
+                                    metric);
+      }
+    }
+    std::printf("%s\n", RenderMetricGrid(MetricName(metric), labels, columns, cells,
+                                         MetricIsPercent(metric) ? 1 : 2,
+                                         MetricIsPercent(metric))
+                            .c_str());
+  }
+
+  // Shape discussion (Obs. 13). The paper reports that checkpointing more
+  // frequently than the Daly optimum improves BOTH utilization and rigid
+  // turnaround. The utilization half reproduces directly (dump overhead is
+  // counted as job execution). The turnaround half inverts here: PAA picks
+  // victims by lowest preemption overhead — i.e., recently-checkpointed
+  // jobs — and CUP preempts right after dumps, so the mechanisms already
+  // minimize lost work regardless of frequency, while the extra dump wall
+  // time feeds queueing congestion at ~84% load. See EXPERIMENTS.md.
+  double frequent_tat = 0.0, daly_tat = 0.0, frequent_util = 0.0, daly_util = 0.0;
+  for (std::size_t m = 0; m < labels.size(); ++m) {
+    frequent_tat += MeanResult(grid[m * interval_scales.size() + 0]).rigid_turnaround_h / 6.0;
+    daly_tat += MeanResult(grid[m * interval_scales.size() + 2]).rigid_turnaround_h / 6.0;
+    frequent_util += MeanResult(grid[m * interval_scales.size() + 0]).utilization / 6.0;
+    daly_util += MeanResult(grid[m * interval_scales.size() + 2]).utilization / 6.0;
+  }
+  std::printf("shape checks vs paper (Obs. 13):\n");
+  std::printf("  [%s] utilization rises with checkpoint frequency: 0.25x Daly "
+              "%.1f%% vs 1.0x Daly %.1f%%\n",
+              frequent_util > daly_util ? "ok" : "??", 100 * frequent_util,
+              100 * daly_util);
+  std::printf("  [deviation] rigid turnaround at 0.25x Daly = %.1f h vs 1.0x = "
+              "%.1f h: cost-ordered victim selection already avoids lost work, "
+              "so extra dumps only add congestion (paper saw the opposite; "
+              "see EXPERIMENTS.md)\n",
+              frequent_tat, daly_tat);
+  return 0;
+}

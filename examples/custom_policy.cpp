@@ -1,0 +1,38 @@
+// The mechanisms compose with any queue-ordering policy ("our mechanisms
+// manipulate the running jobs; a scheduling policy determines the order of
+// waiting jobs", §I). This example runs CUA&SPAA under several policies.
+//
+//   ./custom_policy [--weeks=2] [--seed=3]
+#include <cstdio>
+
+#include "exp/experiment.h"
+#include "metrics/report.h"
+#include "util/cli.h"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int weeks = static_cast<int>(args.GetInt("weeks", 2));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 3));
+
+  ScenarioConfig scenario = MakePaperScenario(weeks, "W5");
+  scenario.theta.num_nodes = 2048;
+  scenario.theta.projects.max_job_size = 2048;
+  const Trace trace = BuildScenarioTrace(scenario, seed);
+  std::printf("CUA&SPAA under different queue policies (%zu jobs, %d weeks)\n\n",
+              trace.jobs.size(), weeks);
+
+  std::vector<LabeledResult> rows;
+  for (const PolicyKind policy :
+       {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf,
+        PolicyKind::kSmallestFirst, PolicyKind::kWfp3}) {
+    HybridConfig config = MakePaperConfig({NoticePolicy::kCua, ArrivalPolicy::kSpaa});
+    config.engine.policy = policy;
+    rows.push_back({ToString(policy), RunSimulation(trace, config)});
+  }
+  std::printf("%s\n", RenderComparisonTable(rows).c_str());
+  std::printf("Instant-start stays high under every ordering policy: the\n"
+              "mechanisms act on running jobs, orthogonally to queue order.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// The incentive experiment behind Observation 6: does declaring a job
+// malleable pay off? We label the same set of projects either malleable or
+// rigid, run CUA&SPAA, and compare the two classes' turnaround.
+//
+//   ./malleable_incentive [--weeks=2] [--seeds=3]
+#include <cstdio>
+
+#include "exp/experiment.h"
+#include "util/cli.h"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int weeks = static_cast<int>(args.GetInt("weeks", 2));
+  const int seeds = static_cast<int>(args.GetInt("seeds", 3));
+
+  ScenarioConfig honest = MakePaperScenario(weeks, "W5");
+  honest.theta.num_nodes = 2048;
+  honest.theta.projects.max_job_size = 2048;
+
+  // "Liars": the malleable projects declare their jobs rigid instead
+  // (rigid share absorbs the malleable share).
+  ScenarioConfig liars = honest;
+  liars.types.rigid_project_share =
+      honest.types.rigid_project_share + (1.0 - honest.types.rigid_project_share -
+                                          honest.types.on_demand_project_share);
+
+  ThreadPool pool;
+  const HybridConfig config =
+      MakePaperConfig({NoticePolicy::kCua, ArrivalPolicy::kSpaa});
+
+  const auto honest_traces = BuildTraces(honest, seeds, 500, pool);
+  const auto liar_traces = BuildTraces(liars, seeds, 500, pool);
+  const SimResult honest_mean = MeanResult(RunGrid(honest_traces, {config}, pool)[0]);
+  const SimResult liar_mean = MeanResult(RunGrid(liar_traces, {config}, pool)[0]);
+
+  std::printf("CUA&SPAA on %d weeks x %d seeds (2048 nodes)\n\n", weeks, seeds);
+  std::printf("Declared honestly (malleable projects stay malleable):\n");
+  std::printf("  malleable turnaround : %6.2f h\n", honest_mean.malleable_turnaround_h);
+  std::printf("  rigid turnaround     : %6.2f h\n", honest_mean.rigid_turnaround_h);
+  std::printf("  system utilization   : %6.2f %%\n\n", 100 * honest_mean.utilization);
+  std::printf("Declared rigid (the same projects lie):\n");
+  std::printf("  rigid turnaround     : %6.2f h\n", liar_mean.rigid_turnaround_h);
+  std::printf("  system utilization   : %6.2f %%\n\n", 100 * liar_mean.utilization);
+
+  const bool incentive =
+      honest_mean.malleable_turnaround_h < honest_mean.rigid_turnaround_h;
+  std::printf("Observation 6 %s: malleable jobs %s rigid jobs in turnaround "
+              "(malleability lets the scheduler start them shrunk instead of "
+              "queueing them).\n",
+              incentive ? "reproduced" : "NOT reproduced",
+              incentive ? "beat" : "did not beat");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Scenario: an experimental facility (e.g. a light source) fires a burst of
+// on-demand analysis jobs at a busy HPC system — the motivating workload of
+// the paper's introduction. Compares how each mechanism absorbs the burst.
+//
+//   ./ondemand_burst [--weeks=2] [--burst=12] [--seed=1]
+#include <cstdio>
+
+#include "exp/experiment.h"
+#include "metrics/report.h"
+#include "util/cli.h"
+
+using namespace hs;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int weeks = static_cast<int>(args.GetInt("weeks", 2));
+  const int burst = static_cast<int>(args.GetInt("burst", 8));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  // Background batch load: no on-demand projects at all.
+  ScenarioConfig scenario = MakePaperScenario(weeks, "W5");
+  scenario.theta.num_nodes = 2048;
+  scenario.theta.projects.max_job_size = 2048;
+  scenario.types.on_demand_project_share = 0.0;
+  scenario.types.rigid_project_share = 0.65;
+  Trace trace = BuildScenarioTrace(scenario, seed);
+
+  // Inject the burst: `burst` on-demand jobs within 15 minutes, mid-trace,
+  // each with a 20-minute advance notice.
+  const SimTime burst_start = static_cast<SimTime>(weeks) * kWeek / 2;
+  Rng rng(seed ^ 0xB00C);
+  for (int i = 0; i < burst; ++i) {
+    JobRecord od;
+    od.id = static_cast<JobId>(trace.jobs.size());
+    od.project = 9999;
+    od.klass = JobClass::kOnDemand;
+    od.notice = NoticeClass::kAccurate;
+    od.submit_time = burst_start + rng.UniformInt(0, 15 * kMinute);
+    od.predicted_arrival = od.submit_time;
+    od.notice_time = od.submit_time - 20 * kMinute;
+    // Small requests, as real on-demand analyses are (§IV-A); the default
+    // burst of 8 x 128-256 nodes fits the machine if batch work yields.
+    od.size = static_cast<int>(rng.UniformInt(1, 2)) * 128;
+    od.min_size = od.size;
+    od.compute_time = rng.UniformInt(10 * kMinute, kHour);
+    od.setup_time = od.compute_time / 20;
+    od.estimate = RoundUp((od.setup_time + od.compute_time) * 3 / 2, 15 * kMinute);
+    trace.jobs.push_back(od);
+  }
+  trace.Canonicalize();
+
+  std::printf("on-demand burst: %d jobs within 15 min at t=%s, on %zu-job "
+              "background (%d nodes)\n\n",
+              burst, FormatTimestamp(burst_start).c_str(), trace.jobs.size(),
+              trace.num_nodes);
+
+  std::vector<LabeledResult> rows;
+  rows.push_back({"FCFS/EASY", RunSimulation(trace, MakePaperConfig(BaselineMechanism()))});
+  for (const Mechanism& mechanism : PaperMechanisms()) {
+    rows.push_back({ToString(mechanism),
+                    RunSimulation(trace, MakePaperConfig(mechanism))});
+  }
+  std::printf("%s\n", RenderComparisonTable(rows).c_str());
+  std::printf("InstantStart counts every on-demand start within 5 minutes of "
+              "arrival; the burst is served by shrinking/preempting batch work.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: build a tiny hybrid workload by hand, run it under the
+// FCFS/EASY baseline and under CUA&SPAA, and compare the paper's metrics.
+//
+//   ./quickstart
+//
+// This is the 5-minute tour of the public API:
+//   Trace + JobRecord        (workload/)
+//   HybridConfig + Mechanism (core/)
+//   RunSimulation -> SimResult (core/hybrid_scheduler.h)
+#include <cstdio>
+
+#include "core/hybrid_scheduler.h"
+#include "metrics/report.h"
+
+using namespace hs;
+
+namespace {
+
+Trace BuildTinyWorkload() {
+  Trace trace;
+  trace.name = "quickstart";
+  trace.num_nodes = 128;
+
+  auto add = [&trace](JobClass klass, SimTime submit, int size, int min_size,
+                      SimTime compute, SimTime setup, SimTime estimate,
+                      NoticeClass notice = NoticeClass::kNone,
+                      SimTime notice_time = kNever, SimTime predicted = kNever) {
+    JobRecord job;
+    job.id = static_cast<JobId>(trace.jobs.size());
+    job.project = 0;
+    job.klass = klass;
+    job.notice = notice;
+    job.submit_time = submit;
+    job.notice_time = notice_time;
+    job.predicted_arrival = predicted;
+    job.size = size;
+    job.min_size = min_size;
+    job.compute_time = compute;
+    job.setup_time = setup;
+    job.estimate = estimate;
+    trace.jobs.push_back(job);
+  };
+
+  // A long rigid simulation occupying most of the machine.
+  add(JobClass::kRigid, 0, 96, 96, 6 * kHour, 10 * kMinute, 8 * kHour);
+  // A malleable hyperparameter sweep that adapts to leftover nodes.
+  add(JobClass::kMalleable, 5 * kMinute, 64, 16, 2 * kHour, 2 * kMinute, 3 * kHour);
+  // An urgent on-demand analysis with a 20-minute advance notice.
+  add(JobClass::kOnDemand, 2 * kHour, 48, 48, 30 * kMinute, 1 * kMinute, 1 * kHour,
+      NoticeClass::kAccurate, 2 * kHour - 20 * kMinute, 2 * kHour);
+  // More batch work arriving behind it.
+  add(JobClass::kRigid, 2 * kHour + 10 * kMinute, 32, 32, kHour, 5 * kMinute,
+      2 * kHour);
+  return trace;
+}
+
+void Report(const char* label, const SimResult& r) {
+  std::printf("%-12s turnaround %.2f h | utilization %.1f%% | instant-start %.0f%% | "
+              "preempted rigid %.0f%% malleable %.0f%% | shrinks %zu\n",
+              label, r.avg_turnaround_h, 100.0 * r.utilization,
+              100.0 * r.od_instant_rate, 100.0 * r.rigid_preempt_ratio,
+              100.0 * r.malleable_preempt_ratio, r.shrinks);
+}
+
+}  // namespace
+
+int main() {
+  const Trace trace = BuildTinyWorkload();
+  std::printf("quickstart: %zu jobs on %d nodes\n\n", trace.jobs.size(),
+              trace.num_nodes);
+
+  const SimResult baseline =
+      RunSimulation(trace, MakePaperConfig(BaselineMechanism()));
+  const SimResult hybrid = RunSimulation(
+      trace, MakePaperConfig({NoticePolicy::kCua, ArrivalPolicy::kSpaa}));
+
+  Report("FCFS/EASY", baseline);
+  Report("CUA&SPAA", hybrid);
+
+  std::printf(
+      "\nThe on-demand job starts %s under CUA&SPAA (it waited %.0f s under the "
+      "baseline).\n",
+      hybrid.od_instant_rate_strict == 1.0 ? "instantly" : "late",
+      baseline.od_avg_delay_s);
+  return 0;
+}

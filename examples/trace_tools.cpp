@@ -1,0 +1,93 @@
+// Trace utility: generate Theta-like synthetic traces to HSWF, or inspect /
+// characterize an existing HSWF (or standard SWF) trace.
+//
+//   ./trace_tools generate --out=trace.hswf [--weeks=4] [--seed=1] [--mix=W5]
+//   ./trace_tools inspect trace.hswf
+//   ./trace_tools import-swf theta.swf --out=theta.hswf
+#include <cstdio>
+#include <fstream>
+
+#include "exp/scenario.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workload/characterize.h"
+#include "workload/swf.h"
+
+using namespace hs;
+
+namespace {
+
+int Generate(const CliArgs& args) {
+  ScenarioConfig scenario = MakePaperScenario(
+      static_cast<int>(args.GetInt("weeks", 4)), args.GetString("mix", "W5"));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const Trace trace = BuildScenarioTrace(scenario, seed);
+  const std::string out = args.GetString("out", "trace.hswf");
+  WriteHswfFile(trace, out);
+  std::printf("wrote %zu jobs to %s (offered load %.2f)\n", trace.jobs.size(),
+              out.c_str(), trace.OfferedLoad());
+  return 0;
+}
+
+int Inspect(const Trace& trace) {
+  const TraceSummary s = Summarize(trace);
+  TextTable info({"Field", "Value"});
+  info.AddRow({"Name", s.name.empty() ? "(unnamed)" : s.name});
+  info.AddRow({"Compute nodes", std::to_string(s.num_nodes)});
+  info.AddRow({"Jobs", std::to_string(s.num_jobs)});
+  info.AddRow({"Projects", std::to_string(s.num_projects)});
+  info.AddRow({"Span", FormatDuration(s.span)});
+  info.AddRow({"Max job length", FormatDuration(s.max_wall)});
+  info.AddRow({"Min/Max size", std::to_string(s.min_size) + " / " +
+                                   std::to_string(s.max_size)});
+  info.AddRow({"Offered load", Fmt(s.offered_load, 2)});
+  info.AddRow({"Rigid / on-demand / malleable",
+               std::to_string(s.rigid_jobs) + " / " + std::to_string(s.on_demand_jobs) +
+                   " / " + std::to_string(s.malleable_jobs)});
+  std::printf("%s\n", info.Render().c_str());
+
+  const RangeHistogram hist = SizeHistogram(trace);
+  TextTable sizes({"Size range", "Jobs", "Jobs %", "Node-hours %"});
+  for (std::size_t i = 0; i < hist.bins().size(); ++i) {
+    sizes.AddRow({hist.bins()[i].label, std::to_string(hist.bins()[i].count),
+                  FmtPct(hist.CountShare(i), 1), FmtPct(hist.WeightShare(i), 1)});
+  }
+  std::printf("%s\n", sizes.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: %s generate --out=F | inspect F | import-swf F --out=G\n",
+                 args.program().c_str());
+    return 2;
+  }
+  const std::string& command = args.positional()[0];
+  try {
+    if (command == "generate") return Generate(args);
+    if (command == "inspect") {
+      if (args.positional().size() < 2) throw std::runtime_error("missing trace path");
+      return Inspect(ReadHswfFile(args.positional()[1]));
+    }
+    if (command == "import-swf") {
+      if (args.positional().size() < 2) throw std::runtime_error("missing swf path");
+      std::ifstream in(args.positional()[1]);
+      if (!in) throw std::runtime_error("cannot open " + args.positional()[1]);
+      const Trace trace = ImportSwf(in);
+      WriteHswfFile(trace, args.GetString("out", "imported.hswf"));
+      std::printf("imported %zu jobs (all rigid; run type assignment in your "
+                  "own pipeline)\n",
+                  trace.jobs.size());
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

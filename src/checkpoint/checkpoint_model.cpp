@@ -1,0 +1,77 @@
+#include "checkpoint/checkpoint_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "checkpoint/daly.h"
+
+namespace hs {
+
+CheckpointModel::CheckpointModel(const CheckpointConfig& config) : config_(config) {
+  assert(config_.interval_scale > 0.0);
+  assert(config_.node_mtbf > 0);
+}
+
+SimTime CheckpointModel::OverheadFor(int nodes) const {
+  return nodes >= config_.large_job_threshold ? config_.large_job_overhead
+                                              : config_.small_job_overhead;
+}
+
+SimTime CheckpointModel::IntervalFor(int nodes) const {
+  assert(nodes >= 1);
+  const SimTime job_mtbf = std::max<SimTime>(1, config_.node_mtbf / nodes);
+  const SimTime optimum = DalyOptimalInterval(OverheadFor(nodes), job_mtbf);
+  const auto scaled = static_cast<SimTime>(
+      std::llround(static_cast<double>(optimum) * config_.interval_scale));
+  return std::max({scaled, config_.min_interval, OverheadFor(nodes)});
+}
+
+RigidTimeline::RigidTimeline(SimTime setup, SimTime compute, SimTime interval,
+                             SimTime overhead)
+    : setup_(setup), compute_(compute), interval_(interval), overhead_(overhead) {
+  assert(setup_ >= 0 && compute_ >= 0 && interval_ >= 0 && overhead_ >= 0);
+  if (interval_ > 0 && compute_ > interval_) {
+    // Dumps complete after every full interval except a final segment that
+    // reaches the end of the computation (no trailing dump).
+    num_checkpoints_ = static_cast<int>((compute_ - 1) / interval_);
+  }
+  total_wall_ = setup_ + compute_ + static_cast<SimTime>(num_checkpoints_) * overhead_;
+}
+
+SimTime RigidTimeline::ProgressAt(SimTime elapsed) const {
+  if (elapsed <= setup_) return 0;
+  if (elapsed >= total_wall_) return compute_;
+  const SimTime w = elapsed - setup_;
+  if (interval_ == 0 || num_checkpoints_ == 0) return std::min(w, compute_);
+  const SimTime cycle = interval_ + overhead_;
+  const SimTime full_cycles = w / cycle;
+  const SimTime within = w % cycle;
+  const SimTime progress = full_cycles * interval_ + std::min(within, interval_);
+  return std::min(progress, compute_);
+}
+
+SimTime RigidTimeline::CheckpointedAt(SimTime elapsed) const {
+  if (interval_ == 0 || num_checkpoints_ == 0) return 0;
+  if (elapsed <= setup_) return 0;
+  const SimTime w = elapsed - setup_;
+  const SimTime cycle = interval_ + overhead_;
+  // A dump that started at the end of compute segment k completes at wall
+  // offset setup + k*cycle; completed dumps at elapsed = floor(w / cycle).
+  SimTime completed = w / cycle;
+  completed = std::min<SimTime>(completed, num_checkpoints_);
+  return completed * interval_;
+}
+
+SimTime RigidTimeline::NextCheckpointCompletion(SimTime elapsed) const {
+  if (interval_ == 0 || num_checkpoints_ == 0) return kNever;
+  const SimTime cycle = interval_ + overhead_;
+  // Dump k (1-based) completes at setup + k*cycle.
+  for (int k = 1; k <= num_checkpoints_; ++k) {
+    const SimTime completion = setup_ + static_cast<SimTime>(k) * cycle;
+    if (completion > elapsed) return completion;
+  }
+  return kNever;
+}
+
+}  // namespace hs

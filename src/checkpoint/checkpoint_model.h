@@ -1,0 +1,95 @@
+// Checkpoint cost model and the wall-clock timeline of a rigid execution.
+//
+// Paper configuration (§IV-B): per-checkpoint overhead is 600 s for jobs
+// below 1 K nodes and 1,200 s otherwise; checkpoints are taken at the Daly
+// optimum for the allocation's MTBF, optionally scaled (Fig. 7 sweeps the
+// interval at fractions of the optimum — "50%" means twice as frequent).
+//
+// A rigid execution alternates:   setup | compute tau | dump delta | compute
+// tau | dump delta | ... | final compute (no trailing dump).
+// `RigidTimeline` answers, for any wall offset into the execution: how much
+// compute progress exists, how much of it is safely checkpointed, and when
+// the next checkpoint completes (the moment CUP prefers to preempt).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace hs {
+
+struct CheckpointConfig {
+  /// Per-checkpoint dump cost by allocation size (paper: 600 s / 1,200 s).
+  SimTime small_job_overhead = 600;
+  SimTime large_job_overhead = 1200;
+  int large_job_threshold = 1024;  // nodes at/above this pay the large cost
+
+  /// Interval = scale x Daly optimum. 1.0 reproduces the default; Fig. 7
+  /// uses 0.25/0.5/1.0/2.0 (smaller = more frequent checkpoints).
+  double interval_scale = 1.0;
+
+  /// Per-node mean time between failures used in the Daly formula. The
+  /// job-level MTBF is node_mtbf / nodes.
+  SimTime node_mtbf = 5 * 365 * kDay;
+
+  /// Floor for the checkpoint interval regardless of scale.
+  SimTime min_interval = 10 * kMinute;
+};
+
+class CheckpointModel {
+ public:
+  explicit CheckpointModel(const CheckpointConfig& config = {});
+
+  /// Dump cost for an allocation of `nodes` nodes.
+  SimTime OverheadFor(int nodes) const;
+
+  /// Scaled Daly-optimal compute interval between checkpoints for `nodes`.
+  SimTime IntervalFor(int nodes) const;
+
+  const CheckpointConfig& config() const { return config_; }
+
+ private:
+  CheckpointConfig config_;
+};
+
+/// Timeline of one rigid execution with periodic checkpoints.
+/// `interval == 0` disables checkpointing (on-demand jobs, or the tail of a
+/// job too short to reach a first checkpoint).
+class RigidTimeline {
+ public:
+  /// `compute` is the remaining useful compute for this execution; `setup`
+  /// is paid once at the start. All values in seconds, >= 0.
+  RigidTimeline(SimTime setup, SimTime compute, SimTime interval, SimTime overhead);
+
+  /// Number of completed checkpoint dumps over the whole execution.
+  int num_checkpoints() const { return num_checkpoints_; }
+
+  /// Total wall time: setup + compute + dumps.
+  SimTime total_wall() const { return total_wall_; }
+
+  /// Compute progress after `elapsed` wall seconds (clamped to [0, compute]).
+  SimTime ProgressAt(SimTime elapsed) const;
+
+  /// Progress covered by the latest *completed* checkpoint at `elapsed`
+  /// wall seconds (0 before the first dump finishes).
+  SimTime CheckpointedAt(SimTime elapsed) const;
+
+  /// Wall offset at which the next checkpoint dump *completes* strictly
+  /// after `elapsed`; kNever if no further checkpoint exists.
+  SimTime NextCheckpointCompletion(SimTime elapsed) const;
+
+  SimTime setup() const { return setup_; }
+  SimTime compute() const { return compute_; }
+  SimTime interval() const { return interval_; }
+  SimTime overhead() const { return overhead_; }
+
+ private:
+  SimTime setup_;
+  SimTime compute_;
+  SimTime interval_;  // 0 => checkpointing disabled
+  SimTime overhead_;
+  int num_checkpoints_ = 0;
+  SimTime total_wall_ = 0;
+};
+
+}  // namespace hs

@@ -1,0 +1,28 @@
+#include "checkpoint/daly.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hs {
+
+double DalyFirstOrder(double delta, double mtbf) {
+  assert(delta > 0.0 && mtbf > 0.0);
+  return std::sqrt(2.0 * delta * mtbf);
+}
+
+double DalyHigherOrder(double delta, double mtbf) {
+  assert(delta > 0.0 && mtbf > 0.0);
+  if (delta >= 2.0 * mtbf) return mtbf;
+  const double ratio = delta / (2.0 * mtbf);
+  const double base = std::sqrt(2.0 * delta * mtbf);
+  return base * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - delta;
+}
+
+SimTime DalyOptimalInterval(SimTime delta, SimTime mtbf) {
+  const double tau = DalyHigherOrder(static_cast<double>(delta), static_cast<double>(mtbf));
+  const auto rounded = static_cast<SimTime>(std::llround(tau));
+  return std::max<SimTime>(rounded, delta);
+}
+
+}  // namespace hs

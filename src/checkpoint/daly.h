@@ -1,0 +1,27 @@
+// Daly's optimum checkpoint interval (J. Daly, "A higher order estimate of
+// the optimum checkpoint interval for restart dumps", FGCS 2006).
+//
+// The paper's rigid jobs checkpoint at "the optimal frequency defined by
+// Daly" (§IV-B); Fig. 7 then sweeps the interval relative to this optimum.
+#pragma once
+
+#include "util/time.h"
+
+namespace hs {
+
+/// First-order approximation: tau = sqrt(2 * delta * mtbf).
+/// `delta` is the cost of writing one checkpoint, `mtbf` the mean time
+/// between failures for the allocation. Both in seconds, both > 0.
+double DalyFirstOrder(double delta, double mtbf);
+
+/// Daly's higher-order estimate:
+///   tau = sqrt(2*delta*M) * [1 + (1/3)*sqrt(delta/(2M)) + (1/9)*(delta/(2M))]
+///         - delta                                     for delta < 2M,
+///   tau = M                                           otherwise.
+double DalyHigherOrder(double delta, double mtbf);
+
+/// Convenience: higher-order optimum rounded to whole seconds and clamped to
+/// at least `delta` (an interval shorter than the dump cost is nonsensical).
+SimTime DalyOptimalInterval(SimTime delta, SimTime mtbf);
+
+}  // namespace hs

@@ -1,0 +1,123 @@
+#include "core/advance_notice.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/hybrid_scheduler.h"
+#include "util/log.h"
+
+namespace hs {
+
+DecisionTimer::DecisionTimer(Collector& collector)
+    : collector_(&collector), start_(std::chrono::steady_clock::now()) {}
+
+DecisionTimer::~DecisionTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  collector_->OnDecision(
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(elapsed)
+          .count());
+}
+
+int ExpectedReleaseNodes(const ExecutionEngine& engine, SimTime now, SimTime by) {
+  int total = 0;
+  for (const JobId id : engine.RunningIds()) {
+    const RunningJob* r = engine.Running(id);
+    if (r->is_tenant) continue;   // those nodes snap back to their reservation
+    if (r->draining) continue;    // already promised to another on-demand job
+    if (engine.EstimatedEnd(id, now) <= by) total += r->alloc;
+  }
+  return total;
+}
+
+std::vector<CupPlanStep> PlanCupPreemptions(const ExecutionEngine& engine, SimTime now,
+                                            SimTime predicted_arrival, int deficit,
+                                            SimTime drain_warning) {
+  std::vector<CupPlanStep> options;
+  for (const JobId id : engine.RunningIds()) {
+    if (!engine.IsPreemptable(id)) continue;
+    const RunningJob* r = engine.Running(id);
+    // Jobs ending before the predicted arrival release their nodes anyway;
+    // CUA-style collection picks those up without any preemption.
+    if (engine.EstimatedEnd(id, now) <= predicted_arrival) continue;
+    CupPlanStep step;
+    step.victim = id;
+    step.alloc = r->alloc;
+    if (r->malleable_mode) {
+      step.drain = true;
+      step.fire_time = std::max(now, predicted_arrival - drain_warning);
+      step.cost = static_cast<double>(r->rec->setup_time) * r->alloc;
+    } else {
+      // "We try to preempt rigid jobs immediately after checkpointing":
+      // firing right after the next dump completes wastes no computation.
+      const SimTime next_ckpt = engine.NextCheckpointCompletion(id, now);
+      if (next_ckpt != kNever && next_ckpt <= predicted_arrival) {
+        step.fire_time = next_ckpt;
+        step.cost = static_cast<double>(r->rec->setup_time) * r->alloc;
+      } else {
+        step.fire_time = predicted_arrival;
+        step.cost = engine.PreemptionCostNodeSec(id, predicted_arrival);
+      }
+    }
+    options.push_back(step);
+  }
+  std::sort(options.begin(), options.end(), [](const CupPlanStep& a, const CupPlanStep& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.victim < b.victim;
+  });
+  std::vector<CupPlanStep> plan;
+  int covered = 0;
+  for (const CupPlanStep& step : options) {
+    if (covered >= deficit) break;
+    plan.push_back(step);
+    covered += step.alloc;
+  }
+  return plan;
+}
+
+void HybridScheduler::OnNoticeEvent(JobId od, SimTime now) {
+  if (config_.mechanism.notice == NoticePolicy::kNone) return;
+  if (reservations_.Has(od)) return;  // duplicate notice
+  const JobRecord& rec = engine_.record(od);
+  DecisionTimer timer(*collector_);
+  reservations_.Open(od, rec.size, now, rec.predicted_arrival);
+  sim_->Schedule(rec.predicted_arrival + config_.reservation_timeout,
+                 EventKind::kReservationTimeout, od);
+  if (config_.mechanism.notice == NoticePolicy::kCup) {
+    PlanCupPreparation(od, now);
+  }
+}
+
+void HybridScheduler::PlanCupPreparation(JobId od, SimTime now) {
+  const JobRecord& rec = engine_.record(od);
+  const SimTime pa = rec.predicted_arrival;
+  const int reserved = engine_.cluster().ReservedCount(od);
+  const int expected = ExpectedReleaseNodes(engine_, now, pa);
+  const int deficit = rec.size - reserved - expected;
+  if (deficit <= 0) return;
+  const std::vector<CupPlanStep> plan = PlanCupPreemptions(
+      engine_, now, pa, deficit, config_.engine.drain_warning);
+  for (const CupPlanStep& step : plan) {
+    sim_->Schedule(std::max(now, step.fire_time), EventKind::kPlannedPreempt,
+                   step.victim, od);
+  }
+}
+
+void HybridScheduler::OnPlannedPreemptEvent(JobId job, JobId od, SimTime now) {
+  // Validate: the preparation is only carried out if the on-demand job has
+  // not arrived yet (early arrivals switch to the arrival policy, §III-B1),
+  // the reservation is still short, and the victim is still preemptable.
+  const Reservation* r = reservations_.Find(od);
+  if (r == nullptr || r->arrived) return;
+  if (reservations_.Deficit(od) <= 0) return;
+  if (!engine_.IsPreemptable(job)) return;
+  const RunningJob* victim = engine_.Running(job);
+  if (victim->malleable_mode) {
+    engine_.BeginDrain(job, od, now);
+    return;  // the lease is recorded when the warning expires
+  }
+  const std::vector<int> freed = engine_.PreemptNow(job, now, PreemptKind::kPlanned);
+  ledger_.Record(od, job, static_cast<int>(freed.size()), LeaseKind::kPlanPreempted);
+  GiveTo(od);
+}
+
+}  // namespace hs

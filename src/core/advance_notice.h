@@ -1,0 +1,52 @@
+// Advance-notice handling (§III-B1): CUA collection and CUP preparation.
+//
+// Helpers are exposed for unit testing; the event wiring lives in
+// HybridScheduler (advance_notice.cpp).
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "sched/batch_scheduler.h"
+
+namespace hs {
+
+/// Nodes expected to be released by running jobs no later than `by`
+/// (estimate-based), excluding tenants (their nodes return to their
+/// reservation owner) and jobs draining for someone else.
+int ExpectedReleaseNodes(const ExecutionEngine& engine, SimTime now, SimTime by);
+
+/// One CUP preparation step: which job to preempt and when.
+struct CupPlanStep {
+  JobId victim = kNoJob;
+  SimTime fire_time = 0;   // when the preemption/drain should trigger
+  double cost = 0.0;       // projected node-seconds wasted
+  int alloc = 0;
+  bool drain = false;      // malleable: warn instead of kill
+};
+
+/// Plans preemptions covering `deficit` nodes by `predicted_arrival`,
+/// cheapest first. Rigid victims fire right after their next checkpoint
+/// completion when one lands before the predicted arrival (zero lost work),
+/// otherwise at the predicted arrival itself; malleable victims are drained
+/// so their warning expires at the predicted arrival. May cover less than
+/// `deficit` if candidates run out.
+std::vector<CupPlanStep> PlanCupPreemptions(const ExecutionEngine& engine, SimTime now,
+                                            SimTime predicted_arrival, int deficit,
+                                            SimTime drain_warning);
+
+/// RAII wall-clock timer reporting one mechanism decision to the collector
+/// (Observation 10: decisions must take well under 10 ms).
+class DecisionTimer {
+ public:
+  explicit DecisionTimer(Collector& collector);
+  ~DecisionTimer();
+  DecisionTimer(const DecisionTimer&) = delete;
+  DecisionTimer& operator=(const DecisionTimer&) = delete;
+
+ private:
+  Collector* collector_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hs

@@ -1,0 +1,21 @@
+// Arrival-time mechanisms (§III-B2): PAA and SPAA.
+//
+// Pure planning helpers for testability; the event wiring lives in
+// HybridScheduler (arrival.cpp).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sched/batch_scheduler.h"
+
+namespace hs {
+
+/// (job, nodes it can give by shrinking to its minimum) for every running,
+/// non-draining, non-tenant malleable job, in ascending job-id order.
+std::vector<std::pair<JobId, int>> ListShrinkable(const ExecutionEngine& engine);
+
+/// Total shrink supply across ListShrinkable.
+int TotalShrinkSupply(const ExecutionEngine& engine);
+
+}  // namespace hs

@@ -1,0 +1,28 @@
+#include "core/config.h"
+
+namespace hs {
+
+std::string HybridConfig::Validate() const {
+  if (reservation_timeout < 0) return "reservation_timeout must be >= 0";
+  if (instant_threshold < 0) return "instant_threshold must be >= 0";
+  if (engine.drain_warning < 0) return "drain_warning must be >= 0";
+  if (engine.checkpoint.interval_scale <= 0.0) return "interval_scale must be > 0";
+  if (engine.checkpoint.node_mtbf <= 0) return "node_mtbf must be > 0";
+  if (mechanism.is_baseline() && mechanism.notice != NoticePolicy::kNone) {
+    return "baseline must use NoticePolicy::kNone";
+  }
+  if (static_od_partition < 0) return "static_od_partition must be >= 0";
+  return {};
+}
+
+HybridConfig MakePaperConfig(const Mechanism& mechanism) {
+  HybridConfig config;
+  config.mechanism = mechanism;
+  config.engine.policy = PolicyKind::kFcfs;
+  // The baseline schedules malleable jobs as rigid requests of their maximum
+  // size ("without special treatments", Table II).
+  config.engine.malleable_flexible = !mechanism.is_baseline();
+  return config;
+}
+
+}  // namespace hs

@@ -1,0 +1,55 @@
+// Top-level configuration of the hybrid scheduler (§IV-B defaults).
+#pragma once
+
+#include <string>
+
+#include "core/mechanism.h"
+#include "sched/batch_scheduler.h"
+
+namespace hs {
+
+struct HybridConfig {
+  Mechanism mechanism = BaselineMechanism();
+  EngineConfig engine;
+
+  /// Reserved nodes are released this long after the predicted arrival if
+  /// the on-demand job has not shown up (§IV-B: 10 minutes).
+  SimTime reservation_timeout = 10 * kMinute;
+
+  /// An on-demand start within this delay of its arrival counts as
+  /// "instant" (tolerates the 2-minute drain warning; a strict 0-delay rate
+  /// is reported alongside).
+  SimTime instant_threshold = 5 * kMinute;
+
+  /// Allow backfilled jobs to run on reserved nodes while the on-demand job
+  /// has not arrived (§III-B1); survivors are killed at arrival.
+  bool backfill_on_reserved = true;
+
+  /// On on-demand completion, hold the returned nodes for preempted lenders
+  /// that cannot resume yet (§III-B3 / Observation 2). Off by default: the
+  /// lender sits at the head of the FCFS queue and reclaims the freed nodes
+  /// through the scheduling pass anyway, while literal holds can pin the
+  /// whole machine behind a starving lender (a progress valve breaks such
+  /// holds when everything else is idle; see HybridScheduler::OnQuiescent).
+  bool hold_returned_nodes = false;
+
+  /// Extension (off by default, ablation only): expand running malleable
+  /// jobs onto idle nodes during quiescent passes.
+  bool opportunistic_expand = false;
+
+  /// Comparator (off when 0): statically partition this many nodes for
+  /// on-demand jobs — the "dedicated cluster" status quo the paper's intro
+  /// argues against. On-demand jobs then run exclusively inside the
+  /// partition (FIFO), never preempting batch work; batch jobs never touch
+  /// partition nodes. On-demand requests larger than the partition fall
+  /// back to the batch queue.
+  int static_od_partition = 0;
+
+  /// Empty when consistent; otherwise the violated constraint.
+  std::string Validate() const;
+};
+
+/// Paper-default configuration for a mechanism.
+HybridConfig MakePaperConfig(const Mechanism& mechanism);
+
+}  // namespace hs

@@ -1,0 +1,341 @@
+#include "core/hybrid_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace hs {
+
+HybridScheduler::HybridScheduler(const Trace& trace, const HybridConfig& config,
+                                 Collector& collector, Simulator& sim)
+    : trace_(&trace),
+      config_(config),
+      collector_(&collector),
+      sim_(&sim),
+      engine_(trace, config.engine, collector, sim),
+      reservations_(engine_.cluster()),
+      util_track_(trace.num_nodes) {
+  const std::string config_error = config_.Validate();
+  if (!config_error.empty()) {
+    throw std::invalid_argument("HybridConfig: " + config_error);
+  }
+  const std::string trace_error = trace.Validate();
+  if (!trace_error.empty()) {
+    throw std::invalid_argument("Trace: " + trace_error);
+  }
+  if (config_.static_od_partition > 0) {
+    if (config_.static_od_partition >= trace.num_nodes) {
+      throw std::invalid_argument("static_od_partition must leave batch nodes");
+    }
+    // A permanent, non-absorbing reservation carves the partition out of the
+    // batch pool; on-demand jobs run on it as tenants so their nodes snap
+    // back to the partition at completion.
+    reservations_.Open(kStaticPartitionHolder, config_.static_od_partition,
+                       /*notice_time=*/-1, kNever, /*absorbing=*/false,
+                       /*grab_free=*/true);
+  }
+}
+
+void HybridScheduler::Prime() {
+  const bool use_notices =
+      !config_.mechanism.is_baseline() && config_.mechanism.notice != NoticePolicy::kNone;
+  for (const JobRecord& job : trace_->jobs) {
+    sim_->Schedule(job.submit_time, EventKind::kJobSubmit, job.id);
+    if (use_notices && job.is_on_demand() && job.has_notice()) {
+      sim_->Schedule(job.notice_time, EventKind::kAdvanceNotice, job.id);
+    }
+  }
+}
+
+void HybridScheduler::HandleEvent(const Event& event, Simulator&) {
+  engine_.cluster().Touch(event.time);
+  util_track_.Record(event.time, engine_.cluster().busy_count());
+  switch (event.kind) {
+    case EventKind::kJobSubmit:
+      OnSubmitEvent(event.job, event.time);
+      break;
+    case EventKind::kAdvanceNotice:
+      OnNoticeEvent(event.job, event.time);
+      break;
+    case EventKind::kJobFinish:
+      OnFinishEvent(event.job, event.time);
+      break;
+    case EventKind::kJobKill:
+      OnKillEvent(event.job, event.time);
+      break;
+    case EventKind::kWarningExpire:
+      OnWarningExpireEvent(event.job, static_cast<JobId>(event.aux), event.time);
+      break;
+    case EventKind::kPlannedPreempt:
+      OnPlannedPreemptEvent(event.job, static_cast<JobId>(event.aux), event.time);
+      break;
+    case EventKind::kReservationTimeout:
+      OnReservationTimeoutEvent(event.job, event.time);
+      break;
+    case EventKind::kNodeFailure:
+      // Failures are validated against the current execution: a restart
+      // redraws its own failure event, making this one stale.
+      if (engine_.IsCurrentFailureEvent(event.job, event.id)) {
+        engine_.PreemptNow(event.job, event.time, PreemptKind::kFailure);
+        Absorb();
+      }
+      break;
+    case EventKind::kSchedule:
+      break;  // the quiescent pass does the work
+  }
+}
+
+void HybridScheduler::OnSubmitEvent(JobId id, SimTime now) {
+  const JobRecord& rec = engine_.record(id);
+  if (rec.is_on_demand() && config_.static_od_partition > 0) {
+    // Dedicated-cluster comparator: the job runs inside the partition
+    // (unless it does not fit there at all, in which case it falls back to
+    // the shared batch queue like any other job).
+    engine_.EnqueueFresh(id, now, /*boosted=*/false);
+    if (rec.size <= config_.static_od_partition) {
+      engine_.queue().FindMutable(id)->partition_only = true;
+      TryStartPartitionJobs(now);
+    }
+    return;
+  }
+  if (rec.is_on_demand() && !config_.mechanism.is_baseline()) {
+    HandleOnDemandArrival(id, now);
+  } else {
+    engine_.EnqueueFresh(id, now, /*boosted=*/false);
+  }
+}
+
+void HybridScheduler::OnFinishEvent(JobId id, SimTime now) {
+  const JobRecord& rec = engine_.record(id);
+  const std::vector<int> freed = engine_.FinishRunning(id, now);
+  if (rec.is_on_demand() && !config_.mechanism.is_baseline()) {
+    SettleLeases(id, static_cast<int>(freed.size()), now);
+  }
+  Absorb();
+}
+
+void HybridScheduler::OnKillEvent(JobId id, SimTime now) {
+  const JobRecord& rec = engine_.record(id);
+  HS_LOG(kWarn) << "job " << id << " killed at its runtime estimate (t=" << now << ")";
+  const std::vector<int> freed = engine_.KillAtEstimate(id, now);
+  if (rec.is_on_demand() && !config_.mechanism.is_baseline()) {
+    SettleLeases(id, static_cast<int>(freed.size()), now);
+  }
+  Absorb();
+}
+
+void HybridScheduler::OnWarningExpireEvent(JobId job, JobId od, SimTime now) {
+  if (!engine_.IsRunning(job)) return;  // completed before the warning expired
+  const RunningJob* r = engine_.Running(job);
+  if (!r->draining || r->drain_for != od) return;
+  const bool still_needed = reservations_.Has(od) && reservations_.Deficit(od) > 0;
+  if (!still_needed) {
+    engine_.CancelDrain(job);  // the on-demand job got covered elsewhere
+    return;
+  }
+  const std::vector<int> freed = engine_.CompleteDrain(job, now);
+  ledger_.Record(od, job, static_cast<int>(freed.size()), LeaseKind::kPreempted);
+  GiveTo(od);
+}
+
+void HybridScheduler::OnReservationTimeoutEvent(JobId od, SimTime now) {
+  const Reservation* r = reservations_.Find(od);
+  if (r == nullptr || r->arrived) return;
+  HS_LOG(kDebug) << "reservation timeout for on-demand job " << od << " at t=" << now;
+  reservations_.Close(od);
+  // Lenders preempted ahead of time lose their lease claim; they recover
+  // through the queue (they kept their original submit times).
+  ledger_.Drop(od);
+  Absorb();
+}
+
+int HybridScheduler::PendingDrainNodes(JobId od) const {
+  int total = 0;
+  for (const JobId id : engine_.RunningIds()) {
+    const RunningJob* r = engine_.Running(id);
+    if (r->draining && r->drain_for == od) total += r->alloc;
+  }
+  return total;
+}
+
+void HybridScheduler::GiveTo(JobId od) {
+  reservations_.TopUp(od);
+  reservations_.AbsorbFromFree();
+}
+
+void HybridScheduler::Absorb() { reservations_.AbsorbFromFree(); }
+
+void HybridScheduler::SettleLeases(JobId od, int credit, SimTime now) {
+  const std::vector<Lease> leases = ledger_.Take(od);
+  for (const Lease& lease : leases) {
+    if (credit <= 0) break;
+    const JobRecord& lender_rec = engine_.record(lease.lender);
+    if (lease.kind == LeaseKind::kShrunk) {
+      // Expand a still-running shrunk lender back toward its original size
+      // (§III-B3: "we will expand this job to its original size").
+      const RunningJob* r = engine_.Running(lease.lender);
+      if (r == nullptr || !r->malleable_mode || r->draining) continue;
+      const int headroom = lender_rec.size - r->alloc;
+      const int grow =
+          std::min({lease.nodes, headroom, credit, engine_.cluster().free_count()});
+      if (grow > 0) {
+        engine_.ExpandByFromFree(lease.lender, grow, now);
+        credit -= grow;
+      }
+      continue;
+    }
+    // Preempted lender: return the leased nodes; resume immediately if whole.
+    if (!engine_.IsWaiting(lease.lender)) continue;  // already restarted elsewhere
+    const int give = std::min({lease.nodes, credit, engine_.cluster().free_count()});
+    if (give > 0 && config_.hold_returned_nodes) {
+      const int needed = lender_rec.is_malleable() && config_.engine.malleable_flexible
+                             ? lender_rec.min_size
+                             : lender_rec.size;
+      if (!reservations_.Has(lease.lender)) {
+        reservations_.Open(lease.lender, needed, now, kNever,
+                           /*absorbing=*/false, /*grab_free=*/false);
+      }
+      const int held = engine_.cluster().ReserveFromFree(lease.lender, give);
+      credit -= held;
+    }
+    const int held_now = engine_.cluster().ReservedIdleCount(lease.lender);
+    const int free_now = engine_.cluster().free_count();
+    int alloc = lender_rec.size;
+    if (lender_rec.is_malleable() && config_.engine.malleable_flexible) {
+      alloc = std::min(lender_rec.size, std::max(lender_rec.min_size, held_now + free_now));
+    }
+    if (held_now + free_now >= alloc) {
+      engine_.StartWaiting(lease.lender, alloc, now);
+    }
+  }
+}
+
+void HybridScheduler::TryStartPartitionJobs(SimTime now) {
+  if (config_.static_od_partition <= 0) return;
+  // FIFO over the partition-only waiting jobs.
+  std::vector<const WaitingJob*> waiting;
+  for (const WaitingJob* w : engine_.queue().All()) {
+    if (w->partition_only) waiting.push_back(w);
+  }
+  std::sort(waiting.begin(), waiting.end(), [](const WaitingJob* a, const WaitingJob* b) {
+    if (a->first_submit != b->first_submit) return a->first_submit < b->first_submit;
+    return a->id < b->id;
+  });
+  std::vector<int> idle = engine_.cluster().ReservedIdleNodes(kStaticPartitionHolder);
+  for (const WaitingJob* w : waiting) {
+    if (w->size() > static_cast<int>(idle.size())) break;  // FIFO blocking
+    std::vector<int> chosen(idle.end() - w->size(), idle.end());
+    idle.resize(idle.size() - w->size());
+    engine_.StartTenant(w->id, chosen, now);
+  }
+}
+
+void HybridScheduler::CleanupReservations() {
+  for (const Reservation& r : reservations_.Snapshot()) {
+    if (r.od < 0) continue;  // the static partition is permanent
+    const bool owner_running = engine_.IsRunning(r.od);
+    const bool owner_waiting = engine_.IsWaiting(r.od);
+    const JobRecord& rec = engine_.record(r.od);
+    // An on-demand reservation whose owner has not arrived yet stays open
+    // even though the owner is neither queued nor running.
+    const bool pre_arrival = rec.is_on_demand() && !r.arrived;
+    if (owner_running || (!owner_waiting && !pre_arrival)) {
+      reservations_.Close(r.od);
+    }
+  }
+}
+
+void HybridScheduler::BackfillOnReserved(SimTime now) {
+  if (!config_.backfill_on_reserved) return;
+  for (const Reservation& r : reservations_.Snapshot()) {
+    if (r.arrived || r.predicted_arrival == kNever || r.predicted_arrival <= now) {
+      continue;
+    }
+    std::vector<int> idle = engine_.cluster().ReservedIdleNodes(r.od);
+    if (idle.empty()) continue;
+    const SimTime window = r.predicted_arrival - now;
+    // Scan the queue in policy order; place jobs that provably finish before
+    // the owner's predicted arrival.
+    const auto policy = MakePolicy(config_.engine.policy);
+    for (const WaitingJob* w : engine_.queue().Ordered(*policy, now)) {
+      if (idle.empty()) break;
+      if (w->boosted) continue;  // never divert a waiting on-demand job
+      if (engine_.cluster().ReservedIdleCount(w->id) > 0) continue;  // lender hold
+      const int avail = static_cast<int>(idle.size());
+      if (w->min_size() > avail) continue;
+      const int alloc = std::min(w->size(), avail);
+      if (engine_.WallEstimate(*w, alloc) > window) continue;
+      std::vector<int> chosen(idle.end() - alloc, idle.end());
+      idle.resize(idle.size() - alloc);
+      engine_.StartTenant(w->id, chosen, now);
+    }
+  }
+}
+
+void HybridScheduler::OnQuiescent(SimTime now, Simulator&) {
+  engine_.cluster().Touch(now);
+  CleanupReservations();
+  if (config_.opportunistic_expand) {
+    for (const JobId id : engine_.RunningIds()) {
+      const RunningJob* r = engine_.Running(id);
+      if (!r->malleable_mode || r->draining || r->is_tenant) continue;
+      const int headroom = r->rec->size - r->alloc;
+      const int grow = std::min(headroom, engine_.cluster().free_count());
+      if (grow > 0) engine_.ExpandByFromFree(id, grow, now);
+    }
+  }
+  engine_.RunSchedulingPass(now);
+  CleanupReservations();
+  // Progress valve: lender courtesy holds (non-absorbing reservations) may
+  // pin every idle node while the queue is blocked behind a job that can
+  // never accumulate its allocation — with nothing running and no events
+  // pending, that is a permanent wedge. Break the holds and retry.
+  if (engine_.cluster().busy_count() == 0 && !engine_.queue().empty()) {
+    bool released = false;
+    for (const Reservation& r : reservations_.Snapshot()) {
+      if (!r.absorbing && r.od >= 0) {  // never break the static partition
+        reservations_.Close(r.od);
+        released = true;
+      }
+    }
+    if (released) {
+      Absorb();
+      engine_.RunSchedulingPass(now);
+      CleanupReservations();
+    }
+  }
+  TryStartPartitionJobs(now);
+  BackfillOnReserved(now);
+  util_track_.Record(now, engine_.cluster().busy_count());
+}
+
+SimResult RunSimulation(const Trace& trace, const HybridConfig& config) {
+  Collector collector(config.instant_threshold);
+  // Simulator needs its handler at construction and the scheduler needs the
+  // simulator; a small forwarding holder breaks the cycle.
+  class Holder : public EventHandler {
+   public:
+    Holder(const Trace& t, const HybridConfig& c, Collector& col)
+        : sim_(*this), sched_(t, c, col, sim_) {}
+    void HandleEvent(const Event& e, Simulator& s) override { sched_.HandleEvent(e, s); }
+    void OnQuiescent(SimTime now, Simulator& s) override { sched_.OnQuiescent(now, s); }
+    Simulator& sim() { return sim_; }
+    HybridScheduler& sched() { return sched_; }
+
+   private:
+    Simulator sim_;
+    HybridScheduler sched_;
+  };
+  Holder holder(trace, config, collector);
+  holder.sched().Prime();
+  holder.sim().Run();
+  SimResult result = collector.Finalize(
+      trace.num_nodes, holder.sched().engine().cluster().busy_node_seconds());
+  result.window_utilization = holder.sched().utilization_tracker().MeanBusyFraction(
+      trace.FirstSubmit(), trace.LastSubmit());
+  return result;
+}
+
+}  // namespace hs

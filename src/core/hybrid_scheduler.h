@@ -1,0 +1,114 @@
+// HybridScheduler: the paper's contribution, wired together.
+//
+// Implements the event-driven co-scheduling of on-demand, rigid, and
+// malleable jobs on one machine:
+//   * advance notice   -> N / CUA / CUP (core/advance_notice.cpp)
+//   * actual arrival   -> PAA / SPAA    (core/arrival.cpp)
+//   * completion       -> lease settlement: return nodes to lenders
+//   * predicted+10min  -> reservation timeout
+// On-demand jobs never enter the batch queue unboosted (except in the
+// baseline): an arrived on-demand job holds an absorbing reservation that
+// collects freed nodes with highest priority, sits at the head of the queue
+// (boosted), and starts the moment its request is covered.
+//
+// The ordering policy (FCFS by default) plus EASY backfilling run as one
+// quiescent scheduling pass after every batch of same-timestamp events.
+#pragma once
+
+#include "core/config.h"
+#include "core/mechanism.h"
+#include "metrics/collector.h"
+#include "metrics/utilization.h"
+#include "platform/lease_ledger.h"
+#include "platform/reservation.h"
+#include "sched/batch_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace hs {
+
+/// Pseudo job id owning the static on-demand partition's reservation.
+inline constexpr JobId kStaticPartitionHolder = -2;
+
+class HybridScheduler : public EventHandler {
+ public:
+  /// `trace`, `collector` and `sim` must outlive the scheduler.
+  HybridScheduler(const Trace& trace, const HybridConfig& config,
+                  Collector& collector, Simulator& sim);
+
+  /// Schedules every submit (and, when the mechanism uses notices, every
+  /// advance-notice) event from the trace. Call once before Simulator::Run.
+  void Prime();
+
+  // EventHandler:
+  void HandleEvent(const Event& event, Simulator& sim) override;
+  void OnQuiescent(SimTime now, Simulator& sim) override;
+
+  ExecutionEngine& engine() { return engine_; }
+  const ExecutionEngine& engine() const { return engine_; }
+  ReservationManager& reservations() { return reservations_; }
+  const LeaseLedger& ledger() const { return ledger_; }
+  const HybridConfig& config() const { return config_; }
+  /// Time-resolved busy-node profile (sampled at every event).
+  const UtilizationTracker& utilization_tracker() const { return util_track_; }
+
+ private:
+  // Event handlers (implemented across hybrid_scheduler.cpp,
+  // advance_notice.cpp and arrival.cpp).
+  void OnSubmitEvent(JobId id, SimTime now);
+  void OnNoticeEvent(JobId od, SimTime now);
+  void OnFinishEvent(JobId id, SimTime now);
+  void OnKillEvent(JobId id, SimTime now);
+  void OnWarningExpireEvent(JobId job, JobId od, SimTime now);
+  void OnPlannedPreemptEvent(JobId job, JobId od, SimTime now);
+  void OnReservationTimeoutEvent(JobId od, SimTime now);
+
+  /// §III-B1, CUP: plan preparation so the request is covered by the
+  /// predicted arrival (earmarked releases + scheduled preemptions).
+  void PlanCupPreparation(JobId od, SimTime now);
+
+  /// §III-B2: the arrival-time mechanism (PAA or SPAA) for the remaining
+  /// deficit of an arrived on-demand job.
+  void HandleOnDemandArrival(JobId od, SimTime now);
+  void ApplyArrivalPolicy(JobId od, SimTime now);
+
+  /// §III-B3: return completed on-demand nodes to lenders. `credit` is the
+  /// number of nodes the completed job released into the free pool.
+  void SettleLeases(JobId od, int credit, SimTime now);
+
+  /// Nodes that pending drains will deliver to `od` when their warnings
+  /// expire.
+  int PendingDrainNodes(JobId od) const;
+
+  /// Tops up `od`'s reservation from the free pool first, then lets every
+  /// other absorbing reservation take its share (notice order).
+  void GiveTo(JobId od);
+  /// Routes free nodes to absorbing reservations (notice order).
+  void Absorb();
+
+  /// Closes reservations whose owner started or completed.
+  void CleanupReservations();
+
+  /// Places queue jobs as tenants onto reserved-idle nodes when they fit
+  /// before the owner's predicted arrival.
+  void BackfillOnReserved(SimTime now);
+
+  /// Static-partition comparator: starts waiting partition-only on-demand
+  /// jobs (FIFO) on the partition's idle nodes.
+  void TryStartPartitionJobs(SimTime now);
+
+  const Trace* trace_;
+  HybridConfig config_;
+  Collector* collector_;
+  Simulator* sim_;
+  ExecutionEngine engine_;
+  ReservationManager reservations_;
+  LeaseLedger ledger_;
+  UtilizationTracker util_track_;
+};
+
+/// Convenience: builds, primes and runs one full simulation of `trace`
+/// under `config`; returns the finalized metrics.
+SimResult RunSimulation(const Trace& trace, const HybridConfig& config);
+
+}  // namespace hs

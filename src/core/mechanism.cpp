@@ -1,0 +1,61 @@
+#include "core/mechanism.h"
+
+#include <stdexcept>
+
+namespace hs {
+
+const char* ToString(NoticePolicy policy) {
+  switch (policy) {
+    case NoticePolicy::kNone: return "N";
+    case NoticePolicy::kCua: return "CUA";
+    case NoticePolicy::kCup: return "CUP";
+  }
+  return "?";
+}
+
+const char* ToString(ArrivalPolicy policy) {
+  switch (policy) {
+    case ArrivalPolicy::kQueue: return "QUEUE";
+    case ArrivalPolicy::kPaa: return "PAA";
+    case ArrivalPolicy::kSpaa: return "SPAA";
+  }
+  return "?";
+}
+
+std::string ToString(const Mechanism& mechanism) {
+  if (mechanism.is_baseline()) return "FCFS/EASY";
+  return std::string(ToString(mechanism.notice)) + "&" + ToString(mechanism.arrival);
+}
+
+Mechanism ParseMechanism(const std::string& name) {
+  if (name == "FCFS/EASY" || name == "baseline") return BaselineMechanism();
+  const auto amp = name.find('&');
+  if (amp == std::string::npos) throw std::invalid_argument("bad mechanism: " + name);
+  const std::string notice = name.substr(0, amp);
+  const std::string arrival = name.substr(amp + 1);
+  Mechanism m;
+  if (notice == "N") m.notice = NoticePolicy::kNone;
+  else if (notice == "CUA") m.notice = NoticePolicy::kCua;
+  else if (notice == "CUP") m.notice = NoticePolicy::kCup;
+  else throw std::invalid_argument("bad notice policy: " + notice);
+  if (arrival == "PAA") m.arrival = ArrivalPolicy::kPaa;
+  else if (arrival == "SPAA") m.arrival = ArrivalPolicy::kSpaa;
+  else throw std::invalid_argument("bad arrival policy: " + arrival);
+  return m;
+}
+
+const std::array<Mechanism, 6>& PaperMechanisms() {
+  static const std::array<Mechanism, 6> mechanisms = {{
+      {NoticePolicy::kNone, ArrivalPolicy::kPaa},
+      {NoticePolicy::kNone, ArrivalPolicy::kSpaa},
+      {NoticePolicy::kCua, ArrivalPolicy::kPaa},
+      {NoticePolicy::kCua, ArrivalPolicy::kSpaa},
+      {NoticePolicy::kCup, ArrivalPolicy::kPaa},
+      {NoticePolicy::kCup, ArrivalPolicy::kSpaa},
+  }};
+  return mechanisms;
+}
+
+Mechanism BaselineMechanism() { return Mechanism{}; }
+
+}  // namespace hs

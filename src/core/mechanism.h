@@ -1,0 +1,48 @@
+// The paper's six hybrid-workload scheduling mechanisms (§III-B).
+//
+// A mechanism is a pair: how advance notices are handled (N / CUA / CUP)
+// and how actual arrivals are handled (PAA / SPAA). The Table II baseline
+// is represented by ArrivalPolicy::kQueue — on-demand jobs receive no
+// special treatment and simply join the batch queue.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace hs {
+
+enum class NoticePolicy : std::uint8_t {
+  kNone = 0,  // "N": ignore advance notices
+  kCua = 1,   // collect released nodes until the actual arrival
+  kCup = 2,   // prepare (collect + planned preemption) by the predicted arrival
+};
+
+enum class ArrivalPolicy : std::uint8_t {
+  kQueue = 0,  // baseline: on-demand jobs queue like everyone else
+  kPaa = 1,    // preempt-at-actual-arrival
+  kSpaa = 2,   // shrink-preempt-at-actual-arrival
+};
+
+struct Mechanism {
+  NoticePolicy notice = NoticePolicy::kNone;
+  ArrivalPolicy arrival = ArrivalPolicy::kQueue;
+
+  bool is_baseline() const { return arrival == ArrivalPolicy::kQueue; }
+  bool operator==(const Mechanism&) const = default;
+};
+
+const char* ToString(NoticePolicy policy);
+const char* ToString(ArrivalPolicy policy);
+/// "N&PAA", "CUA&SPAA", ... or "FCFS/EASY" for the baseline.
+std::string ToString(const Mechanism& mechanism);
+/// Parses the names produced by ToString; throws std::invalid_argument.
+Mechanism ParseMechanism(const std::string& name);
+
+/// The six mechanisms evaluated in the paper, in its presentation order:
+/// N&PAA, N&SPAA, CUA&PAA, CUA&SPAA, CUP&PAA, CUP&SPAA.
+const std::array<Mechanism, 6>& PaperMechanisms();
+
+/// FCFS/EASY with no special on-demand treatment (Table II).
+Mechanism BaselineMechanism();
+
+}  // namespace hs

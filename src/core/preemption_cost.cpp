@@ -1,0 +1,44 @@
+#include "core/preemption_cost.h"
+
+#include <algorithm>
+
+namespace hs {
+
+std::vector<PreemptionCandidate> ListPreemptionCandidates(const ExecutionEngine& engine,
+                                                          SimTime now) {
+  std::vector<PreemptionCandidate> candidates;
+  for (const JobId id : engine.RunningIds()) {
+    if (!engine.IsPreemptable(id)) continue;
+    const RunningJob* r = engine.Running(id);
+    PreemptionCandidate c;
+    c.id = id;
+    c.alloc = r->alloc;
+    c.cost = engine.PreemptionCostNodeSec(id, now);
+    c.malleable = r->malleable_mode;
+    candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PreemptionCandidate& a, const PreemptionCandidate& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.id < b.id;
+            });
+  return candidates;
+}
+
+std::vector<PreemptionCandidate> SelectVictims(
+    const std::vector<PreemptionCandidate>& candidates, int needed) {
+  if (needed <= 0) return {};
+  int total = 0;
+  for (const auto& c : candidates) total += c.alloc;
+  if (total < needed) return {};  // cannot satisfy: preempt nothing
+  std::vector<PreemptionCandidate> victims;
+  int got = 0;
+  for (const auto& c : candidates) {
+    if (got >= needed) break;
+    victims.push_back(c);
+    got += c.alloc;
+  }
+  return victims;
+}
+
+}  // namespace hs

@@ -1,0 +1,33 @@
+// Preemption-overhead ordering (§III-B2).
+//
+// PAA "lists all currently running malleable and rigid jobs in ascending
+// order of their preemption overheads" and preempts from the front. The
+// overhead of a candidate is the computation it would lose (rigid: progress
+// since the last completed checkpoint; malleable: nothing) plus the setup
+// its resumed execution must re-pay.
+#pragma once
+
+#include <vector>
+
+#include "sched/batch_scheduler.h"
+
+namespace hs {
+
+struct PreemptionCandidate {
+  JobId id = kNoJob;
+  int alloc = 0;      // nodes released if preempted
+  double cost = 0.0;  // node-seconds wasted
+  bool malleable = false;
+};
+
+/// All preemptable running jobs, ascending by (cost, id).
+std::vector<PreemptionCandidate> ListPreemptionCandidates(const ExecutionEngine& engine,
+                                                          SimTime now);
+
+/// Greedy prefix of `candidates` whose total allocation covers `needed`
+/// nodes; empty when even the full list is insufficient (the on-demand job
+/// must wait, §III-B2).
+std::vector<PreemptionCandidate> SelectVictims(
+    const std::vector<PreemptionCandidate>& candidates, int needed);
+
+}  // namespace hs

@@ -1,0 +1,77 @@
+#include "core/shrink_expand.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hs {
+
+std::vector<ShrinkShare> PlanEvenShrink(
+    const std::vector<std::pair<JobId, int>>& shrinkable, int demand) {
+  if (demand < 0) throw std::invalid_argument("PlanEvenShrink: negative demand");
+  long long supply = 0;
+  for (const auto& [id, cap] : shrinkable) {
+    if (cap < 0) throw std::invalid_argument("PlanEvenShrink: negative capacity");
+    supply += cap;
+  }
+  if (supply < demand) throw std::invalid_argument("PlanEvenShrink: demand exceeds supply");
+
+  std::vector<ShrinkShare> plan;
+  plan.reserve(shrinkable.size());
+  if (demand == 0 || shrinkable.empty()) {
+    for (const auto& [id, cap] : shrinkable) plan.push_back({id, 0});
+    return plan;
+  }
+
+  // Proportional share with largest-remainder rounding.
+  struct Entry {
+    std::size_t index;
+    int cap;
+    int base;
+    double remainder;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(shrinkable.size());
+  long long base_total = 0;
+  for (std::size_t i = 0; i < shrinkable.size(); ++i) {
+    const double exact = static_cast<double>(demand) *
+                         static_cast<double>(shrinkable[i].second) /
+                         static_cast<double>(supply);
+    const int base = std::min(shrinkable[i].second, static_cast<int>(std::floor(exact)));
+    entries.push_back({i, shrinkable[i].second, base, exact - std::floor(exact)});
+    base_total += base;
+  }
+  long long leftover = demand - base_total;
+  // Distribute the remainder to the largest fractional parts (ties by index
+  // for determinism), never exceeding a job's capacity.
+  std::vector<std::size_t> order(entries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&entries](std::size_t a, std::size_t b) {
+    if (entries[a].remainder != entries[b].remainder) {
+      return entries[a].remainder > entries[b].remainder;
+    }
+    return a < b;
+  });
+  for (std::size_t round = 0; leftover > 0; ++round) {
+    bool progressed = false;
+    for (const std::size_t i : order) {
+      if (leftover == 0) break;
+      if (entries[i].base < entries[i].cap) {
+        ++entries[i].base;
+        --leftover;
+        progressed = true;
+      }
+    }
+    if (!progressed) break;  // all capacities exhausted (cannot happen: supply >= demand)
+  }
+  assert(leftover == 0);
+
+  plan.resize(shrinkable.size());
+  for (const auto& e : entries) {
+    plan[e.index] = {shrinkable[e.index].first, e.base};
+  }
+  return plan;
+}
+
+}  // namespace hs

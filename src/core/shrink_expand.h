@@ -1,0 +1,27 @@
+// Even shrinking of malleable jobs (§III-B2, SPAA).
+//
+// "The running malleable jobs will shrink their sizes evenly": the demand is
+// split across jobs proportionally to how much each can give (current size
+// minus minimum), with largest-remainder rounding so the amounts sum exactly
+// to the demand and no job dips below its minimum.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace hs {
+
+struct ShrinkShare {
+  JobId id = kNoJob;
+  int amount = 0;  // nodes to take from this job
+};
+
+/// `shrinkable`: (job, max nodes it can give). Requires
+/// sum(max) >= demand >= 0. The returned amounts sum exactly to `demand`
+/// and each amount is within [0, max_i]. Deterministic.
+std::vector<ShrinkShare> PlanEvenShrink(
+    const std::vector<std::pair<JobId, int>>& shrinkable, int demand);
+
+}  // namespace hs

@@ -1,0 +1,66 @@
+#include "exp/experiment.h"
+
+namespace hs {
+
+std::vector<Trace> BuildTraces(const ScenarioConfig& config, int seeds,
+                               std::uint64_t base_seed, ThreadPool& pool) {
+  std::vector<Trace> traces(static_cast<std::size_t>(seeds));
+  pool.ParallelFor(static_cast<std::size_t>(seeds), [&](std::size_t i) {
+    traces[i] = BuildScenarioTrace(config, base_seed + i);
+  });
+  return traces;
+}
+
+std::vector<std::vector<SimResult>> RunGrid(const std::vector<Trace>& traces,
+                                            const std::vector<HybridConfig>& configs,
+                                            ThreadPool& pool) {
+  std::vector<std::vector<SimResult>> results(
+      configs.size(), std::vector<SimResult>(traces.size()));
+  const std::size_t total = configs.size() * traces.size();
+  pool.ParallelFor(total, [&](std::size_t k) {
+    const std::size_t c = k / traces.size();
+    const std::size_t t = k % traces.size();
+    results[c][t] = RunSimulation(traces[t], configs[c]);
+  });
+  return results;
+}
+
+SimResult MeanResult(const std::vector<SimResult>& results) {
+  SimResult mean;
+  if (results.empty()) return mean;
+  const double n = static_cast<double>(results.size());
+  for (const SimResult& r : results) {
+    mean.avg_turnaround_h += r.avg_turnaround_h / n;
+    mean.rigid_turnaround_h += r.rigid_turnaround_h / n;
+    mean.malleable_turnaround_h += r.malleable_turnaround_h / n;
+    mean.od_turnaround_h += r.od_turnaround_h / n;
+    mean.avg_wait_h += r.avg_wait_h / n;
+    mean.od_instant_rate += r.od_instant_rate / n;
+    mean.od_instant_rate_strict += r.od_instant_rate_strict / n;
+    mean.od_avg_delay_s += r.od_avg_delay_s / n;
+    mean.rigid_preempt_ratio += r.rigid_preempt_ratio / n;
+    mean.malleable_preempt_ratio += r.malleable_preempt_ratio / n;
+    mean.malleable_shrink_ratio += r.malleable_shrink_ratio / n;
+    mean.utilization += r.utilization / n;
+    mean.useful_utilization += r.useful_utilization / n;
+    mean.allocated_utilization += r.allocated_utilization / n;
+    mean.window_utilization += r.window_utilization / n;
+    mean.lost_node_hours += r.lost_node_hours / n;
+    mean.setup_node_hours += r.setup_node_hours / n;
+    mean.checkpoint_node_hours += r.checkpoint_node_hours / n;
+    mean.jobs_completed += r.jobs_completed;
+    mean.jobs_killed += r.jobs_killed;
+    mean.od_jobs += r.od_jobs;
+    mean.preemptions += r.preemptions;
+    mean.failures += r.failures;
+    mean.shrinks += r.shrinks;
+    mean.expands += r.expands;
+    mean.decision_avg_us += r.decision_avg_us / n;
+    mean.decision_max_us = std::max(mean.decision_max_us, r.decision_max_us);
+    mean.decisions += r.decisions;
+    mean.makespan = std::max(mean.makespan, r.makespan);
+  }
+  return mean;
+}
+
+}  // namespace hs

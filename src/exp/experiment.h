@@ -1,0 +1,31 @@
+// Parallel experiment harness.
+//
+// Every (trace, configuration) cell is an independent simulation, so sweeps
+// run across a thread pool with one deterministic RNG stream per trace
+// (the hpc-parallel idiom: parallelize across independent work items,
+// share nothing, aggregate at the end).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hybrid_scheduler.h"
+#include "exp/scenario.h"
+#include "util/thread_pool.h"
+
+namespace hs {
+
+/// Builds `seeds` scenario traces (seed = base_seed + i) in parallel.
+std::vector<Trace> BuildTraces(const ScenarioConfig& config, int seeds,
+                               std::uint64_t base_seed, ThreadPool& pool);
+
+/// Runs every config against every trace in parallel.
+/// result[c][t] is the SimResult of configs[c] on traces[t].
+std::vector<std::vector<SimResult>> RunGrid(const std::vector<Trace>& traces,
+                                            const std::vector<HybridConfig>& configs,
+                                            ThreadPool& pool);
+
+/// Field-wise arithmetic mean of per-seed results.
+SimResult MeanResult(const std::vector<SimResult>& results);
+
+}  // namespace hs

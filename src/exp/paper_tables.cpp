@@ -1,0 +1,55 @@
+#include "exp/paper_tables.h"
+
+namespace hs {
+
+const char* MetricName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kAvgTurnaroundH: return "Avg turnaround (h)";
+    case MetricKind::kRigidTurnaroundH: return "Rigid turnaround (h)";
+    case MetricKind::kMalleableTurnaroundH: return "Malleable turnaround (h)";
+    case MetricKind::kOdTurnaroundH: return "On-demand turnaround (h)";
+    case MetricKind::kUtilization: return "System utilization";
+    case MetricKind::kOdInstantRate: return "On-demand instant start rate";
+    case MetricKind::kRigidPreemptRatio: return "Rigid preemption ratio";
+    case MetricKind::kMalleablePreemptRatio: return "Malleable preemption ratio";
+  }
+  return "?";
+}
+
+bool MetricIsPercent(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kUtilization:
+    case MetricKind::kOdInstantRate:
+    case MetricKind::kRigidPreemptRatio:
+    case MetricKind::kMalleablePreemptRatio:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double ExtractMetric(const SimResult& r, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kAvgTurnaroundH: return r.avg_turnaround_h;
+    case MetricKind::kRigidTurnaroundH: return r.rigid_turnaround_h;
+    case MetricKind::kMalleableTurnaroundH: return r.malleable_turnaround_h;
+    case MetricKind::kOdTurnaroundH: return r.od_turnaround_h;
+    case MetricKind::kUtilization: return r.utilization;
+    case MetricKind::kOdInstantRate: return r.od_instant_rate;
+    case MetricKind::kRigidPreemptRatio: return r.rigid_preempt_ratio;
+    case MetricKind::kMalleablePreemptRatio: return r.malleable_preempt_ratio;
+  }
+  return 0.0;
+}
+
+const std::vector<MetricKind>& Fig6Metrics() {
+  static const std::vector<MetricKind> metrics = {
+      MetricKind::kAvgTurnaroundH,      MetricKind::kRigidTurnaroundH,
+      MetricKind::kMalleableTurnaroundH, MetricKind::kUtilization,
+      MetricKind::kOdInstantRate,       MetricKind::kRigidPreemptRatio,
+      MetricKind::kMalleablePreemptRatio,
+  };
+  return metrics;
+}
+
+}  // namespace hs

@@ -1,0 +1,31 @@
+// Metric plumbing for the paper-reproduction benches: named metric
+// extraction from SimResult (the panels of Fig. 6 / Fig. 7) and helpers for
+// assembling mechanism x workload grids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace hs {
+
+enum class MetricKind {
+  kAvgTurnaroundH,
+  kRigidTurnaroundH,
+  kMalleableTurnaroundH,
+  kOdTurnaroundH,
+  kUtilization,
+  kOdInstantRate,
+  kRigidPreemptRatio,
+  kMalleablePreemptRatio,
+};
+
+const char* MetricName(MetricKind kind);
+bool MetricIsPercent(MetricKind kind);
+double ExtractMetric(const SimResult& result, MetricKind kind);
+
+/// The Fig. 6 panels in presentation order.
+const std::vector<MetricKind>& Fig6Metrics();
+
+}  // namespace hs

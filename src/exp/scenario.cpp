@@ -1,0 +1,21 @@
+#include "exp/scenario.h"
+
+namespace hs {
+
+Trace BuildScenarioTrace(const ScenarioConfig& config, std::uint64_t seed) {
+  Trace trace = GenerateThetaTrace(config.theta, seed);
+  Rng rng(seed ^ 0x5CE7A110C0FFEE11ULL);
+  AssignJobTypes(trace, config.types, rng);
+  AssignNotices(trace, NoticeMixByName(config.notice_mix), config.notice, rng);
+  trace.name += "-" + config.notice_mix;
+  return trace;
+}
+
+ScenarioConfig MakePaperScenario(int weeks, const std::string& notice_mix) {
+  ScenarioConfig config;
+  config.theta.weeks = weeks;
+  config.notice_mix = notice_mix;
+  return config;
+}
+
+}  // namespace hs

@@ -1,0 +1,27 @@
+// Scenario construction: one call from (config, seed) to a fully labelled
+// trace — Theta-like synthesis, per-project type assignment, and the
+// advance-notice mix (Table III).
+#pragma once
+
+#include <string>
+
+#include "workload/notice_model.h"
+#include "workload/theta_model.h"
+#include "workload/type_assign.h"
+
+namespace hs {
+
+struct ScenarioConfig {
+  ThetaConfig theta;
+  TypeAssignConfig types;
+  NoticeModelConfig notice;
+  std::string notice_mix = "W5";  // Table III preset name
+};
+
+/// Deterministic in (config, seed).
+Trace BuildScenarioTrace(const ScenarioConfig& config, std::uint64_t seed);
+
+/// Paper-default scenario with the given horizon.
+ScenarioConfig MakePaperScenario(int weeks, const std::string& notice_mix = "W5");
+
+}  // namespace hs

@@ -1,0 +1,53 @@
+#include "metrics/report.h"
+
+#include <stdexcept>
+
+namespace hs {
+
+std::string RenderBaselineTable(const SimResult& r) {
+  TextTable table({"Avg. Turnaround", "System Util.", "On-demand Instant Start Rate"});
+  table.AddRow({Fmt(r.avg_turnaround_h, 1) + " hours", FmtPct(r.utilization),
+                FmtPct(r.od_instant_rate)});
+  return table.Render();
+}
+
+std::string RenderComparisonTable(const std::vector<LabeledResult>& rows) {
+  TextTable table({"Mechanism", "Turnaround(h)", "Rigid(h)", "Malleable(h)", "OD(h)",
+                   "Util", "InstantStart", "RigidPre", "MallPre", "Shrunk",
+                   "Lost(node-h)"});
+  for (const auto& row : rows) {
+    const SimResult& r = row.result;
+    table.AddRow({row.label, Fmt(r.avg_turnaround_h, 1), Fmt(r.rigid_turnaround_h, 1),
+                  Fmt(r.malleable_turnaround_h, 1), Fmt(r.od_turnaround_h, 1),
+                  FmtPct(r.utilization, 1), FmtPct(r.od_instant_rate, 1),
+                  FmtPct(r.rigid_preempt_ratio, 1), FmtPct(r.malleable_preempt_ratio, 1),
+                  FmtPct(r.malleable_shrink_ratio, 1), Fmt(r.lost_node_hours, 0)});
+  }
+  return table.Render();
+}
+
+std::string RenderMetricGrid(const std::string& metric_name,
+                             const std::vector<std::string>& mechanisms,
+                             const std::vector<std::string>& workloads,
+                             const std::vector<std::vector<double>>& cells,
+                             int digits, bool percent) {
+  if (cells.size() != mechanisms.size()) {
+    throw std::invalid_argument("RenderMetricGrid: row count mismatch");
+  }
+  std::vector<std::string> header = {metric_name};
+  header.insert(header.end(), workloads.begin(), workloads.end());
+  TextTable table(header);
+  for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+    if (cells[m].size() != workloads.size()) {
+      throw std::invalid_argument("RenderMetricGrid: column count mismatch");
+    }
+    std::vector<std::string> row = {mechanisms[m]};
+    for (const double v : cells[m]) {
+      row.push_back(percent ? FmtPct(v, digits) : Fmt(v, digits));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+}  // namespace hs

@@ -1,0 +1,34 @@
+// Report rendering: turns SimResults into the paper-style tables printed by
+// the bench binaries (Table II single row; Fig. 6-style mechanism x workload
+// grids; Fig. 7-style checkpoint sweeps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+#include "util/table.h"
+
+namespace hs {
+
+/// One labelled result (e.g. "CUA&SPAA on W2").
+struct LabeledResult {
+  std::string label;
+  SimResult result;
+};
+
+/// Table II: a single-row baseline summary.
+std::string RenderBaselineTable(const SimResult& result);
+
+/// A full metric grid: one row per labelled result, the paper's columns.
+std::string RenderComparisonTable(const std::vector<LabeledResult>& rows);
+
+/// Fig. 6-style series: one table per metric, mechanisms as rows and
+/// workloads as columns. `cell(i_mech, i_workload)` supplies the value.
+std::string RenderMetricGrid(const std::string& metric_name,
+                             const std::vector<std::string>& mechanisms,
+                             const std::vector<std::string>& workloads,
+                             const std::vector<std::vector<double>>& cells,
+                             int digits = 2, bool percent = false);
+
+}  // namespace hs

@@ -1,0 +1,55 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace hs {
+
+void TimeSeries::Add(SimTime t, double value) { points_.push_back({t, value}); }
+
+std::vector<double> TimeSeries::BucketSums(SimTime bucket, SimTime horizon) const {
+  assert(bucket > 0 && horizon > 0);
+  std::vector<double> sums(static_cast<std::size_t>((horizon + bucket - 1) / bucket), 0.0);
+  for (const auto& p : points_) {
+    if (p.t < 0 || p.t >= horizon) continue;
+    sums[static_cast<std::size_t>(p.t / bucket)] += p.v;
+  }
+  return sums;
+}
+
+std::vector<double> TimeSeries::BucketMeans(SimTime bucket, SimTime horizon) const {
+  assert(bucket > 0 && horizon > 0);
+  const auto n = static_cast<std::size_t>((horizon + bucket - 1) / bucket);
+  std::vector<double> sums(n, 0.0);
+  std::vector<std::size_t> counts(n, 0);
+  for (const auto& p : points_) {
+    if (p.t < 0 || p.t >= horizon) continue;
+    const auto i = static_cast<std::size_t>(p.t / bucket);
+    sums[i] += p.v;
+    counts[i] += 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[i] > 0) sums[i] /= static_cast<double>(counts[i]);
+  }
+  return sums;
+}
+
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* const kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (values.empty()) return {};
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (const double v : values) {
+    const double norm = (hi > lo) ? (v - lo) / (hi - lo) : 0.0;
+    const int idx = std::min(7, static_cast<int>(norm * 8.0));
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+}  // namespace hs

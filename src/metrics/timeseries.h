@@ -1,0 +1,34 @@
+// Generic (time, value) series with fixed-width bucket aggregation; used by
+// benches for weekly on-demand counts (Fig. 5) and utilization profiles.
+#pragma once
+
+#include <vector>
+
+#include "util/time.h"
+
+namespace hs {
+
+class TimeSeries {
+ public:
+  void Add(SimTime t, double value);
+
+  /// Sums values per bucket of width `bucket` covering [0, horizon).
+  std::vector<double> BucketSums(SimTime bucket, SimTime horizon) const;
+
+  /// Bucket means (0 for empty buckets).
+  std::vector<double> BucketMeans(SimTime bucket, SimTime horizon) const;
+
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  struct Point {
+    SimTime t;
+    double v;
+  };
+  std::vector<Point> points_;
+};
+
+/// Renders a one-line ASCII sparkline of the series (for bench output).
+std::string Sparkline(const std::vector<double>& values);
+
+}  // namespace hs

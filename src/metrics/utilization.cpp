@@ -1,0 +1,44 @@
+#include "metrics/utilization.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hs {
+
+void UtilizationTracker::Record(SimTime now, int busy) {
+  if (!samples_.empty() && now < samples_.back().time) {
+    throw std::runtime_error("UtilizationTracker: time went backwards");
+  }
+  if (!samples_.empty() && samples_.back().time == now) {
+    samples_.back().busy = busy;
+    return;
+  }
+  samples_.push_back({now, busy});
+}
+
+double UtilizationTracker::MeanBusyFraction(SimTime from, SimTime to) const {
+  if (to <= from || samples_.empty() || num_nodes_ <= 0) return 0.0;
+  double busy_integral = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const SimTime seg_start = std::max(from, samples_[i].time);
+    const SimTime seg_end =
+        std::min(to, (i + 1 < samples_.size()) ? samples_[i + 1].time : to);
+    if (seg_end > seg_start) {
+      busy_integral += static_cast<double>(seg_end - seg_start) * samples_[i].busy;
+    }
+  }
+  return busy_integral /
+         (static_cast<double>(to - from) * static_cast<double>(num_nodes_));
+}
+
+std::vector<double> UtilizationTracker::Profile(SimTime bucket, SimTime horizon) const {
+  assert(bucket > 0);
+  std::vector<double> out;
+  for (SimTime t = 0; t < horizon; t += bucket) {
+    out.push_back(MeanBusyFraction(t, std::min(horizon, t + bucket)));
+  }
+  return out;
+}
+
+}  // namespace hs

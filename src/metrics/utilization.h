@@ -1,0 +1,39 @@
+// Time-resolved utilization tracking.
+//
+// The Collector produces one scalar utilization per run; this tracker
+// additionally records the machine's busy-node profile over time so benches
+// can show warm-up effects and verify measurement-window choices.
+#pragma once
+
+#include <vector>
+
+#include "util/time.h"
+
+namespace hs {
+
+class UtilizationTracker {
+ public:
+  explicit UtilizationTracker(int num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Records that the busy-node count changed to `busy` at time `now`.
+  /// Times must be non-decreasing.
+  void Record(SimTime now, int busy);
+
+  /// Mean busy fraction over [from, to); 0 when the window is empty.
+  double MeanBusyFraction(SimTime from, SimTime to) const;
+
+  /// Busy fraction per fixed-size bucket covering [0, horizon).
+  std::vector<double> Profile(SimTime bucket, SimTime horizon) const;
+
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Sample {
+    SimTime time;
+    int busy;
+  };
+  int num_nodes_;
+  std::vector<Sample> samples_;  // step function: value holds until next sample
+};
+
+}  // namespace hs

@@ -1,0 +1,317 @@
+#include "platform/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hs {
+
+Cluster::Cluster(int num_nodes) {
+  if (num_nodes <= 0) throw std::invalid_argument("Cluster: num_nodes must be positive");
+  running_.assign(num_nodes, kNoJob);
+  reserved_.assign(num_nodes, kNoJob);
+  free_.reserve(num_nodes);
+  // Push in reverse so PopFree hands out low node ids first (stable tests).
+  for (int n = num_nodes - 1; n >= 0; --n) free_.push_back(n);
+}
+
+void Cluster::Touch(SimTime now) {
+  assert(now >= last_touch_);
+  const auto dt = static_cast<double>(now - last_touch_);
+  busy_node_seconds_ += dt * busy_count_;
+  reserved_idle_node_seconds_ += dt * reserved_idle_count_;
+  last_touch_ = now;
+}
+
+void Cluster::MakeFree(int node) {
+  assert(running_[node] == kNoJob && reserved_[node] == kNoJob);
+  free_.push_back(node);
+}
+
+int Cluster::PopFree() {
+  assert(!free_.empty());
+  const int node = free_.back();
+  free_.pop_back();
+  return node;
+}
+
+std::vector<int> Cluster::StartFromFree(JobId job, int count) {
+  if (count > free_count()) throw std::runtime_error("StartFromFree: not enough free nodes");
+  if (alloc_.count(job)) throw std::runtime_error("StartFromFree: job already running");
+  std::vector<int> nodes;
+  nodes.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const int node = PopFree();
+    running_[node] = job;
+    nodes.push_back(node);
+  }
+  busy_count_ += count;
+  alloc_[job] = nodes;
+  return nodes;
+}
+
+void Cluster::StartOn(JobId job, const std::vector<int>& nodes) {
+  if (alloc_.count(job)) throw std::runtime_error("StartOn: job already running");
+  for (const int node : nodes) {
+    if (running_[node] != kNoJob) throw std::runtime_error("StartOn: node occupied");
+  }
+  for (const int node : nodes) {
+    if (reserved_[node] != kNoJob) {
+      --reserved_idle_count_;  // reserved-idle -> reserved tenant
+    } else {
+      // Node must come off the free list.
+      const auto it = std::find(free_.begin(), free_.end(), node);
+      assert(it != free_.end());
+      free_.erase(it);
+    }
+    running_[node] = job;
+    ++busy_count_;
+  }
+  alloc_[job] = nodes;
+}
+
+std::vector<int> Cluster::Finish(JobId job) {
+  const auto it = alloc_.find(job);
+  if (it == alloc_.end()) throw std::runtime_error("Finish: job not running");
+  std::vector<int> released = std::move(it->second);
+  alloc_.erase(it);
+  for (const int node : released) {
+    assert(running_[node] == job);
+    running_[node] = kNoJob;
+    --busy_count_;
+    if (reserved_[node] != kNoJob) {
+      ++reserved_idle_count_;  // back to reserved-idle
+    } else {
+      MakeFree(node);
+    }
+  }
+  return released;
+}
+
+std::vector<int> Cluster::ReleaseSome(JobId job, int count) {
+  const auto it = alloc_.find(job);
+  if (it == alloc_.end()) throw std::runtime_error("ReleaseSome: job not running");
+  auto& nodes = it->second;
+  if (count < 0 || count > static_cast<int>(nodes.size())) {
+    throw std::runtime_error("ReleaseSome: bad count");
+  }
+  // Prefer releasing nodes that carry no reservation so tenants shrink off
+  // plain nodes first.
+  std::stable_partition(nodes.begin(), nodes.end(),
+                        [this](int n) { return reserved_[n] != kNoJob; });
+  std::vector<int> released;
+  released.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const int node = nodes.back();
+    nodes.pop_back();
+    running_[node] = kNoJob;
+    --busy_count_;
+    if (reserved_[node] != kNoJob) {
+      ++reserved_idle_count_;
+    } else {
+      MakeFree(node);
+    }
+    released.push_back(node);
+  }
+  if (nodes.empty()) alloc_.erase(it);
+  return released;
+}
+
+void Cluster::AddNodes(JobId job, const std::vector<int>& nodes) {
+  const auto it = alloc_.find(job);
+  if (it == alloc_.end()) throw std::runtime_error("AddNodes: job not running");
+  for (const int node : nodes) {
+    if (running_[node] != kNoJob) throw std::runtime_error("AddNodes: node occupied");
+  }
+  for (const int node : nodes) {
+    if (reserved_[node] != kNoJob) {
+      --reserved_idle_count_;
+    } else {
+      const auto fit = std::find(free_.begin(), free_.end(), node);
+      assert(fit != free_.end());
+      free_.erase(fit);
+    }
+    running_[node] = job;
+    ++busy_count_;
+    it->second.push_back(node);
+  }
+}
+
+std::vector<int> Cluster::ExpandFromFree(JobId job, int count) {
+  const auto it = alloc_.find(job);
+  if (it == alloc_.end()) throw std::runtime_error("ExpandFromFree: job not running");
+  if (count > free_count()) throw std::runtime_error("ExpandFromFree: not enough free nodes");
+  std::vector<int> added;
+  added.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const int node = PopFree();
+    running_[node] = job;
+    ++busy_count_;
+    it->second.push_back(node);
+    added.push_back(node);
+  }
+  return added;
+}
+
+int Cluster::ReserveFromFree(JobId od, int count) {
+  const int take = std::min(count, free_count());
+  auto& res = reservation_[od];
+  for (int i = 0; i < take; ++i) {
+    const int node = PopFree();
+    reserved_[node] = od;
+    res.push_back(node);
+  }
+  reserved_idle_count_ += take;
+  if (res.empty()) reservation_.erase(od);
+  return take;
+}
+
+void Cluster::ReserveSpecific(JobId od, const std::vector<int>& nodes) {
+  for (const int node : nodes) {
+    if (running_[node] != kNoJob || reserved_[node] != kNoJob) {
+      throw std::runtime_error("ReserveSpecific: node not free");
+    }
+  }
+  auto& res = reservation_[od];
+  for (const int node : nodes) {
+    const auto it = std::find(free_.begin(), free_.end(), node);
+    assert(it != free_.end());
+    free_.erase(it);
+    reserved_[node] = od;
+    ++reserved_idle_count_;
+    res.push_back(node);
+  }
+}
+
+std::vector<int> Cluster::Unreserve(JobId od) {
+  const auto it = reservation_.find(od);
+  if (it == reservation_.end()) return {};
+  std::vector<int> freed;
+  for (const int node : it->second) {
+    assert(reserved_[node] == od);
+    reserved_[node] = kNoJob;
+    if (running_[node] == kNoJob) {
+      --reserved_idle_count_;
+      MakeFree(node);
+      freed.push_back(node);
+    }
+    // Tenant nodes simply lose the mark; they free normally at job finish.
+  }
+  reservation_.erase(it);
+  return freed;
+}
+
+std::vector<int> Cluster::StartOnReservation(JobId job, int extra_from_free) {
+  if (alloc_.count(job)) throw std::runtime_error("StartOnReservation: job already running");
+  if (extra_from_free > free_count()) {
+    throw std::runtime_error("StartOnReservation: not enough free nodes");
+  }
+  std::vector<int> nodes;
+  const auto it = reservation_.find(job);
+  if (it != reservation_.end()) {
+    std::vector<int> still_reserved;
+    for (const int node : it->second) {
+      if (running_[node] == kNoJob) {
+        reserved_[node] = kNoJob;
+        --reserved_idle_count_;
+        running_[node] = job;
+        ++busy_count_;
+        nodes.push_back(node);
+      } else {
+        still_reserved.push_back(node);
+      }
+    }
+    if (still_reserved.empty()) {
+      reservation_.erase(it);
+    } else {
+      it->second = std::move(still_reserved);
+    }
+  }
+  for (int i = 0; i < extra_from_free; ++i) {
+    const int node = PopFree();
+    running_[node] = job;
+    ++busy_count_;
+    nodes.push_back(node);
+  }
+  alloc_[job] = nodes;
+  return nodes;
+}
+
+std::vector<int> Cluster::NodesOf(JobId job) const {
+  const auto it = alloc_.find(job);
+  return it == alloc_.end() ? std::vector<int>{} : it->second;
+}
+
+int Cluster::AllocCount(JobId job) const {
+  const auto it = alloc_.find(job);
+  return it == alloc_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int Cluster::ReservedCount(JobId od) const {
+  const auto it = reservation_.find(od);
+  return it == reservation_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int Cluster::ReservedIdleCount(JobId od) const {
+  const auto it = reservation_.find(od);
+  if (it == reservation_.end()) return 0;
+  int idle = 0;
+  for (const int node : it->second) idle += (running_[node] == kNoJob) ? 1 : 0;
+  return idle;
+}
+
+std::vector<int> Cluster::ReservedIdleNodes(JobId od) const {
+  std::vector<int> idle;
+  const auto it = reservation_.find(od);
+  if (it == reservation_.end()) return idle;
+  for (const int node : it->second) {
+    if (running_[node] == kNoJob) idle.push_back(node);
+  }
+  return idle;
+}
+
+std::vector<JobId> Cluster::TenantsOf(JobId od) const {
+  std::vector<JobId> tenants;
+  const auto it = reservation_.find(od);
+  if (it == reservation_.end()) return tenants;
+  for (const int node : it->second) {
+    const JobId tenant = running_[node];
+    if (tenant != kNoJob &&
+        std::find(tenants.begin(), tenants.end(), tenant) == tenants.end()) {
+      tenants.push_back(tenant);
+    }
+  }
+  return tenants;
+}
+
+std::string Cluster::CheckInvariants() const {
+  int busy = 0, reserved_idle = 0;
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (running_[n] != kNoJob) ++busy;
+    if (reserved_[n] != kNoJob && running_[n] == kNoJob) ++reserved_idle;
+  }
+  if (busy != busy_count_) return "busy count drift";
+  if (reserved_idle != reserved_idle_count_) return "reserved-idle count drift";
+  if (static_cast<int>(free_.size()) != num_nodes() - busy - reserved_idle) {
+    return "free list size drift";
+  }
+  for (const int node : free_) {
+    if (running_[node] != kNoJob || reserved_[node] != kNoJob) {
+      return "non-free node on free list";
+    }
+  }
+  for (const auto& [job, nodes] : alloc_) {
+    for (const int node : nodes) {
+      if (running_[node] != job) return "alloc map drift";
+    }
+  }
+  for (const auto& [od, nodes] : reservation_) {
+    if (nodes.empty()) return "empty reservation retained";
+    for (const int node : nodes) {
+      if (reserved_[node] != od) return "reservation map drift";
+    }
+  }
+  return {};
+}
+
+}  // namespace hs

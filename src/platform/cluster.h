@@ -1,0 +1,121 @@
+// Node-level resource manager.
+//
+// Every node is individually tracked with two orthogonal facts:
+//   * running: the job currently executing on the node (kNoJob if none);
+//   * reserved_for: the on-demand job this node is being held for
+//     (kNoJob if none).
+// A node is *free* (no running, no reservation), *busy* (running, no
+// reservation), *reserved-idle* (reservation only), or a *reserved tenant*
+// (a backfilled job running on a node that is promised to an on-demand job).
+//
+// The cluster also integrates busy/reserved-idle node-seconds over simulated
+// time (`Touch`) for the utilization metrics.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+#include "workload/job.h"
+
+namespace hs {
+
+class Cluster {
+ public:
+  explicit Cluster(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(running_.size()); }
+  int free_count() const { return static_cast<int>(free_.size()); }
+  int busy_count() const { return busy_count_; }
+  int reserved_idle_count() const { return reserved_idle_count_; }
+
+  /// Accumulates node-second integrals up to `now` (monotone).
+  void Touch(SimTime now);
+  double busy_node_seconds() const { return busy_node_seconds_; }
+  double reserved_idle_node_seconds() const { return reserved_idle_node_seconds_; }
+
+  // --- job execution -------------------------------------------------------
+
+  /// Starts `job` on `count` free nodes; returns the chosen nodes.
+  /// Requires count <= free_count() and the job not already running.
+  std::vector<int> StartFromFree(JobId job, int count);
+
+  /// Starts `job` on specific nodes, each of which must have no running job.
+  /// Reservations on those nodes are left untouched (tenant placement).
+  void StartOn(JobId job, const std::vector<int>& nodes);
+
+  /// Stops `job` everywhere. Nodes with a reservation return to
+  /// reserved-idle; plain nodes become free. Returns all released nodes.
+  std::vector<int> Finish(JobId job);
+
+  /// Releases `count` nodes from a running job (shrink). Released nodes
+  /// become free (or reserved-idle when they carry a reservation). Nodes
+  /// carrying no reservation are preferred. Returns the released nodes.
+  std::vector<int> ReleaseSome(JobId job, int count);
+
+  /// Grows a running job onto the given nodes (each must have no running
+  /// job; reservations are left untouched).
+  void AddNodes(JobId job, const std::vector<int>& nodes);
+
+  /// Grows a running job by `count` nodes taken from the free pool;
+  /// returns the chosen nodes.
+  std::vector<int> ExpandFromFree(JobId job, int count);
+
+  // --- reservations --------------------------------------------------------
+
+  /// Moves up to `count` free nodes into `od`'s reservation; returns how
+  /// many were actually reserved.
+  int ReserveFromFree(JobId od, int count);
+
+  /// Reserves specific nodes for `od`; each must be free.
+  void ReserveSpecific(JobId od, const std::vector<int>& nodes);
+
+  /// Drops `od`'s reservation. Reserved-idle nodes become free and are
+  /// returned; tenant-occupied nodes simply lose the reservation mark.
+  std::vector<int> Unreserve(JobId od);
+
+  /// Starts `job` on its own reservation's idle nodes (consuming their
+  /// reservation marks) plus `extra_from_free` nodes from the free pool.
+  /// Tenant-occupied reserved nodes are skipped (kill tenants first).
+  /// Returns the full allocation.
+  std::vector<int> StartOnReservation(JobId job, int extra_from_free);
+
+  // --- queries -------------------------------------------------------------
+
+  bool IsRunning(JobId job) const { return alloc_.count(job) > 0; }
+  /// Current allocation of a running job (empty if not running).
+  std::vector<int> NodesOf(JobId job) const;
+  int AllocCount(JobId job) const;
+
+  int ReservedCount(JobId od) const;      // idle + tenant-occupied
+  int ReservedIdleCount(JobId od) const;  // immediately usable by `od`
+  std::vector<int> ReservedIdleNodes(JobId od) const;
+  /// Tenants currently running on `od`'s reserved nodes (deduplicated).
+  std::vector<JobId> TenantsOf(JobId od) const;
+
+  JobId running_on(int node) const { return running_[node]; }
+  JobId reserved_for(int node) const { return reserved_[node]; }
+
+  /// Verifies internal consistency (counts, free list, maps); returns an
+  /// empty string when consistent, else a description. For tests.
+  std::string CheckInvariants() const;
+
+ private:
+  void MakeFree(int node);
+  int PopFree();
+
+  std::vector<JobId> running_;
+  std::vector<JobId> reserved_;
+  std::vector<int> free_;  // stack of free node ids
+  std::unordered_map<JobId, std::vector<int>> alloc_;
+  std::unordered_map<JobId, std::vector<int>> reservation_;
+  int busy_count_ = 0;
+  int reserved_idle_count_ = 0;
+
+  SimTime last_touch_ = 0;
+  double busy_node_seconds_ = 0.0;
+  double reserved_idle_node_seconds_ = 0.0;
+};
+
+}  // namespace hs

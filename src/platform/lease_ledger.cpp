@@ -1,0 +1,31 @@
+#include "platform/lease_ledger.h"
+
+namespace hs {
+
+void LeaseLedger::Record(JobId od, JobId lender, int nodes, LeaseKind kind) {
+  if (nodes <= 0) return;
+  leases_[od].push_back(Lease{lender, nodes, kind});
+}
+
+std::vector<Lease> LeaseLedger::Take(JobId od) {
+  const auto it = leases_.find(od);
+  if (it == leases_.end()) return {};
+  std::vector<Lease> out = std::move(it->second);
+  leases_.erase(it);
+  return out;
+}
+
+const std::vector<Lease>* LeaseLedger::Peek(JobId od) const {
+  const auto it = leases_.find(od);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+void LeaseLedger::Drop(JobId od) { leases_.erase(od); }
+
+std::size_t LeaseLedger::TotalOutstanding() const {
+  std::size_t total = 0;
+  for (const auto& [od, v] : leases_) total += v.size();
+  return total;
+}
+
+}  // namespace hs

@@ -1,0 +1,49 @@
+// Lease ledger: which running jobs lent nodes to which on-demand job.
+//
+// §III-B3: "once an on-demand job is completed, the on-demand job will try
+// to return its nodes to the lenders" — preempted lenders that still wait
+// resume immediately when whole; shrunk lenders expand back toward their
+// original size. The ledger records the debts; the hybrid scheduler settles
+// them at completion time.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace hs {
+
+enum class LeaseKind : std::uint8_t {
+  kPreempted = 0,      // lender was fully preempted at arrival (PAA)
+  kShrunk = 1,         // lender was shrunk (SPAA)
+  kPlanPreempted = 2,  // lender was preempted ahead of time (CUP)
+};
+
+struct Lease {
+  JobId lender = kNoJob;
+  int nodes = 0;
+  LeaseKind kind = LeaseKind::kPreempted;
+};
+
+class LeaseLedger {
+ public:
+  /// Records that `lender` gave `nodes` nodes to `od`.
+  void Record(JobId od, JobId lender, int nodes, LeaseKind kind);
+
+  /// Leases held by `od`, in recording order (settlement order).
+  std::vector<Lease> Take(JobId od);
+
+  /// Leases without removing them.
+  const std::vector<Lease>* Peek(JobId od) const;
+
+  /// Drops all leases of `od` (e.g. reservation timeout).
+  void Drop(JobId od);
+
+  std::size_t TotalOutstanding() const;
+
+ private:
+  std::unordered_map<JobId, std::vector<Lease>> leases_;
+};
+
+}  // namespace hs

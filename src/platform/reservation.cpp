@@ -1,0 +1,105 @@
+#include "platform/reservation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hs {
+
+int ReservationManager::Open(JobId od, int target, SimTime notice_time,
+                             SimTime predicted_arrival, bool absorbing,
+                             bool grab_free) {
+  if (Has(od)) throw std::runtime_error("ReservationManager::Open: duplicate");
+  Reservation r;
+  r.od = od;
+  r.target = target;
+  r.notice_time = notice_time;
+  r.predicted_arrival = predicted_arrival;
+  r.absorbing = absorbing;
+  const auto pos = std::upper_bound(
+      open_.begin(), open_.end(), r, [](const Reservation& a, const Reservation& b) {
+        if (a.notice_time != b.notice_time) return a.notice_time < b.notice_time;
+        return a.od < b.od;
+      });
+  open_.insert(pos, r);
+  return grab_free ? cluster_.ReserveFromFree(od, target) : 0;
+}
+
+int ReservationManager::TopUp(JobId od) {
+  const auto it = FindIt(od);
+  if (it == open_.end()) return 0;
+  const int deficit = std::max(0, it->target - cluster_.ReservedCount(od));
+  if (deficit == 0) return 0;
+  return cluster_.ReserveFromFree(od, deficit);
+}
+
+bool ReservationManager::Has(JobId od) const { return FindIt(od) != open_.end(); }
+
+const Reservation* ReservationManager::Find(JobId od) const {
+  const auto it = FindIt(od);
+  return it == open_.end() ? nullptr : &*it;
+}
+
+std::vector<Reservation>::iterator ReservationManager::FindIt(JobId od) {
+  return std::find_if(open_.begin(), open_.end(),
+                      [od](const Reservation& r) { return r.od == od; });
+}
+
+std::vector<Reservation>::const_iterator ReservationManager::FindIt(JobId od) const {
+  return std::find_if(open_.begin(), open_.end(),
+                      [od](const Reservation& r) { return r.od == od; });
+}
+
+int ReservationManager::Deficit(JobId od) const {
+  const auto it = FindIt(od);
+  if (it == open_.end()) return 0;
+  return std::max(0, it->target - cluster_.ReservedCount(od));
+}
+
+void ReservationManager::MarkArrived(JobId od) {
+  const auto it = FindIt(od);
+  if (it != open_.end()) it->arrived = true;
+}
+
+std::vector<int> ReservationManager::RouteFreedNodes(const std::vector<int>& nodes) {
+  std::vector<int> remaining = nodes;
+  for (auto& r : open_) {
+    if (remaining.empty()) break;
+    if (!r.absorbing) continue;
+    int deficit = std::max(0, r.target - cluster_.ReservedCount(r.od));
+    if (deficit == 0) continue;
+    const int take = std::min<int>(deficit, static_cast<int>(remaining.size()));
+    std::vector<int> chosen(remaining.end() - take, remaining.end());
+    remaining.resize(remaining.size() - take);
+    cluster_.ReserveSpecific(r.od, chosen);
+  }
+  return remaining;
+}
+
+int ReservationManager::AbsorbFromFree() {
+  int absorbed = 0;
+  for (const auto& r : open_) {
+    if (!r.absorbing) continue;
+    const int deficit = std::max(0, r.target - cluster_.ReservedCount(r.od));
+    if (deficit > 0) absorbed += cluster_.ReserveFromFree(r.od, deficit);
+  }
+  return absorbed;
+}
+
+std::vector<int> ReservationManager::Close(JobId od) {
+  const auto it = FindIt(od);
+  if (it == open_.end()) return {};
+  open_.erase(it);
+  return cluster_.Unreserve(od);
+}
+
+std::vector<Reservation> ReservationManager::Snapshot() const { return open_; }
+
+int ReservationManager::TotalDeficit() const {
+  int total = 0;
+  for (const auto& r : open_) {
+    total += std::max(0, r.target - cluster_.ReservedCount(r.od));
+  }
+  return total;
+}
+
+}  // namespace hs

@@ -1,0 +1,80 @@
+// Logical reservations held for on-demand jobs (the CUA/CUP machinery).
+//
+// A reservation tracks how many nodes an on-demand job still needs, when it
+// is predicted to arrive, and when its notice was received. Freed nodes are
+// routed to unsatisfied reservations in notice order (§III-B1: "released
+// nodes are assigned to the on-demand job with the earliest advance
+// notice"). The node-level bookkeeping lives in Cluster; this class owns
+// the policy-side state.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "platform/cluster.h"
+#include "util/time.h"
+#include "workload/job.h"
+
+namespace hs {
+
+struct Reservation {
+  JobId od = kNoJob;
+  int target = 0;                  // nodes the on-demand job requested
+  SimTime notice_time = kNever;    // priority key for routing releases
+  SimTime predicted_arrival = kNever;  // kNever: already arrived / unknown
+  bool arrived = false;            // true once the job showed up
+  /// Absorbing reservations (CUA/CUP collection, arrived on-demand jobs)
+  /// receive released nodes; non-absorbing ones (lender holds after lease
+  /// settlement) only keep what was explicitly reserved for them.
+  bool absorbing = true;
+};
+
+class ReservationManager {
+ public:
+  explicit ReservationManager(Cluster& cluster) : cluster_(cluster) {}
+
+  /// Opens a reservation; when `grab_free` it immediately takes free nodes
+  /// (up to target). Returns the number of nodes reserved right away.
+  int Open(JobId od, int target, SimTime notice_time, SimTime predicted_arrival,
+           bool absorbing = true, bool grab_free = true);
+
+  /// Grabs free nodes toward the target; returns how many were added.
+  int TopUp(JobId od);
+
+  bool Has(JobId od) const;
+  const Reservation* Find(JobId od) const;
+
+  /// Nodes still missing (target - held); 0 when satisfied or absent.
+  int Deficit(JobId od) const;
+
+  /// Marks the job as arrived (stops CUP-style preparation decisions).
+  void MarkArrived(JobId od);
+
+  /// Routes newly freed nodes to unsatisfied reservations in notice order.
+  /// `nodes` must be free in the cluster. Returns nodes left unrouted.
+  std::vector<int> RouteFreedNodes(const std::vector<int>& nodes);
+
+  /// Tops up every absorbing, unsatisfied reservation from the free pool in
+  /// notice order (§III-B1's "earliest advance notice first" routing).
+  /// Returns the total number of nodes absorbed.
+  int AbsorbFromFree();
+
+  /// Closes the reservation, releasing held idle nodes back to free.
+  /// Returns the freed nodes.
+  std::vector<int> Close(JobId od);
+
+  /// All open reservations (notice order).
+  std::vector<Reservation> Snapshot() const;
+
+  /// Sum of targets not yet covered across open, unarrived reservations.
+  int TotalDeficit() const;
+
+ private:
+  Cluster& cluster_;
+  std::vector<Reservation> open_;  // kept sorted by (notice_time, od)
+
+  std::vector<Reservation>::iterator FindIt(JobId od);
+  std::vector<Reservation>::const_iterator FindIt(JobId od) const;
+};
+
+}  // namespace hs

@@ -1,0 +1,84 @@
+#include "sched/backfill.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hs {
+
+namespace {
+
+/// Earliest time (by estimates) at which `needed` nodes beyond `free_now`
+/// plus the head job's requirement are available; also the spare nodes at
+/// that moment. Returns {kNever, 0} if the requirement is unreachable.
+std::pair<SimTime, int> ShadowFor(int free_now, int need_min,
+                                  std::vector<RunningView> running) {
+  std::sort(running.begin(), running.end(),
+            [](const RunningView& a, const RunningView& b) {
+              if (a.est_end != b.est_end) return a.est_end < b.est_end;
+              return a.id < b.id;
+            });
+  int avail = free_now;
+  for (const auto& r : running) {
+    avail += r.alloc;
+    if (avail >= need_min) return {r.est_end, avail - need_min};
+  }
+  return {kNever, 0};
+}
+
+}  // namespace
+
+BackfillResult EasyBackfill(const BackfillInput& input) {
+  assert(input.wall_estimate);
+  BackfillResult result;
+  int free = input.free_nodes;
+
+  for (const WaitingJob* w : input.queue) {
+    const int held = input.held_nodes ? input.held_nodes(*w) : 0;
+    const int need_min = std::max(0, w->min_size() - held);
+
+    if (result.blocked_head == kNoJob) {
+      if (need_min <= free) {
+        const int from_free = std::min(w->size() - held, free);
+        result.starts.push_back({w->id, held + from_free});
+        free -= from_free;
+      } else {
+        result.blocked_head = w->id;
+        const auto [shadow, extra] = ShadowFor(free, need_min, input.running);
+        if (shadow == kNever) {
+          // The head job cannot be satisfied even when everything running
+          // ends (its nodes are held elsewhere, e.g. by reservations).
+          // Be conservative: permit no backfill past it.
+          result.shadow_time = input.now;
+          result.extra_nodes = 0;
+        } else {
+          result.shadow_time = shadow;
+          result.extra_nodes = extra;
+        }
+      }
+      continue;
+    }
+
+    // Backfill phase: never delay the blocked head.
+    if (need_min > free || w->min_size() <= 0) continue;
+    // Path (a): largest allocation from the free pool; must end by the
+    // shadow time.
+    const int alloc_a = std::min(w->size() - held, free);
+    if (alloc_a + held >= w->min_size() &&
+        input.now + input.wall_estimate(*w, held + alloc_a) <= result.shadow_time) {
+      result.starts.push_back({w->id, held + alloc_a});
+      free -= alloc_a;
+      continue;
+    }
+    // Path (b): restrict the free-pool draw to the head job's spare nodes;
+    // such a start may run past the shadow time without delaying the head.
+    const int alloc_b = std::min({w->size() - held, free, result.extra_nodes});
+    if (alloc_b + held >= w->min_size() && alloc_b >= 0 && (alloc_b + held) > 0) {
+      result.starts.push_back({w->id, held + alloc_b});
+      free -= alloc_b;
+      result.extra_nodes -= alloc_b;
+    }
+  }
+  return result;
+}
+
+}  // namespace hs

@@ -1,0 +1,55 @@
+// EASY backfilling (Mu'alem & Feitelson, TPDS'01) with malleable-aware
+// sizing, expressed as a pure function over immutable views so it can be
+// property-tested in isolation.
+//
+// Semantics: walk the policy-ordered queue, starting jobs while they fit.
+// The first job that does not fit receives a *shadow reservation*: the
+// earliest time enough running jobs will have ended (by their estimates)
+// for it to start, plus the count of "extra" nodes left at that moment.
+// Later jobs may jump ahead only if they terminate before the shadow time
+// or use no more than the extra nodes — i.e., they never delay the head job.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sched/policy.h"
+
+namespace hs {
+
+/// A running job as the backfill pass sees it.
+struct RunningView {
+  JobId id = kNoJob;
+  int alloc = 0;
+  SimTime est_end = 0;  // estimate-based completion bound
+};
+
+/// A start decision: give `job` exactly `alloc` nodes now.
+struct StartDecision {
+  JobId job = kNoJob;
+  int alloc = 0;
+};
+
+struct BackfillInput {
+  int free_nodes = 0;                       // immediately usable by the queue
+  SimTime now = 0;
+  std::vector<RunningView> running;         // current executions
+  std::vector<const WaitingJob*> queue;     // policy order
+  /// Wall-time bound if `job` starts now on `alloc` nodes (estimate-based).
+  std::function<SimTime(const WaitingJob&, int alloc)> wall_estimate;
+  /// Nodes already held for the job elsewhere (its private reservation);
+  /// the pass only needs to find size - held from the free pool.
+  std::function<int(const WaitingJob&)> held_nodes = nullptr;
+};
+
+struct BackfillResult {
+  std::vector<StartDecision> starts;
+  /// Shadow reservation granted to the first blocked job (kNoJob if none).
+  JobId blocked_head = kNoJob;
+  SimTime shadow_time = kNever;
+  int extra_nodes = 0;
+};
+
+BackfillResult EasyBackfill(const BackfillInput& input);
+
+}  // namespace hs

@@ -1,0 +1,89 @@
+#include "sched/policy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hs {
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFcfs: return "FCFS";
+    case PolicyKind::kSjf: return "SJF";
+    case PolicyKind::kLjf: return "LJF";
+    case PolicyKind::kSmallestFirst: return "SmallestFirst";
+    case PolicyKind::kLargestFirst: return "LargestFirst";
+    case PolicyKind::kWfp3: return "WFP3";
+  }
+  return "?";
+}
+
+namespace {
+
+class FcfsPolicy final : public OrderingPolicy {
+ public:
+  const char* name() const override { return "FCFS"; }
+  double Key(const WaitingJob& job, SimTime) const override {
+    return static_cast<double>(job.first_submit);
+  }
+};
+
+class SjfPolicy final : public OrderingPolicy {
+ public:
+  const char* name() const override { return "SJF"; }
+  double Key(const WaitingJob& job, SimTime) const override {
+    return static_cast<double>(job.estimate_remaining);
+  }
+};
+
+class LjfPolicy final : public OrderingPolicy {
+ public:
+  const char* name() const override { return "LJF"; }
+  double Key(const WaitingJob& job, SimTime) const override {
+    return -static_cast<double>(job.estimate_remaining);
+  }
+};
+
+class SmallestFirstPolicy final : public OrderingPolicy {
+ public:
+  const char* name() const override { return "SmallestFirst"; }
+  double Key(const WaitingJob& job, SimTime) const override {
+    return static_cast<double>(job.size());
+  }
+};
+
+class LargestFirstPolicy final : public OrderingPolicy {
+ public:
+  const char* name() const override { return "LargestFirst"; }
+  double Key(const WaitingJob& job, SimTime) const override {
+    return -static_cast<double>(job.size());
+  }
+};
+
+/// WFP3 (from the ALCF scheduling literature): favors jobs with large
+/// accumulated wait relative to their runtime, weighted by size.
+class Wfp3Policy final : public OrderingPolicy {
+ public:
+  const char* name() const override { return "WFP3"; }
+  double Key(const WaitingJob& job, SimTime now) const override {
+    const double wait = static_cast<double>(now - job.enqueue_time);
+    const double runtime = std::max<double>(1.0, static_cast<double>(job.estimate_remaining));
+    const double score = std::pow(wait / runtime, 3.0) * job.size();
+    return -score;  // bigger score first
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<OrderingPolicy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFcfs: return std::make_unique<FcfsPolicy>();
+    case PolicyKind::kSjf: return std::make_unique<SjfPolicy>();
+    case PolicyKind::kLjf: return std::make_unique<LjfPolicy>();
+    case PolicyKind::kSmallestFirst: return std::make_unique<SmallestFirstPolicy>();
+    case PolicyKind::kLargestFirst: return std::make_unique<LargestFirstPolicy>();
+    case PolicyKind::kWfp3: return std::make_unique<Wfp3Policy>();
+  }
+  throw std::invalid_argument("MakePolicy: unknown kind");
+}
+
+}  // namespace hs

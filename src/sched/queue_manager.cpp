@@ -1,0 +1,57 @@
+#include "sched/queue_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hs {
+
+void QueueManager::Add(WaitingJob job) {
+  const JobId id = job.id;
+  const auto [it, inserted] = jobs_.emplace(id, std::move(job));
+  (void)it;
+  if (!inserted) throw std::runtime_error("QueueManager::Add: duplicate job");
+}
+
+WaitingJob QueueManager::Remove(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::runtime_error("QueueManager::Remove: absent job");
+  WaitingJob out = std::move(it->second);
+  jobs_.erase(it);
+  return out;
+}
+
+bool QueueManager::Contains(JobId id) const { return jobs_.count(id) > 0; }
+
+const WaitingJob* QueueManager::Find(JobId id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+WaitingJob* QueueManager::FindMutable(JobId id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const WaitingJob*> QueueManager::Ordered(const OrderingPolicy& policy,
+                                                     SimTime now) const {
+  std::vector<const WaitingJob*> view = All();
+  std::sort(view.begin(), view.end(),
+            [&policy, now](const WaitingJob* a, const WaitingJob* b) {
+              if (a->boosted != b->boosted) return a->boosted;
+              const double ka = policy.Key(*a, now);
+              const double kb = policy.Key(*b, now);
+              if (ka != kb) return ka < kb;
+              if (a->first_submit != b->first_submit) return a->first_submit < b->first_submit;
+              return a->id < b->id;
+            });
+  return view;
+}
+
+std::vector<const WaitingJob*> QueueManager::All() const {
+  std::vector<const WaitingJob*> view;
+  view.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) view.push_back(&job);
+  return view;
+}
+
+}  // namespace hs

@@ -1,0 +1,33 @@
+// Waiting-queue container: insertion, removal, and policy-ordered views.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sched/policy.h"
+
+namespace hs {
+
+class QueueManager {
+ public:
+  void Add(WaitingJob job);
+  /// Removes and returns the entry; throws if absent.
+  WaitingJob Remove(JobId id);
+  bool Contains(JobId id) const;
+  const WaitingJob* Find(JobId id) const;
+  WaitingJob* FindMutable(JobId id);
+
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  /// Entries ordered by (boosted first, policy key, first_submit, id).
+  std::vector<const WaitingJob*> Ordered(const OrderingPolicy& policy, SimTime now) const;
+
+  /// Unordered view (iteration for metrics/tests).
+  std::vector<const WaitingJob*> All() const;
+
+ private:
+  std::unordered_map<JobId, WaitingJob> jobs_;
+};
+
+}  // namespace hs

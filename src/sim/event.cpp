@@ -1,0 +1,29 @@
+#include "sim/event.h"
+
+#include <sstream>
+
+namespace hs {
+
+const char* ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobFinish: return "JobFinish";
+    case EventKind::kWarningExpire: return "WarningExpire";
+    case EventKind::kPlannedPreempt: return "PlannedPreempt";
+    case EventKind::kReservationTimeout: return "ReservationTimeout";
+    case EventKind::kAdvanceNotice: return "AdvanceNotice";
+    case EventKind::kJobSubmit: return "JobSubmit";
+    case EventKind::kJobKill: return "JobKill";
+    case EventKind::kSchedule: return "Schedule";
+    case EventKind::kNodeFailure: return "NodeFailure";
+  }
+  return "?";
+}
+
+std::string Event::ToDebugString() const {
+  std::ostringstream os;
+  os << ToString(kind) << "@" << FormatTimestamp(time) << " job=" << job
+     << " aux=" << aux << " id=" << id;
+  return os.str();
+}
+
+}  // namespace hs

@@ -1,0 +1,54 @@
+// Discrete-event model.
+//
+// The scheduler is driven entirely by typed events. Within one timestamp,
+// events execute in a fixed kind order (releases before arrivals before
+// housekeeping) and then by insertion sequence, making every run
+// bit-deterministic for a given trace and configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.h"
+#include "workload/job.h"
+
+namespace hs {
+
+enum class EventKind : std::uint8_t {
+  kJobFinish = 0,          // a running job completed
+  kWarningExpire = 1,      // malleable 2-minute warning elapsed; nodes hand over
+  kPlannedPreempt = 2,     // CUP-scheduled preemption point reached
+  kReservationTimeout = 3, // on-demand job missed its predicted arrival window
+  kAdvanceNotice = 4,      // on-demand advance notice received
+  kJobSubmit = 5,          // job (any class) actually arrives
+  kJobKill = 6,            // runtime-estimate limit reached
+  kSchedule = 7,           // explicit request to run a scheduling pass
+  kNodeFailure = 8,        // hardware failure hits a running job (extension)
+};
+
+const char* ToString(EventKind kind);
+
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+struct Event {
+  SimTime time = 0;
+  EventKind kind = EventKind::kSchedule;
+  JobId job = kNoJob;
+  std::int64_t aux = 0;  // kind-specific payload (e.g. lender id)
+  EventId id = kNoEvent;
+
+  std::string ToDebugString() const;
+};
+
+/// Ordering: earlier time first; at equal times the kind enum above; then
+/// insertion id. Implements "greater" for use in a min-heap.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+    return a.id > b.id;
+  }
+};
+
+}  // namespace hs

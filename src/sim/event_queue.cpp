@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hs {
+
+EventId EventQueue::Push(SimTime time, EventKind kind, JobId job, std::int64_t aux) {
+  Event e;
+  e.time = time;
+  e.kind = kind;
+  e.job = job;
+  e.aux = aux;
+  e.id = next_id_++;
+  heap_.push(e);
+  live_ids_.insert(e.id);
+  return e.id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  if (id == kNoEvent) return;
+  // Cancelling an already-fired or already-cancelled event is a no-op; the
+  // live-id set distinguishes those from genuinely pending events.
+  live_ids_.erase(id);
+}
+
+void EventQueue::SkipDead() {
+  while (!heap_.empty() && live_ids_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  SkipDead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::PeekTime() {
+  SkipDead();
+  return heap_.empty() ? kNever : heap_.top().time;
+}
+
+Event EventQueue::Pop() {
+  SkipDead();
+  if (heap_.empty()) throw std::runtime_error("EventQueue::Pop on empty queue");
+  Event e = heap_.top();
+  heap_.pop();
+  live_ids_.erase(e.id);
+  return e;
+}
+
+}  // namespace hs

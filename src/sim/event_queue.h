@@ -1,0 +1,44 @@
+// Cancelable min-heap event queue with deterministic tie-breaking.
+//
+// Cancellation is lazy: cancelled ids are tombstoned and skipped at pop
+// time. This keeps Schedule/Cancel O(log n) without heap surgery, which
+// matters because malleable resizes reschedule finish events frequently.
+#pragma once
+
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.h"
+
+namespace hs {
+
+class EventQueue {
+ public:
+  /// Schedules an event; returns its id (usable with Cancel).
+  EventId Push(SimTime time, EventKind kind, JobId job = kNoJob, std::int64_t aux = 0);
+
+  /// Cancels a scheduled event; harmless if already popped or cancelled.
+  void Cancel(EventId id);
+
+  /// True if no live events remain.
+  bool Empty();
+
+  /// Earliest live event time (kNever when empty).
+  SimTime PeekTime();
+
+  /// Pops the earliest live event. Requires !Empty().
+  Event Pop();
+
+  std::size_t live_size() const { return live_ids_.size(); }
+  EventId last_id() const { return next_id_ - 1; }
+
+ private:
+  void SkipDead();
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::unordered_set<EventId> live_ids_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace hs

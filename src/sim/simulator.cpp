@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace hs {
+
+EventId Simulator::Schedule(SimTime time, EventKind kind, JobId job, std::int64_t aux) {
+  if (time < now_) {
+    throw std::runtime_error("Simulator::Schedule in the past: t=" +
+                             std::to_string(time) + " now=" + std::to_string(now_));
+  }
+  return queue_.Push(time, kind, job, aux);
+}
+
+void Simulator::Run(SimTime until) {
+  while (!queue_.Empty()) {
+    const SimTime t = queue_.PeekTime();
+    if (t > until) break;
+    now_ = t;
+    // Dispatch every event stamped `t`. Handlers may schedule more events at
+    // `t`; those join the same batch (the queue orders them by kind/id).
+    while (!queue_.Empty() && queue_.PeekTime() == t) {
+      const Event e = queue_.Pop();
+      ++events_processed_;
+      handler_.HandleEvent(e, *this);
+    }
+    handler_.OnQuiescent(t, *this);
+    // A quiescent handler may schedule events at `t` again (e.g. a start
+    // that triggers an immediate follow-up); loop to drain them.
+    while (!queue_.Empty() && queue_.PeekTime() == t) {
+      while (!queue_.Empty() && queue_.PeekTime() == t) {
+        const Event e = queue_.Pop();
+        ++events_processed_;
+        handler_.HandleEvent(e, *this);
+      }
+      handler_.OnQuiescent(t, *this);
+    }
+  }
+}
+
+}  // namespace hs

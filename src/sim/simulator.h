@@ -1,0 +1,50 @@
+// Simulation engine.
+//
+// Mirrors CQSim's loop: pop the earliest event, advance the virtual clock,
+// dispatch to the handler; after *all* events at a timestamp have been
+// dispatched, give the handler one quiescent callback (this is where the
+// scheduling pass — policy ordering plus EASY backfilling — runs, so a batch
+// of simultaneous releases/arrivals triggers exactly one pass).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/event_queue.h"
+
+namespace hs {
+
+class Simulator;
+
+/// The single consumer of events (the scheduler under test).
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void HandleEvent(const Event& event, Simulator& sim) = 0;
+  /// Called once after each batch of same-timestamp events.
+  virtual void OnQuiescent(SimTime now, Simulator& sim) = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(EventHandler& handler) : handler_(handler) {}
+
+  /// Schedules an event; must not be in the past.
+  EventId Schedule(SimTime time, EventKind kind, JobId job = kNoJob,
+                   std::int64_t aux = 0);
+  void Cancel(EventId id) { queue_.Cancel(id); }
+
+  /// Runs until the queue is empty (or `until`, if provided and earlier).
+  void Run(SimTime until = kNever);
+
+  SimTime now() const { return now_; }
+  std::size_t events_processed() const { return events_processed_; }
+  bool exhausted() { return queue_.Empty(); }
+
+ private:
+  EventHandler& handler_;
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::size_t events_processed_ = 0;
+};
+
+}  // namespace hs

@@ -1,0 +1,50 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hs {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliArgs::Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string CliArgs::GetString(const std::string& key, const std::string& def) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::GetInt(const std::string& key, std::int64_t def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::GetDouble(const std::string& key, double def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::GetBool(const std::string& key, bool def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace hs

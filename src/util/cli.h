@@ -1,0 +1,33 @@
+// A tiny --key=value flag parser for the example binaries; no external
+// dependencies and no global state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/// Parses argv of the form: prog --alpha=3 --name=foo --verbose positional.
+/// Flags must use the --key=value or --key (boolean true) forms.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hs

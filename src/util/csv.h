@@ -1,0 +1,25 @@
+// Minimal CSV emission for experiment results (machine-readable companion to
+// the ASCII tables). Quotes fields containing separators or quotes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Escapes a single field per RFC 4180.
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace hs

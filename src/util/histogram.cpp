@@ -1,0 +1,57 @@
+#include "util/histogram.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hs {
+
+RangeHistogram::RangeHistogram(const std::vector<std::int64_t>& edges) {
+  if (edges.size() < 2) throw std::invalid_argument("RangeHistogram: need >= 2 edges");
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    if (edges[i] >= edges[i + 1]) {
+      throw std::invalid_argument("RangeHistogram: edges must be strictly increasing");
+    }
+    Bin b;
+    b.lo = edges[i];
+    // Last bin is inclusive of the final edge; interior bins end one below
+    // the next edge so that bins partition [e0, en] over integers.
+    b.hi = (i + 2 == edges.size()) ? edges[i + 1] : edges[i + 1] - 1;
+    b.label = std::to_string(b.lo) + "-" + std::to_string(b.hi);
+    bins_.push_back(std::move(b));
+  }
+}
+
+void RangeHistogram::Add(std::int64_t value, double weight) {
+  std::size_t idx = 0;
+  if (value <= bins_.front().hi) {
+    idx = 0;
+  } else if (value >= bins_.back().lo) {
+    idx = bins_.size() - 1;
+  } else {
+    // Linear scan: bin counts here are tiny (size-range characterizations).
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      if (value >= bins_[i].lo && value <= bins_[i].hi) {
+        idx = i;
+        break;
+      }
+    }
+  }
+  bins_[idx].count += 1;
+  bins_[idx].weight += weight;
+  total_count_ += 1;
+  total_weight_ += weight;
+}
+
+double RangeHistogram::CountShare(std::size_t i) const {
+  assert(i < bins_.size());
+  if (total_count_ == 0) return 0.0;
+  return static_cast<double>(bins_[i].count) / static_cast<double>(total_count_);
+}
+
+double RangeHistogram::WeightShare(std::size_t i) const {
+  assert(i < bins_.size());
+  if (total_weight_ <= 0.0) return 0.0;
+  return bins_[i].weight / total_weight_;
+}
+
+}  // namespace hs

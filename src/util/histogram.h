@@ -1,0 +1,46 @@
+// Simple bucketed histogram over named, explicitly-bounded ranges.
+// Used to reproduce the job-size characterization of Fig. 3 (count of jobs
+// and total core-hours per size range).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/// A histogram with caller-defined, inclusive-lower / inclusive-upper bins.
+class RangeHistogram {
+ public:
+  struct Bin {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;  // inclusive
+    std::string label;
+    std::size_t count = 0;
+    double weight = 0.0;  // sum of per-sample weights (e.g. node-hours)
+  };
+
+  /// `edges` are bin boundaries [e0, e1, ..., en]; bins are [e0,e1-1],
+  /// [e1,e2-1], ..., [e_{n-1}, en]. Requires strictly increasing edges and
+  /// at least two of them.
+  explicit RangeHistogram(const std::vector<std::int64_t>& edges);
+
+  /// Adds a sample; out-of-range samples clamp to the first/last bin.
+  void Add(std::int64_t value, double weight = 1.0);
+
+  const std::vector<Bin>& bins() const { return bins_; }
+  std::size_t total_count() const { return total_count_; }
+  double total_weight() const { return total_weight_; }
+
+  /// Fraction of samples in bin i (0 if empty histogram).
+  double CountShare(std::size_t i) const;
+  /// Fraction of weight in bin i (0 if zero total weight).
+  double WeightShare(std::size_t i) const;
+
+ private:
+  std::vector<Bin> bins_;
+  std::size_t total_count_ = 0;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace hs

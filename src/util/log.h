@@ -1,0 +1,43 @@
+// Leveled logging with a process-global threshold. The simulator is
+// single-threaded per run, but experiment sweeps run many simulations in
+// parallel; the sink serializes writes with a mutex.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Thread-safe raw sink used by the HS_LOG macro.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hs
+
+#define HS_LOG(level)                                   \
+  if (static_cast<int>(::hs::LogLevel::level) <         \
+      static_cast<int>(::hs::GetLogLevel())) {          \
+  } else                                                \
+    ::hs::detail::LogLine(::hs::LogLevel::level)

@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hs {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashTag(std::string_view tag) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+Rng Rng::Fork(std::string_view tag) {
+  std::uint64_t state = seed_ ^ HashTag(tag) ^ (0xA5A5A5A5A5A5A5A5ULL + ++fork_counter_);
+  return Rng(SplitMix64(state));
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+std::size_t Rng::Zipf(std::size_t n, double s) {
+  assert(n >= 1 && s > 0.0);
+  // Direct inversion over the (small) alphabet; n is at most a few hundred
+  // projects, so an O(n) scan per draw is cheap and exact.
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) total += 1.0 / std::pow(double(k + 1), s);
+  double u = Uniform(0.0, total);
+  for (std::size_t k = 0; k < n; ++k) {
+    u -= 1.0 / std::pow(double(k + 1), s);
+    if (u <= 0.0) return k;
+  }
+  return n - 1;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Categorical: all weights zero");
+  double u = Uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace hs

@@ -1,0 +1,46 @@
+// Online and batch summary statistics used by the metrics and experiment
+// layers: running mean/variance (Welford), percentiles, confidence
+// half-widths for seed-averaged experiment cells.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hs {
+
+/// Numerically stable running mean / variance / extrema accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample (linear interpolation between order
+/// statistics); `q` in [0, 1]. Copies and sorts; intended for reporting.
+double Percentile(std::vector<double> values, double q);
+
+/// Half-width of an approximate 95% confidence interval for the mean of
+/// `stats` (normal approximation; returns 0 for fewer than two samples).
+double ConfidenceHalfWidth95(const RunningStats& stats);
+
+/// Arithmetic mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+}  // namespace hs

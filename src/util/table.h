@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harness. Every bench binary
+// prints the same rows/series the paper reports; this formatter keeps those
+// outputs aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/// A fixed-column ASCII table. Columns are sized to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  /// Renders with a header rule and column separators ("|").
+  std::string Render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Formats a double with `digits` decimals.
+std::string Fmt(double v, int digits = 2);
+/// Formats a ratio as a percentage with `digits` decimals, e.g. "83.93%".
+std::string FmtPct(double ratio, int digits = 2);
+
+}  // namespace hs

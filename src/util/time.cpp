@@ -1,0 +1,42 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace hs {
+
+std::string FormatDuration(SimTime seconds) {
+  char buf[64];
+  const char* sign = seconds < 0 ? "-" : "";
+  if (seconds < 0) seconds = -seconds;
+  if (seconds >= kDay) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd%02lldh", sign,
+                  static_cast<long long>(seconds / kDay),
+                  static_cast<long long>((seconds % kDay) / kHour));
+  } else if (seconds >= kHour) {
+    std::snprintf(buf, sizeof(buf), "%s%lldh%02lldm", sign,
+                  static_cast<long long>(seconds / kHour),
+                  static_cast<long long>((seconds % kHour) / kMinute));
+  } else if (seconds >= kMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%lldm%02llds", sign,
+                  static_cast<long long>(seconds / kMinute),
+                  static_cast<long long>(seconds % kMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%llds", sign,
+                  static_cast<long long>(seconds));
+  }
+  return buf;
+}
+
+std::string FormatTimestamp(SimTime t) {
+  char buf[64];
+  const SimTime day = t / kDay;
+  const SimTime rest = t % kDay;
+  std::snprintf(buf, sizeof(buf), "%lld+%02lld:%02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(rest / kHour),
+                static_cast<long long>((rest % kHour) / kMinute),
+                static_cast<long long>(rest % kMinute));
+  return buf;
+}
+
+}  // namespace hs

@@ -1,0 +1,40 @@
+// Simulation time: a strong integer type measured in seconds.
+//
+// The simulator is a discrete-event system; all timestamps and durations are
+// whole seconds (the granularity of production HPC schedulers and of the
+// Theta trace). Using a distinct type rather than a bare int64_t prevents
+// accidental mixing of node counts, identifiers, and times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hs {
+
+/// A point in simulated time or a duration, in whole seconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 3600;
+inline constexpr SimTime kDay = 24 * kHour;
+inline constexpr SimTime kWeek = 7 * kDay;
+
+/// Sentinel for "no such time"; sorts after every valid timestamp.
+inline constexpr SimTime kNever = INT64_MAX;
+
+/// Formats a duration as a compact human string, e.g. "2d03h", "15m20s".
+std::string FormatDuration(SimTime seconds);
+
+/// Formats an absolute simulation timestamp as "D+hh:mm:ss" (day offset).
+std::string FormatTimestamp(SimTime t);
+
+/// Converts seconds to fractional hours (for reporting).
+constexpr double ToHours(SimTime t) { return static_cast<double>(t) / kHour; }
+
+/// Rounds `t` up to the next multiple of `quantum` (quantum > 0).
+constexpr SimTime RoundUp(SimTime t, SimTime quantum) {
+  return ((t + quantum - 1) / quantum) * quantum;
+}
+
+}  // namespace hs

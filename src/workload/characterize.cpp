@@ -1,0 +1,101 @@
+#include "workload/characterize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/stats.h"
+
+namespace hs {
+
+TraceSummary Summarize(const Trace& trace) {
+  TraceSummary s;
+  s.name = trace.name;
+  s.num_nodes = trace.num_nodes;
+  s.num_jobs = trace.jobs.size();
+  std::set<std::int32_t> projects;
+  for (const auto& job : trace.jobs) {
+    projects.insert(job.project);
+    s.max_wall = std::max(s.max_wall, job.setup_time + job.compute_time);
+    s.min_size = s.min_size == 0 ? job.size : std::min(s.min_size, job.size);
+    s.max_size = std::max(s.max_size, job.size);
+    switch (job.klass) {
+      case JobClass::kRigid: ++s.rigid_jobs; break;
+      case JobClass::kOnDemand: ++s.on_demand_jobs; break;
+      case JobClass::kMalleable: ++s.malleable_jobs; break;
+    }
+  }
+  s.num_projects = projects.size();
+  s.span = trace.LastSubmit() - trace.FirstSubmit();
+  s.offered_load = trace.OfferedLoad();
+  return s;
+}
+
+RangeHistogram SizeHistogram(const Trace& trace) {
+  std::vector<std::int64_t> edges = {128, 256, 512, 1024, 2048, 4096};
+  if (trace.num_nodes > 4096) edges.push_back(trace.num_nodes);
+  RangeHistogram hist(edges);
+  for (const auto& job : trace.jobs) {
+    const double node_hours = static_cast<double>(job.size) *
+                              ToHours(job.setup_time + job.compute_time);
+    hist.Add(job.size, node_hours);
+  }
+  return hist;
+}
+
+ClassShares JobClassShares(const Trace& trace) {
+  ClassShares shares;
+  if (trace.jobs.empty()) return shares;
+  const auto n = static_cast<double>(trace.jobs.size());
+  shares.rigid = static_cast<double>(trace.CountClass(JobClass::kRigid)) / n;
+  shares.on_demand = static_cast<double>(trace.CountClass(JobClass::kOnDemand)) / n;
+  shares.malleable = static_cast<double>(trace.CountClass(JobClass::kMalleable)) / n;
+  return shares;
+}
+
+ClassShares NodeHourClassShares(const Trace& trace) {
+  ClassShares shares;
+  double total = 0.0, rigid = 0.0, od = 0.0, malleable = 0.0;
+  for (const auto& job : trace.jobs) {
+    const double nh = static_cast<double>(job.size) *
+                      ToHours(job.setup_time + job.compute_time);
+    total += nh;
+    switch (job.klass) {
+      case JobClass::kRigid: rigid += nh; break;
+      case JobClass::kOnDemand: od += nh; break;
+      case JobClass::kMalleable: malleable += nh; break;
+    }
+  }
+  if (total <= 0.0) return shares;
+  shares.rigid = rigid / total;
+  shares.on_demand = od / total;
+  shares.malleable = malleable / total;
+  return shares;
+}
+
+std::vector<std::size_t> WeeklyOnDemandCounts(const Trace& trace) {
+  std::vector<std::size_t> weekly;
+  if (trace.jobs.empty()) return weekly;
+  const SimTime start = trace.FirstSubmit();
+  const SimTime span = trace.LastSubmit() - start;
+  weekly.assign(static_cast<std::size_t>(span / kWeek) + 1, 0);
+  for (const auto& job : trace.jobs) {
+    if (!job.is_on_demand()) continue;
+    weekly[static_cast<std::size_t>((job.submit_time - start) / kWeek)] += 1;
+  }
+  return weekly;
+}
+
+double OnDemandInterarrivalCv(const Trace& trace) {
+  RunningStats gaps;
+  SimTime prev = kNever;
+  for (const auto& job : trace.jobs) {
+    if (!job.is_on_demand()) continue;
+    if (prev != kNever) gaps.Add(static_cast<double>(job.submit_time - prev));
+    prev = job.submit_time;
+  }
+  if (gaps.count() < 2 || gaps.mean() <= 0.0) return 0.0;
+  return gaps.stddev() / gaps.mean();
+}
+
+}  // namespace hs

@@ -1,0 +1,52 @@
+// Workload characterization used to reproduce Table I, Fig. 3, Fig. 4 and
+// Fig. 5: trace summary, job-size histogram weighted by node-hours, job-type
+// distribution, and weekly on-demand submission counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+#include "workload/trace.h"
+
+namespace hs {
+
+struct TraceSummary {
+  std::string name;
+  int num_nodes = 0;
+  std::size_t num_jobs = 0;
+  std::size_t num_projects = 0;
+  SimTime span = 0;             // first submit .. last submit
+  SimTime max_wall = 0;         // max setup + compute
+  int min_size = 0;
+  int max_size = 0;
+  double offered_load = 0.0;
+  std::size_t rigid_jobs = 0;
+  std::size_t on_demand_jobs = 0;
+  std::size_t malleable_jobs = 0;
+};
+
+TraceSummary Summarize(const Trace& trace);
+
+/// Fig. 3: jobs and node-hours per size range. Edges follow the powers of
+/// two from Theta's 128-node minimum up to the full machine.
+RangeHistogram SizeHistogram(const Trace& trace);
+
+/// Fig. 4: per-class share of job count (index by JobClass).
+struct ClassShares {
+  double rigid = 0.0;
+  double on_demand = 0.0;
+  double malleable = 0.0;
+};
+ClassShares JobClassShares(const Trace& trace);
+/// Same, weighted by node-hours instead of job count.
+ClassShares NodeHourClassShares(const Trace& trace);
+
+/// Fig. 5: number of on-demand submissions per week over the trace span.
+std::vector<std::size_t> WeeklyOnDemandCounts(const Trace& trace);
+
+/// Burstiness of on-demand arrivals: coefficient of variation of the
+/// interarrival gaps (Poisson ~ 1; bursty >> 1).
+double OnDemandInterarrivalCv(const Trace& trace);
+
+}  // namespace hs

@@ -1,0 +1,63 @@
+#include "workload/notice_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hs {
+
+const std::array<NoticeMix, 5>& PaperNoticeMixes() {
+  static const std::array<NoticeMix, 5> mixes = {{
+      {"W1", 0.70, 0.10, 0.10, 0.10},
+      {"W2", 0.10, 0.70, 0.10, 0.10},
+      {"W3", 0.10, 0.10, 0.70, 0.10},
+      {"W4", 0.10, 0.10, 0.10, 0.70},
+      {"W5", 0.25, 0.25, 0.25, 0.25},
+  }};
+  return mixes;
+}
+
+const NoticeMix& NoticeMixByName(const std::string& name) {
+  for (const auto& mix : PaperNoticeMixes()) {
+    if (mix.name == name) return mix;
+  }
+  throw std::out_of_range("unknown notice mix: " + name);
+}
+
+void AssignNotices(Trace& trace, const NoticeMix& mix,
+                   const NoticeModelConfig& config, Rng& rng) {
+  Rng r = rng.Fork("notices");
+  const std::vector<double> weights = {mix.none, mix.accurate, mix.early, mix.late};
+  for (auto& job : trace.jobs) {
+    if (!job.is_on_demand()) continue;
+    const auto category = static_cast<NoticeClass>(r.Categorical(weights));
+    job.notice = category;
+    const SimTime lead = r.UniformInt(config.lead_lo, config.lead_hi);
+    switch (category) {
+      case NoticeClass::kNone:
+        job.notice_time = kNever;
+        job.predicted_arrival = kNever;
+        break;
+      case NoticeClass::kAccurate:
+        job.predicted_arrival = job.submit_time;
+        job.notice_time = std::max<SimTime>(0, job.submit_time - lead);
+        break;
+      case NoticeClass::kEarly: {
+        // The job arrives between its notice and the predicted arrival:
+        // pick the notice at submit - U[0, lead], predict notice + lead.
+        const SimTime before = r.UniformInt(0, lead);
+        job.notice_time = std::max<SimTime>(0, job.submit_time - before);
+        job.predicted_arrival = job.notice_time + lead;
+        break;
+      }
+      case NoticeClass::kLate: {
+        // The job arrives within `late_window` after the prediction.
+        const SimTime after = r.UniformInt(0, config.late_window);
+        job.predicted_arrival = std::max<SimTime>(0, job.submit_time - after);
+        job.notice_time = std::max<SimTime>(0, job.predicted_arrival - lead);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hs

@@ -1,0 +1,44 @@
+// Advance-notice category assignment (Fig. 1 / Table III).
+//
+// Every on-demand job is placed into one of four categories: no notice,
+// accurate notice, arrive-early, arrive-late. Notices lead the predicted
+// arrival by 15-30 minutes (§I); late arrivals land within 30 minutes after
+// the prediction (§IV-B). Table III's W1..W5 mixes are provided as presets.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace hs {
+
+struct NoticeMix {
+  std::string name;
+  double none = 0.25;
+  double accurate = 0.25;
+  double early = 0.25;
+  double late = 0.25;
+};
+
+/// Table III presets: W1 (70% no notice), W2 (70% accurate), W3 (70% early),
+/// W4 (70% late), W5 (uniform).
+const std::array<NoticeMix, 5>& PaperNoticeMixes();
+
+/// Looks a preset up by name ("W1".."W5"); throws std::out_of_range.
+const NoticeMix& NoticeMixByName(const std::string& name);
+
+struct NoticeModelConfig {
+  SimTime lead_lo = 15 * kMinute;  // notice precedes predicted arrival by
+  SimTime lead_hi = 30 * kMinute;  // U[lead_lo, lead_hi]
+  SimTime late_window = 30 * kMinute;  // late arrival within this after prediction
+};
+
+/// Assigns notice categories and times to the on-demand jobs of `trace`,
+/// leaving other classes untouched. The generated submit_time is kept as the
+/// actual arrival; notice/predicted times are derived around it.
+void AssignNotices(Trace& trace, const NoticeMix& mix,
+                   const NoticeModelConfig& config, Rng& rng);
+
+}  // namespace hs

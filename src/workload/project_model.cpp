@@ -1,0 +1,64 @@
+#include "workload/project_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs {
+
+std::vector<ProjectProfile> BuildProjectProfiles(const ProjectModelConfig& config,
+                                                 Rng& rng) {
+  std::vector<ProjectProfile> projects;
+  projects.reserve(config.num_projects);
+  Rng r = rng.Fork("projects");
+  for (int p = 0; p < config.num_projects; ++p) {
+    ProjectProfile prof;
+    prof.id = p;
+    // Zipf weight by a random rank so project ids carry no ordering.
+    const auto rank = static_cast<double>(1 + r.UniformInt(0, config.num_projects - 1));
+    prof.weight = 1.0 / std::pow(rank, config.zipf_s);
+
+    const double cls = r.Uniform();
+    double size_median;
+    double runtime_median;
+    if (cls < config.small_share) {
+      // Mass concentrated at/near the minimum allocation (Fig. 3: the
+      // smallest range dominates the job count).
+      size_median = config.min_job_size * r.Uniform(0.6, 1.4);
+      runtime_median = config.runtime_median_small;
+    } else if (cls < config.small_share + config.medium_share) {
+      size_median = config.min_job_size * r.Uniform(2.0, 6.0);
+      runtime_median = config.runtime_median_medium;
+    } else {
+      size_median = config.min_job_size * r.Uniform(8.0, 20.0);
+      runtime_median = config.runtime_median_large;
+    }
+    prof.size_mu = std::log(size_median);
+    prof.size_sigma = r.Uniform(0.3, 0.7);
+    prof.runtime_mu = std::log(runtime_median * r.Uniform(0.6, 1.6));
+    prof.runtime_sigma = r.Uniform(0.5, 1.0);
+    prof.burst_mean = r.Uniform(1.5, 6.0);
+    prof.intra_gap_mean = static_cast<SimTime>(r.Uniform(2.0, 10.0) * kMinute);
+    projects.push_back(prof);
+  }
+  return projects;
+}
+
+int SampleJobSize(const ProjectProfile& project, const ProjectModelConfig& config,
+                  Rng& rng) {
+  const double raw = rng.LogNormal(project.size_mu, project.size_sigma);
+  const long long quantum = config.size_quantum;
+  // Round to the nearest allocation quantum so the minimum allocation keeps
+  // its dominant share (rounding up would empty the smallest bin).
+  auto size = (static_cast<long long>(std::llround(raw)) + quantum / 2) / quantum *
+              quantum;
+  size = std::clamp<long long>(size, config.min_job_size, config.max_job_size);
+  return static_cast<int>(size);
+}
+
+SimTime SampleComputeTime(const ProjectProfile& project, SimTime cap, Rng& rng) {
+  const double raw = rng.LogNormal(project.runtime_mu, project.runtime_sigma);
+  auto t = static_cast<SimTime>(std::llround(raw));
+  return std::clamp<SimTime>(t, 10 * kMinute, cap);
+}
+
+}  // namespace hs

@@ -1,0 +1,63 @@
+// Project-level statistical model behind the Theta-like generator.
+//
+// The paper assigns job types *per project* and relies on project-clustered,
+// bursty submission ("users tend to submit a bunch of on-demand jobs in a
+// short period of time", Fig. 5). We therefore model the trace as a set of
+// projects, each with: a Zipf popularity weight, a characteristic job-size
+// distribution, a characteristic runtime scale, and session-based arrivals
+// (a session is a burst of several submissions minutes apart).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace hs {
+
+struct ProjectProfile {
+  std::int32_t id = -1;
+  double weight = 1.0;           // relative share of sessions (Zipf)
+  double size_mu = 0.0;          // lognormal (underlying normal) of node count
+  double size_sigma = 0.5;
+  double runtime_mu = 0.0;       // lognormal of compute seconds
+  double runtime_sigma = 0.8;
+  double burst_mean = 3.0;       // mean jobs per session (geometric)
+  SimTime intra_gap_mean = 5 * kMinute;  // mean gap between burst jobs
+};
+
+struct ProjectModelConfig {
+  int num_projects = 211;        // Table I
+  double zipf_s = 1.05;          // popularity skew
+  int min_job_size = 128;        // Theta's minimum allocation
+  int max_job_size = 4392;       // full machine
+  int size_quantum = 128;        // allocations rounded to this many nodes
+  /// Cap on jobs per submission session. Sessions stay bursty (Fig. 5) but
+  /// a single session can no longer dwarf the machine.
+  int max_session_burst = 15;
+  // Size-class mixture (shares over projects): small / medium / large.
+  // Calibrated so the job-count histogram is dominated by the smallest
+  // ranges while core-hours skew large (Fig. 3).
+  double small_share = 0.62;
+  double medium_share = 0.28;    // remainder is large
+  // Runtime scale: median compute seconds by class.
+  double runtime_median_small = 1.4 * kHour;
+  double runtime_median_medium = 2.2 * kHour;
+  double runtime_median_large = 3.0 * kHour;
+};
+
+/// Draws the per-project profiles for one trace.
+std::vector<ProjectProfile> BuildProjectProfiles(const ProjectModelConfig& config,
+                                                 Rng& rng);
+
+/// Samples a job size (nodes) from a project profile, quantized and clamped
+/// to the machine limits in `config`.
+int SampleJobSize(const ProjectProfile& project, const ProjectModelConfig& config,
+                  Rng& rng);
+
+/// Samples useful compute seconds (at full size) from a project profile,
+/// clamped to [10 min, cap].
+SimTime SampleComputeTime(const ProjectProfile& project, SimTime cap, Rng& rng);
+
+}  // namespace hs

@@ -1,0 +1,42 @@
+// Trace I/O.
+//
+// Two formats are supported:
+//  * HSWF ("hybrid SWF"): this project's native text format. One job per
+//    line, whitespace-separated columns carrying the hybrid-workload fields
+//    (class, notice category, notice/predicted times, min size). Lines
+//    beginning with ';' are comments; the header carries `; MaxNodes: N`.
+//  * Standard Workload Format (SWF) import: the 18-column archive format
+//    used by the Parallel Workloads Archive (and by the real Theta trace
+//    after conversion). SWF has no job-class information, so every imported
+//    job is rigid; `type_assign` can then label it per project.
+//
+// HSWF columns:
+//   id project class notice submit notice_time predicted size min_size
+//   compute estimate setup
+// with kNever serialized as -1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace hs {
+
+/// Writes `trace` in HSWF to `out`.
+void WriteHswf(const Trace& trace, std::ostream& out);
+
+/// Parses HSWF; throws std::runtime_error with a line number on bad input.
+Trace ReadHswf(std::istream& in);
+
+/// File convenience wrappers.
+void WriteHswfFile(const Trace& trace, const std::string& path);
+Trace ReadHswfFile(const std::string& path);
+
+/// Imports a standard SWF stream. `num_nodes` overrides the header's
+/// MaxNodes when positive. Jobs with unknown (-1) runtime or size are
+/// skipped. Wait times are discarded (the simulator re-derives them);
+/// requested time becomes the estimate; all jobs are rigid.
+Trace ImportSwf(std::istream& in, int num_nodes = 0);
+
+}  // namespace hs

@@ -1,0 +1,104 @@
+#include "workload/theta_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace hs {
+
+namespace {
+
+/// Work-hours bias: mid-day peak, overnight trough.
+double DayFactor(SimTime t) {
+  const double hour = static_cast<double>(t % kDay) / kHour;
+  // Cosine with peak at 14:00, scaled to [0, 1].
+  return 0.5 * (1.0 + std::cos((hour - 14.0) / 24.0 * 2.0 * 3.14159265358979));
+}
+
+}  // namespace
+
+Trace GenerateThetaTrace(const ThetaConfig& config, std::uint64_t seed) {
+  Trace trace;
+  trace.name = "theta-synth-" + std::to_string(seed);
+  trace.num_nodes = config.num_nodes;
+
+  Rng root(seed);
+  Rng session_rng = root.Fork("sessions");
+  Rng job_rng = root.Fork("jobs");
+
+  const auto projects = BuildProjectProfiles(config.projects, root);
+  std::vector<double> weights;
+  weights.reserve(projects.size());
+  for (const auto& p : projects) weights.push_back(p.weight);
+
+  const SimTime horizon = static_cast<SimTime>(config.weeks) * kWeek;
+  const double capacity =
+      static_cast<double>(config.num_nodes) * static_cast<double>(horizon);
+  const double target_demand = config.target_load * capacity;
+
+  // Sessions are drawn until the offered load reaches the target. Whole
+  // sessions are kept so the bursty arrival pattern survives calibration.
+  double demand = 0.0;
+  JobId next_id = 0;
+  // Hard stop to guarantee termination even with a degenerate config.
+  const std::size_t max_jobs = 4'000'000;
+  while (demand < target_demand && trace.jobs.size() < max_jobs) {
+    const std::size_t pidx = session_rng.Categorical(weights);
+    const ProjectProfile& project = projects[pidx];
+
+    // Rejection-sample the session start against the diurnal profile.
+    SimTime start = 0;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      start = session_rng.UniformInt(0, horizon - 1);
+      const double accept =
+          1.0 - config.diurnal_depth + config.diurnal_depth * DayFactor(start);
+      if (session_rng.Chance(accept)) break;
+    }
+
+    const auto burst = std::min(
+        config.projects.max_session_burst,
+        static_cast<int>(1 + std::floor(session_rng.Exponential(
+                                 std::max(0.5, project.burst_mean - 1.0)))));
+    SimTime t = start;
+    for (int b = 0; b < burst && demand < target_demand; ++b) {
+      JobRecord job;
+      job.id = next_id++;
+      job.project = project.id;
+      job.klass = JobClass::kRigid;  // type assignment happens later
+      job.submit_time = t;
+      job.size = SampleJobSize(project, config.projects, job_rng);
+      job.min_size = job.size;
+
+      const double setup_frac = job_rng.Uniform(config.setup_frac_lo, config.setup_frac_hi);
+      // Cap compute so that setup + compute fits below max_wall.
+      const auto compute_cap = static_cast<SimTime>(
+          static_cast<double>(config.max_wall) / (1.0 + setup_frac)) - 1;
+      job.compute_time = SampleComputeTime(project, compute_cap, job_rng);
+      job.setup_time = static_cast<SimTime>(
+          std::llround(setup_frac * static_cast<double>(job.compute_time)));
+
+      const double slack =
+          job_rng.Uniform(config.estimate_slack_lo, config.estimate_slack_hi);
+      const SimTime useful_wall = job.setup_time + job.compute_time;
+      job.estimate = RoundUp(
+          static_cast<SimTime>(std::llround(slack * static_cast<double>(useful_wall))),
+          15 * kMinute);
+      job.estimate = std::max(job.estimate, useful_wall);
+
+      demand += static_cast<double>(job.size) * static_cast<double>(useful_wall);
+      trace.jobs.push_back(job);
+
+      t += static_cast<SimTime>(
+          std::llround(job_rng.Exponential(static_cast<double>(project.intra_gap_mean))));
+      if (t >= horizon) break;
+    }
+  }
+
+  trace.Canonicalize();
+  HS_LOG(kInfo) << "GenerateThetaTrace seed=" << seed << " jobs=" << trace.jobs.size()
+                << " offered_load=" << trace.OfferedLoad();
+  return trace;
+}
+
+}  // namespace hs

@@ -1,0 +1,48 @@
+// Theta-like synthetic trace generator (Table I / Fig. 3 substitute).
+//
+// The real 2019 Theta Cobalt trace is not redistributable, so experiments
+// run on statistically similar synthetic traces: 4,392 nodes, 128-node
+// minimum allocation, 1-day runtime cap, 211 projects with Zipf activity,
+// session-based bursty arrivals with a diurnal cycle, and an offered load
+// calibrated so the FCFS/EASY baseline lands near the paper's Table II
+// aggregates (~84% utilization). Real traces can be swapped in through
+// `swf.h` + `type_assign.h`.
+#pragma once
+
+#include "workload/project_model.h"
+#include "workload/trace.h"
+
+namespace hs {
+
+struct ThetaConfig {
+  int num_nodes = 4392;          // Table I
+  int weeks = 52;                // trace horizon
+  /// Offered load the generator calibrates to. 0.84 lands the FCFS/EASY
+  /// baseline near Table II on a one-year horizon (utilization ~83.3%,
+  /// instant-start ~22%; average turnaround runs a few hours above the
+  /// paper's 15.6 h because the synthetic trace carries longer congestion
+  /// waves — see EXPERIMENTS.md).
+  double target_load = 0.84;
+  ProjectModelConfig projects;   // project/size/runtime mixture
+
+  /// Runtime cap: total wall (setup + compute) never exceeds this.
+  SimTime max_wall = kDay;       // Table I: maximum job length 1 day
+
+  /// Rigid setup cost is U[5%, 10%] of compute (§IV-B); malleable setup is
+  /// re-drawn by type assignment. Estimates are U[estimate_slack_lo, hi]
+  /// times the useful wall, rounded up to 15 min and capped at max_wall
+  /// plus the allowed slack.
+  double setup_frac_lo = 0.05;
+  double setup_frac_hi = 0.10;
+  double estimate_slack_lo = 1.05;
+  double estimate_slack_hi = 3.0;
+
+  /// Diurnal modulation: session starts are accepted with probability
+  /// proportional to 1 - depth + depth * day_factor(t). depth = 0 disables.
+  double diurnal_depth = 0.5;
+};
+
+/// Generates a trace with the given seed. Deterministic in (config, seed).
+Trace GenerateThetaTrace(const ThetaConfig& config, std::uint64_t seed);
+
+}  // namespace hs

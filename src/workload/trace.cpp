@@ -1,0 +1,51 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+namespace hs {
+
+void Trace::Canonicalize() {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+                     return a.id < b.id;
+                   });
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<JobId>(i);
+}
+
+std::string Trace::Validate() const {
+  if (num_nodes <= 0) return "num_nodes must be positive";
+  SimTime prev = -1;
+  for (const auto& job : jobs) {
+    const std::string err = job.Validate();
+    if (!err.empty()) return "job " + std::to_string(job.id) + ": " + err;
+    if (job.size > num_nodes) {
+      return "job " + std::to_string(job.id) + ": size exceeds machine";
+    }
+    if (job.submit_time < prev) return "jobs not sorted by submit_time";
+    prev = job.submit_time;
+  }
+  return {};
+}
+
+SimTime Trace::FirstSubmit() const { return jobs.empty() ? 0 : jobs.front().submit_time; }
+SimTime Trace::LastSubmit() const { return jobs.empty() ? 0 : jobs.back().submit_time; }
+
+double Trace::OfferedLoad() const {
+  if (jobs.empty() || num_nodes <= 0) return 0.0;
+  const SimTime span = std::max<SimTime>(1, LastSubmit() - FirstSubmit());
+  double demand = 0.0;
+  for (const auto& job : jobs) {
+    demand += static_cast<double>(job.size) *
+              static_cast<double>(job.setup_time + job.compute_time);
+  }
+  return demand / (static_cast<double>(num_nodes) * static_cast<double>(span));
+}
+
+std::size_t Trace::CountClass(JobClass klass) const {
+  std::size_t n = 0;
+  for (const auto& job : jobs) n += (job.klass == klass) ? 1 : 0;
+  return n;
+}
+
+}  // namespace hs

@@ -1,0 +1,34 @@
+// A workload trace: the machine size plus a submit-ordered list of jobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace hs {
+
+struct Trace {
+  std::string name;
+  int num_nodes = 0;
+  std::vector<JobRecord> jobs;  // sorted by (submit_time, id)
+
+  /// Sorts jobs into canonical order and reassigns dense ids preserving it.
+  void Canonicalize();
+
+  /// Validates the machine size and every job; empty string when valid.
+  std::string Validate() const;
+
+  /// First/last submission (0/0 for an empty trace).
+  SimTime FirstSubmit() const;
+  SimTime LastSubmit() const;
+
+  /// Offered load: sum of size x (setup + compute) over N x span, where span
+  /// runs from the first submission to the last. Loosely, the fraction of
+  /// machine capacity the workload demands.
+  double OfferedLoad() const;
+
+  std::size_t CountClass(JobClass klass) const;
+};
+
+}  // namespace hs

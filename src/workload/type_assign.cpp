@@ -1,0 +1,103 @@
+#include "workload/type_assign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace hs {
+
+void AssignJobTypes(Trace& trace, const TypeAssignConfig& config, Rng& rng) {
+  // Per-project mean request size (for the small-project on-demand pool).
+  std::map<std::int32_t, std::pair<double, int>> size_acc;
+  for (const auto& job : trace.jobs) {
+    auto& [sum, count] = size_acc[job.project];
+    sum += job.size;
+    count += 1;
+  }
+  std::vector<std::int32_t> projects;
+  projects.reserve(size_acc.size());
+  for (const auto& [project, acc] : size_acc) projects.push_back(project);
+
+  Rng r = rng.Fork("type-assign");
+  const auto n = projects.size();
+  const auto n_od = static_cast<std::size_t>(
+      std::llround(config.on_demand_project_share * static_cast<double>(n)));
+  const auto n_rigid = static_cast<std::size_t>(
+      std::llround(config.rigid_project_share * static_cast<double>(n)));
+
+  std::vector<std::int32_t> od_projects;
+  if (config.od_from_small_projects && n_od > 0) {
+    // Order by mean request; sample the on-demand projects from the small
+    // pool ("real on-demand jobs are relatively small", §IV-A).
+    std::vector<std::int32_t> by_size = projects;
+    std::sort(by_size.begin(), by_size.end(),
+              [&size_acc](std::int32_t a, std::int32_t b) {
+                const double ma = size_acc[a].first / size_acc[a].second;
+                const double mb = size_acc[b].first / size_acc[b].second;
+                if (ma != mb) return ma < mb;
+                return a < b;
+              });
+    auto pool_size = static_cast<std::size_t>(
+        std::ceil(config.od_small_pool_frac * static_cast<double>(n)));
+    pool_size = std::max(pool_size, std::min(n, n_od));
+    std::vector<std::int32_t> pool(by_size.begin(), by_size.begin() + pool_size);
+    std::shuffle(pool.begin(), pool.end(), r.engine());
+    od_projects.assign(pool.begin(), pool.begin() + std::min(n_od, pool.size()));
+  }
+
+  std::vector<std::int32_t> rest;
+  {
+    const std::set<std::int32_t> od_set(od_projects.begin(), od_projects.end());
+    for (const auto p : projects) {
+      if (!od_set.count(p)) rest.push_back(p);
+    }
+    std::shuffle(rest.begin(), rest.end(), r.engine());
+  }
+
+  std::map<std::int32_t, JobClass> project_class;
+  std::size_t assigned_od = 0;
+  for (const auto p : od_projects) {
+    project_class[p] = JobClass::kOnDemand;
+    ++assigned_od;
+  }
+  std::size_t index = 0;
+  for (; assigned_od < n_od && index < rest.size(); ++index, ++assigned_od) {
+    project_class[rest[index]] = JobClass::kOnDemand;
+  }
+  for (std::size_t k = 0; k < n_rigid && index < rest.size(); ++k, ++index) {
+    project_class[rest[index]] = JobClass::kRigid;
+  }
+  for (; index < rest.size(); ++index) {
+    project_class[rest[index]] = JobClass::kMalleable;
+  }
+
+  const int large_threshold =
+      static_cast<int>(config.large_od_frac * trace.num_nodes);
+  for (auto& job : trace.jobs) {
+    JobClass klass = project_class.at(job.project);
+    if (klass == JobClass::kOnDemand && job.size > large_threshold) {
+      // Real on-demand requests are small (§IV-A); oversize ones are
+      // reassigned randomly to the batch classes.
+      klass = r.Chance(0.5) ? JobClass::kRigid : JobClass::kMalleable;
+    }
+    job.klass = klass;
+    job.notice = NoticeClass::kNone;
+    job.notice_time = kNever;
+    job.predicted_arrival = kNever;
+    if (klass == JobClass::kMalleable) {
+      job.min_size = std::max(1, static_cast<int>(std::ceil(
+                                     config.malleable_min_frac * job.size)));
+      // Malleable applications are loosely coupled: cheaper startup (0-5%).
+      const double frac = r.Uniform(config.malleable_setup_lo, config.malleable_setup_hi);
+      job.setup_time = static_cast<SimTime>(
+          std::llround(frac * static_cast<double>(job.compute_time)));
+      job.estimate = std::max(job.estimate, job.setup_time + job.compute_time);
+    } else {
+      job.min_size = job.size;
+    }
+  }
+}
+
+}  // namespace hs

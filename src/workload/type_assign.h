@@ -1,0 +1,37 @@
+// Job-type assignment (§IV-A / §IV-B).
+//
+// The real trace carries no class labels, so the paper assigns types *per
+// project*: by default 10% of projects submit on-demand jobs, 60% rigid,
+// and the remaining 30% malleable. On-demand jobs larger than half the
+// machine are individually reassigned to rigid or malleable. Malleable jobs
+// get a minimum size of 20% of their request and a fresh 0-5% setup cost.
+#pragma once
+
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace hs {
+
+struct TypeAssignConfig {
+  double on_demand_project_share = 0.10;  // §IV-B default
+  double rigid_project_share = 0.60;      // remainder becomes malleable
+  /// On-demand jobs above `large_od_frac` x machine are reassigned (§IV-A).
+  double large_od_frac = 0.5;
+  /// §IV-A: "real on-demand jobs are relatively small in size". When true,
+  /// the on-demand projects are drawn from the small-job half of the
+  /// projects (by mean request) instead of uniformly.
+  bool od_from_small_projects = true;
+  double od_small_pool_frac = 0.5;
+  /// Malleable minimum size as a fraction of the request (§IV-B: 20%).
+  double malleable_min_frac = 0.20;
+  /// Malleable setup cost range as a fraction of compute (§IV-B: 0-5%).
+  double malleable_setup_lo = 0.0;
+  double malleable_setup_hi = 0.05;
+};
+
+/// Labels every job in `trace` in place. Deterministic in (trace, config,
+/// rng state). Projects are shuffled before the shares are applied so that
+/// project activity and class are independent.
+void AssignJobTypes(Trace& trace, const TypeAssignConfig& config, Rng& rng);
+
+}  // namespace hs

@@ -1,0 +1,52 @@
+#include "checkpoint/daly.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hs {
+namespace {
+
+TEST(DalyTest, FirstOrderFormula) {
+  EXPECT_DOUBLE_EQ(DalyFirstOrder(600.0, 1.0e6), std::sqrt(2.0 * 600.0 * 1.0e6));
+}
+
+TEST(DalyTest, HigherOrderCloseToFirstOrderForSmallDelta) {
+  // delta << MTBF: the higher-order correction is small relative to tau.
+  const double first = DalyFirstOrder(10.0, 1.0e7);
+  const double higher = DalyHigherOrder(10.0, 1.0e7);
+  EXPECT_NEAR(higher / first, 1.0, 0.01);
+}
+
+TEST(DalyTest, HigherOrderBelowFirstOrderForLargeDelta) {
+  // The -delta term dominates when delta is material.
+  EXPECT_LT(DalyHigherOrder(600.0, 10000.0), DalyFirstOrder(600.0, 10000.0));
+}
+
+TEST(DalyTest, DegenerateRegimeReturnsMtbf) {
+  EXPECT_DOUBLE_EQ(DalyHigherOrder(600.0, 200.0), 200.0);  // delta >= 2*MTBF
+}
+
+TEST(DalyTest, OptimalIntervalGrowsWithMtbf) {
+  EXPECT_LT(DalyOptimalInterval(600, 10 * kHour), DalyOptimalInterval(600, 1000 * kHour));
+}
+
+TEST(DalyTest, OptimalIntervalGrowsWithOverhead) {
+  EXPECT_LT(DalyOptimalInterval(600, 100 * kHour), DalyOptimalInterval(1200, 100 * kHour));
+}
+
+TEST(DalyTest, OptimalIntervalNeverBelowDumpCost) {
+  EXPECT_GE(DalyOptimalInterval(600, 700), 600);
+}
+
+TEST(DalyTest, PaperScaleSanity) {
+  // A 128-node job with a 5-year node MTBF: job MTBF ~ 14.2 days; with a
+  // 600 s dump the optimum lands in the several-hours range.
+  const SimTime mtbf = (5LL * 365 * kDay) / 128;
+  const SimTime tau = DalyOptimalInterval(600, mtbf);
+  EXPECT_GT(tau, 2 * kHour);
+  EXPECT_LT(tau, 24 * kHour);
+}
+
+}  // namespace
+}  // namespace hs

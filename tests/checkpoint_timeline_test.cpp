@@ -1,0 +1,140 @@
+#include "checkpoint/checkpoint_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+TEST(CheckpointModelTest, OverheadBySize) {
+  CheckpointModel model;
+  EXPECT_EQ(model.OverheadFor(128), 600);
+  EXPECT_EQ(model.OverheadFor(1023), 600);
+  EXPECT_EQ(model.OverheadFor(1024), 1200);  // paper: >= 1K nodes
+  EXPECT_EQ(model.OverheadFor(4392), 1200);
+}
+
+TEST(CheckpointModelTest, IntervalScalesWithConfig) {
+  CheckpointConfig half;
+  half.interval_scale = 0.5;
+  CheckpointConfig full;
+  const SimTime tau_full = CheckpointModel(full).IntervalFor(256);
+  const SimTime tau_half = CheckpointModel(half).IntervalFor(256);
+  EXPECT_NEAR(static_cast<double>(tau_half), static_cast<double>(tau_full) / 2.0,
+              static_cast<double>(tau_full) * 0.01 + 2.0);
+}
+
+TEST(CheckpointModelTest, IntervalShrinksWithJobSize) {
+  CheckpointModel model;
+  // Bigger jobs fail more often -> smaller optimal interval (same overhead
+  // class).
+  EXPECT_GT(model.IntervalFor(128), model.IntervalFor(512));
+}
+
+TEST(CheckpointModelTest, IntervalRespectsFloor) {
+  CheckpointConfig config;
+  config.interval_scale = 1e-6;
+  CheckpointModel model(config);
+  EXPECT_GE(model.IntervalFor(128), config.min_interval);
+}
+
+// --- RigidTimeline ---------------------------------------------------------
+
+TEST(RigidTimelineTest, NoCheckpointingWhenIntervalZero) {
+  RigidTimeline tl(100, 5000, 0, 600);
+  EXPECT_EQ(tl.num_checkpoints(), 0);
+  EXPECT_EQ(tl.total_wall(), 5100);
+  EXPECT_EQ(tl.CheckpointedAt(3000), 0);
+  EXPECT_EQ(tl.NextCheckpointCompletion(0), kNever);
+}
+
+TEST(RigidTimelineTest, CheckpointCountExcludesTrailingDump) {
+  // compute = 3 intervals exactly: dumps after segments 1 and 2 only.
+  RigidTimeline tl(0, 9000, 3000, 600);
+  EXPECT_EQ(tl.num_checkpoints(), 2);
+  EXPECT_EQ(tl.total_wall(), 9000 + 2 * 600);
+}
+
+TEST(RigidTimelineTest, CheckpointCountPartialTail) {
+  RigidTimeline tl(0, 10000, 3000, 600);
+  EXPECT_EQ(tl.num_checkpoints(), 3);
+  EXPECT_EQ(tl.total_wall(), 10000 + 3 * 600);
+}
+
+TEST(RigidTimelineTest, ShortJobNeverCheckpoints) {
+  RigidTimeline tl(100, 2999, 3000, 600);
+  EXPECT_EQ(tl.num_checkpoints(), 0);
+  EXPECT_EQ(tl.total_wall(), 3099);
+}
+
+TEST(RigidTimelineTest, ProgressDuringSetupIsZero) {
+  RigidTimeline tl(100, 10000, 3000, 600);
+  EXPECT_EQ(tl.ProgressAt(0), 0);
+  EXPECT_EQ(tl.ProgressAt(99), 0);
+  EXPECT_EQ(tl.ProgressAt(100), 0);
+}
+
+TEST(RigidTimelineTest, ProgressAdvancesThroughComputePhases) {
+  RigidTimeline tl(100, 10000, 3000, 600);
+  EXPECT_EQ(tl.ProgressAt(100 + 1500), 1500);
+  EXPECT_EQ(tl.ProgressAt(100 + 3000), 3000);          // at dump start
+  EXPECT_EQ(tl.ProgressAt(100 + 3000 + 300), 3000);    // frozen mid-dump
+  EXPECT_EQ(tl.ProgressAt(100 + 3600 + 10), 3010);     // resumed after dump
+  EXPECT_EQ(tl.ProgressAt(tl.total_wall()), 10000);
+  EXPECT_EQ(tl.ProgressAt(tl.total_wall() + 5000), 10000);
+}
+
+TEST(RigidTimelineTest, CheckpointedLagsDumpCompletion) {
+  RigidTimeline tl(100, 10000, 3000, 600);
+  EXPECT_EQ(tl.CheckpointedAt(100 + 3000 + 599), 0);   // dump not finished
+  EXPECT_EQ(tl.CheckpointedAt(100 + 3600), 3000);      // dump complete
+  EXPECT_EQ(tl.CheckpointedAt(100 + 2 * 3600), 6000);
+  EXPECT_EQ(tl.CheckpointedAt(tl.total_wall()), 9000);  // 3 dumps of 3000
+}
+
+TEST(RigidTimelineTest, NextCheckpointCompletionTimes) {
+  RigidTimeline tl(100, 10000, 3000, 600);
+  EXPECT_EQ(tl.NextCheckpointCompletion(0), 100 + 3600);
+  EXPECT_EQ(tl.NextCheckpointCompletion(100 + 3600), 100 + 7200);  // strictly after
+  EXPECT_EQ(tl.NextCheckpointCompletion(100 + 3 * 3600), kNever);
+}
+
+TEST(RigidTimelineTest, LostWorkBoundedByInterval) {
+  // Property: progress - checkpointed never exceeds interval (plus nothing).
+  RigidTimeline tl(50, 20000, 3000, 600);
+  for (SimTime t = 0; t <= tl.total_wall(); t += 97) {
+    const SimTime lost = tl.ProgressAt(t) - tl.CheckpointedAt(t);
+    EXPECT_GE(lost, 0);
+    EXPECT_LE(lost, 3000);
+  }
+}
+
+TEST(RigidTimelineTest, ProgressMonotone) {
+  RigidTimeline tl(50, 14000, 3000, 600);
+  SimTime prev = 0;
+  for (SimTime t = 0; t <= tl.total_wall() + 100; t += 53) {
+    const SimTime p = tl.ProgressAt(t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+class TimelineSweep : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TimelineSweep, WallTimeConsistentWithCounts) {
+  const auto [setup, compute, interval, overhead] = GetParam();
+  RigidTimeline tl(setup, compute, interval, overhead);
+  EXPECT_EQ(tl.total_wall(),
+            setup + compute + static_cast<SimTime>(tl.num_checkpoints()) * overhead);
+  EXPECT_EQ(tl.ProgressAt(tl.total_wall()), compute);
+  EXPECT_LE(tl.CheckpointedAt(tl.total_wall()), compute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimelineSweep,
+    ::testing::Combine(::testing::Values(0, 100, 1800),
+                       ::testing::Values(600, 3000, 9000, 86000),
+                       ::testing::Values(0, 1000, 3000, 10000),
+                       ::testing::Values(600, 1200)));
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,122 @@
+// Baseline (FCFS/EASY) end-to-end behaviour on hand-crafted traces.
+#include <gtest/gtest.h>
+
+#include "hybrid_harness.h"
+
+namespace hs {
+namespace {
+
+using test::HybridHarness;
+using test::TestConfig;
+using test::TraceBuilder;
+
+TEST(HybridBaselineTest, SingleJobRunsImmediately) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 32, 1000, 100, 2000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_EQ(r.jobs_killed, 0u);
+  EXPECT_EQ(h.sim_.now(), 1100);
+  EXPECT_EQ(h.sched_.engine().cluster().free_count(), 64);
+}
+
+TEST(HybridBaselineTest, FcfsOrderRespected) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 1000, 0, 1000);
+  builder.AddRigid(10, 64, 1000, 0, 1000);
+  builder.AddRigid(20, 64, 1000, 0, 1000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  EXPECT_EQ(h.sim_.now(), 3000);  // strictly serialized
+  EXPECT_EQ(h.Finalize().jobs_completed, 3u);
+}
+
+TEST(HybridBaselineTest, EasyBackfillImprovesPacking) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 40, 1000, 0, 1000);   // runs first
+  builder.AddRigid(0, 40, 1000, 0, 1000);   // blocked until t=1000
+  builder.AddRigid(0, 20, 900, 0, 900);     // backfills alongside job 0
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  EXPECT_EQ(h.sim_.now(), 2000);
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 3u);
+  // Job 2 must have run inside job 1's shadow, i.e. it finished at 900.
+  EXPECT_LT(r.avg_turnaround_h, 2.0);
+}
+
+TEST(HybridBaselineTest, OnDemandGetsNoSpecialTreatment) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 1000, 0, 1000);
+  builder.AddOnDemand(10, 32, 500, 0, 500);  // must wait behind the rigid job
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_EQ(r.od_jobs, 1u);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 0.0);  // started at t=1000, not instantly
+  EXPECT_EQ(r.preemptions, 0u);
+}
+
+TEST(HybridBaselineTest, MalleableRunsAtMaxSizeRigidly) {
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 32, 8, 1000, 0, 1000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  // Baseline treats it as a 32-node rigid request: compute 1000 s.
+  EXPECT_EQ(h.sim_.now(), 1000);
+  EXPECT_EQ(h.Finalize().shrinks, 0u);
+}
+
+TEST(HybridBaselineTest, UtilizationAccounting) {
+  TraceBuilder builder(10);
+  builder.AddRigid(0, 10, 1000, 0, 1000);  // whole machine for the whole run
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_NEAR(r.utilization, 1.0, 1e-9);
+  EXPECT_NEAR(r.allocated_utilization, 1.0, 1e-9);
+}
+
+TEST(HybridBaselineTest, SetupCountsAsOverheadNotUsefulWork) {
+  TraceBuilder builder(10);
+  builder.AddRigid(0, 10, 900, 100, 1000);  // 10% setup
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  // Paper-definition utilization counts setup (no preemption waste here);
+  // the strict useful_utilization excludes it.
+  EXPECT_NEAR(r.utilization, 1.0, 1e-9);
+  EXPECT_NEAR(r.useful_utilization, 0.9, 1e-9);
+  EXPECT_NEAR(r.allocated_utilization, 1.0, 1e-9);
+  EXPECT_NEAR(r.setup_node_hours, 100.0 * 10 / kHour, 1e-9);
+}
+
+TEST(HybridBaselineTest, TurnaroundIncludesWait) {
+  TraceBuilder builder(8);
+  builder.AddRigid(0, 8, 1000, 0, 1000);
+  builder.AddRigid(0, 8, 1000, 0, 1000);  // waits 1000 s, turnaround 2000
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_NEAR(r.avg_turnaround_h, (1000.0 + 2000.0) / 2 / kHour, 1e-9);
+  EXPECT_NEAR(r.avg_wait_h, 500.0 / kHour, 1e-9);
+}
+
+TEST(HybridBaselineTest, NoEventsLeftBehind) {
+  TraceBuilder builder(16);
+  for (int i = 0; i < 20; ++i) {
+    builder.AddRigid(i * 100, 4 + (i % 3) * 4, 500 + i * 10, 10, 2000);
+  }
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run();
+  EXPECT_TRUE(h.sim_.exhausted());
+  EXPECT_EQ(h.Finalize().jobs_completed, 20u);
+  EXPECT_EQ(h.sched_.engine().cluster().busy_count(), 0);
+  EXPECT_EQ(h.sched_.engine().cluster().CheckInvariants(), "");
+}
+
+}  // namespace
+}  // namespace hs

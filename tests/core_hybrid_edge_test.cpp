@@ -1,0 +1,201 @@
+// Edge cases and failure-injection scenarios for the hybrid scheduler:
+// degenerate configurations, racing events, and pathological workloads.
+#include <gtest/gtest.h>
+
+#include "hybrid_harness.h"
+
+namespace hs {
+namespace {
+
+using test::HybridHarness;
+using test::TestConfig;
+using test::TraceBuilder;
+
+Mechanism NPaa() { return {NoticePolicy::kNone, ArrivalPolicy::kPaa}; }
+Mechanism NSpaa() { return {NoticePolicy::kNone, ArrivalPolicy::kSpaa}; }
+Mechanism CuaPaa() { return {NoticePolicy::kCua, ArrivalPolicy::kPaa}; }
+Mechanism CupSpaa() { return {NoticePolicy::kCup, ArrivalPolicy::kSpaa}; }
+
+TEST(EdgeTest, ZeroWarningWindowPreemptsImmediately) {
+  HybridConfig config = TestConfig(NPaa());
+  config.engine.drain_warning = 0;
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 64, 16, 10000, 0, 20000);
+  builder.AddOnDemand(5000, 32, 500, 0, 600);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);  // no 120 s delay
+}
+
+TEST(EdgeTest, NoticeAtExactArrivalTime) {
+  // Notice and arrival land on the same timestamp; the notice event (kind 4)
+  // processes before the submit (kind 5) in the same batch.
+  TraceBuilder builder(64);
+  builder.AddOnDemand(1000, 32, 500, 0, 600, NoticeClass::kAccurate,
+                      /*notice=*/1000, /*predicted=*/1000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(CuaPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);
+}
+
+TEST(EdgeTest, OnDemandFullMachine) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 50000, 100, 100000);
+  builder.AddOnDemand(5000, 64, 500, 0, 600);  // wants everything
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 1.0);
+  EXPECT_DOUBLE_EQ(r.rigid_preempt_ratio, 1.0);
+}
+
+TEST(EdgeTest, BackToBackOnDemandStorm) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 100000, 100, 200000);
+  for (int i = 0; i < 8; ++i) {
+    builder.AddOnDemand(5000 + i * 30, 16, 2000, 0, 3000);
+  }
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 9u);
+  // 4 of 8 fit simultaneously (4x16 = machine); the rest queue behind them,
+  // a pure capacity collision (Observation 9).
+  EXPECT_GE(r.od_instant_rate, 0.5);
+  EXPECT_EQ(h.sched_.engine().cluster().CheckInvariants(), "");
+}
+
+TEST(EdgeTest, PreemptedJobPreemptedAgain) {
+  // The resumed rigid job gets preempted a second time by a later arrival.
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 50000, 100, 100000);
+  builder.AddOnDemand(5000, 64, 1000, 0, 1500);
+  builder.AddOnDemand(20000, 64, 1000, 0, 1500);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 3u);
+  EXPECT_GE(r.preemptions, 2u);
+  const SimResult final = h.Finalize();
+  EXPECT_EQ(final.jobs_killed, 0u);
+}
+
+TEST(EdgeTest, MalleableMinEqualsMax) {
+  // A "malleable" job with no flexibility: SPAA cannot shrink it, so PAA
+  // fallback drains it whole.
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 64, 64, 10000, 0, 20000);
+  builder.AddOnDemand(5000, 32, 500, 0, 600);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_EQ(r.shrinks, 0u);
+  EXPECT_GE(r.preemptions, 1u);
+}
+
+TEST(EdgeTest, CupTimeoutRacesPlannedPreemption) {
+  // CUP schedules a planned preemption at the predicted arrival; the job
+  // never arrives on time, the reservation times out first (predicted +
+  // 10 min), and the plan must not fire afterwards.
+  HybridConfig config = TestConfig(CupSpaa());
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 90000, 100, 100000);
+  const SimTime predicted = 5000;
+  // Arrives 25 min late: past the 10-min timeout.
+  builder.AddOnDemand(predicted + 25 * kMinute, 32, 500, 0, 600, NoticeClass::kLate,
+                      predicted - 1200, predicted);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run(predicted + 11 * kMinute);
+  // After the timeout, no reservation and the rigid job is still whole or
+  // already resubmitted exactly once (the planned preemption at `predicted`
+  // fired before the timeout — that is legal CUP behaviour).
+  EXPECT_FALSE(h.sched_.reservations().Has(1));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_EQ(r.jobs_killed, 0u);
+}
+
+TEST(EdgeTest, EverythingArrivesAtOnce) {
+  TraceBuilder builder(64);
+  for (int i = 0; i < 6; ++i) builder.AddRigid(0, 16, 1000 + i, 0, 2000);
+  builder.AddOnDemand(0, 16, 500, 0, 600);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 7u);
+  EXPECT_EQ(h.sched_.engine().cluster().CheckInvariants(), "");
+}
+
+TEST(EdgeTest, SingleNodeMachine) {
+  TraceBuilder builder(1);
+  builder.AddRigid(0, 1, 100, 0, 100);
+  builder.AddOnDemand(10, 1, 50, 0, 50);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 1.0);  // preempts the rigid job
+}
+
+TEST(EdgeTest, DrainVictimFinishesBeforeWarning) {
+  // The drained malleable job naturally completes before the 2-minute
+  // warning expires; the on-demand job picks its nodes up via routing.
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 64, 16, 5060, 0, 10000);  // ends at t=5060
+  builder.AddOnDemand(5000, 32, 500, 0, 600);       // drain would end 5120
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_EQ(r.preemptions, 0u);  // never actually drained
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 1.0);  // 60 s delay < 5 min threshold
+}
+
+TEST(EdgeTest, ShrunkJobDrainedByLaterArrival) {
+  // A malleable job shrunk for one on-demand job gets fully drained by a
+  // second, larger one.
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 60, 12, 50000, 100, 120000);
+  builder.AddOnDemand(5000, 30, 10000, 0, 12000);
+  builder.AddOnDemand(10000, 34, 500, 0, 600);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 3u);
+  EXPECT_GE(r.shrinks, 1u);
+  EXPECT_EQ(r.jobs_killed, 0u);
+  EXPECT_EQ(h.sched_.engine().cluster().CheckInvariants(), "");
+}
+
+TEST(EdgeTest, BaselineIgnoresNotices) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 10000, 0, 20000);
+  builder.AddOnDemand(5000, 32, 500, 0, 600, NoticeClass::kAccurate, 4000, 5000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(BaselineMechanism()));
+  h.Run(4500);
+  EXPECT_FALSE(h.sched_.reservations().Has(1));  // notice ignored
+  h.Run();
+  EXPECT_EQ(h.Finalize().jobs_completed, 2u);
+}
+
+TEST(EdgeTest, NMechanismIgnoresNoticesButActsAtArrival) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 10000, 0, 20000);
+  builder.AddOnDemand(5000, 32, 500, 0, 600, NoticeClass::kAccurate, 4000, 5000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run(4500);
+  EXPECT_FALSE(h.sched_.reservations().Has(1));  // N ignores the notice
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 1.0);  // but PAA still serves it
+}
+
+}  // namespace
+}  // namespace hs

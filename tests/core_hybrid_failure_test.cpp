@@ -1,0 +1,101 @@
+// Failure-injection extension: hardware failures interrupt executions like
+// unplanned preemptions; rigid jobs restart from their last checkpoint.
+#include <gtest/gtest.h>
+
+#include "hybrid_harness.h"
+
+namespace hs {
+namespace {
+
+using test::HybridHarness;
+using test::TestConfig;
+using test::TraceBuilder;
+
+HybridConfig FailingConfig(SimTime node_mtbf) {
+  HybridConfig config = TestConfig(BaselineMechanism());
+  config.engine.inject_failures = true;
+  config.engine.failure_node_mtbf = node_mtbf;
+  return config;
+}
+
+TEST(FailureTest, DisabledByDefault) {
+  const HybridConfig config = MakePaperConfig(BaselineMechanism());
+  EXPECT_FALSE(config.engine.inject_failures);
+}
+
+TEST(FailureTest, JobSurvivesFailuresAndCompletes) {
+  // Aggressive failures: a 32-node job with ~1000 s node MTBF fails every
+  // ~31 s of the 2000 s execution; it must still finish eventually because
+  // progress-free restarts... would loop forever for rigid jobs without
+  // checkpoints — use a malleable job (progress survives failures).
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 32, 8, 2000, 10, 100000);
+  HybridHarness h(std::move(builder).Build(), FailingConfig(100'000 * 32));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_EQ(r.jobs_killed, 0u);
+}
+
+TEST(FailureTest, RigidRestartsFromCheckpoint) {
+  HybridConfig config = FailingConfig(/*node mtbf*/ 3000LL * 8);  // job mtbf 3000 s
+  // Short checkpoint interval so restarts make progress.
+  config.engine.checkpoint.node_mtbf = 30 * kDay;  // Daly input (not failures)
+  config.engine.checkpoint.min_interval = 10 * kMinute;
+  config.engine.checkpoint.interval_scale = 0.05;
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 8, 6 * kHour, 10, 2 * kDay);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_GT(r.lost_node_hours, 0.0);     // work since last dump is lost
+  EXPECT_EQ(r.preemptions, 0u);          // failures are not preemptions
+  EXPECT_DOUBLE_EQ(r.rigid_preempt_ratio, 0.0);
+}
+
+TEST(FailureTest, DeterministicAcrossRuns) {
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 32, 8, 5000, 10, 100000);
+  builder.AddRigid(100, 16, 5000, 10, 100000);
+  Trace trace = std::move(builder).Build();
+  const HybridConfig config = FailingConfig(500'000);
+  HybridHarness a(Trace(trace), config);
+  HybridHarness b(Trace(trace), config);
+  a.Run();
+  b.Run();
+  const SimResult ra = a.Finalize();
+  const SimResult rb = b.Finalize();
+  EXPECT_EQ(ra.failures, rb.failures);
+  EXPECT_DOUBLE_EQ(ra.avg_turnaround_h, rb.avg_turnaround_h);
+}
+
+TEST(FailureTest, NoFailuresWithHugeMtbf) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 8, 1000, 0, 2000);
+  HybridHarness h(std::move(builder).Build(),
+                  FailingConfig(1'000'000LL * 365 * kDay));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(h.sim_.now(), 1000);
+}
+
+TEST(FailureTest, FailureDuringDrainStillServesOnDemand) {
+  HybridConfig config = FailingConfig(2'000 * 64);  // frequent failures
+  config.mechanism = {NoticePolicy::kNone, ArrivalPolicy::kPaa};
+  config.engine.malleable_flexible = true;
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 64, 16, 10000, 10, 100000);
+  builder.AddOnDemand(5000, 32, 500, 0, 1000);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_EQ(r.jobs_killed, 0u);
+  EXPECT_EQ(h.sched_.engine().cluster().CheckInvariants(), "");
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,135 @@
+// Malleable sizing behaviour: flexible starts, work conservation under
+// shrink/expand, and the incentive story (malleability increases the chance
+// of running).
+#include <gtest/gtest.h>
+
+#include "hybrid_harness.h"
+
+namespace hs {
+namespace {
+
+using test::HybridHarness;
+using test::TestConfig;
+using test::TraceBuilder;
+
+Mechanism NSpaa() { return {NoticePolicy::kNone, ArrivalPolicy::kSpaa}; }
+
+TEST(MalleableTest, StartsAtMaxWhenMachineEmpty) {
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 32, 8, 1000, 0, 1000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+  h.Run(0);
+  EXPECT_EQ(h.sched_.engine().Running(0)->alloc, 32);
+}
+
+TEST(MalleableTest, StartsShrunkOnCrowdedMachine) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 52, 10000, 0, 10000);
+  builder.AddMalleable(10, 32, 8, 1000, 0, 1000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+  h.Run(10);
+  // 12 nodes free: the malleable job takes all of them (min 8 <= 12 < 32).
+  EXPECT_EQ(h.sched_.engine().Running(1)->alloc, 12);
+}
+
+TEST(MalleableTest, WaitsBelowMinimum) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 60, 10000, 0, 10000);
+  builder.AddMalleable(10, 32, 8, 1000, 0, 1000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+  h.Run(10);
+  EXPECT_TRUE(h.sched_.engine().IsWaiting(1));  // only 4 free < min 8
+}
+
+TEST(MalleableTest, WorkConservationAcrossSizes) {
+  // The same job at different allocations must do the same node-seconds:
+  // 32 nodes x 1000 s at max; at 16 nodes it takes 2000 s.
+  for (const int rigid_size : {32, 48}) {
+    TraceBuilder builder(64);
+    builder.AddRigid(0, rigid_size, 100000, 0, 200000);
+    builder.AddMalleable(10, 32, 8, 1000, 0, 1000);
+    HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+    h.Run(200000);
+    const int alloc = 64 - rigid_size;
+    // Finish = start + work / alloc.
+    const SimTime expected_finish = 10 + (1000LL * 32) / alloc;
+    const SimResult r = h.Finalize();
+    EXPECT_EQ(r.jobs_completed, 2u);
+    EXPECT_NEAR(r.malleable_turnaround_h, ToHours(expected_finish - 10), 1e-6)
+        << "rigid_size=" << rigid_size;
+  }
+}
+
+TEST(MalleableTest, MalleabilityBeatsRigidityInTurnaround) {
+  // Two identical workloads except for the class of the second job: the
+  // malleable variant squeezes into the leftover nodes instead of waiting.
+  const SimTime long_run = 10000;
+  SimTime malleable_finish, rigid_finish;
+  {
+    TraceBuilder builder(64);
+    builder.AddRigid(0, 40, long_run, 0, long_run);
+    builder.AddMalleable(10, 32, 8, 1000, 0, 1000);
+    HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+    h.Run();
+    malleable_finish = h.sim_.now();
+  }
+  {
+    TraceBuilder builder(64);
+    builder.AddRigid(0, 40, long_run, 0, long_run);
+    builder.AddRigid(10, 32, 1000, 0, 1000);
+    HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+    h.Run();
+    rigid_finish = h.sim_.now();
+  }
+  // Malleable finishes its work while the machine is still busy (24 nodes:
+  // 32000/24 ~ 1343 s); the rigid version waits until t=10000.
+  EXPECT_LT(malleable_finish, rigid_finish);
+}
+
+TEST(MalleableTest, RepeatedShrinkExpandConservesWork) {
+  TraceBuilder builder(64);
+  const JobId mall = builder.AddMalleable(0, 48, 8, 10000, 0, 20000);
+  // Three consecutive on-demand bursts force shrink, expand, shrink, expand.
+  builder.AddOnDemand(1000, 30, 500, 0, 600);
+  builder.AddOnDemand(3000, 30, 500, 0, 600);
+  builder.AddOnDemand(5000, 30, 500, 0, 600);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 4u);
+  EXPECT_EQ(r.jobs_killed, 0u);
+  EXPECT_GE(r.shrinks, 3u);
+  EXPECT_GE(r.expands, 3u);
+  (void)mall;
+  // Work conservation: total useful node-seconds equal the trace demand, so
+  // utilization accounting must balance (no lost work for shrink/expand).
+  EXPECT_DOUBLE_EQ(r.lost_node_hours, 0.0);
+}
+
+TEST(MalleableTest, DrainedJobResumesAndCompletes) {
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 64, 16, 5000, 100, 12000);
+  builder.AddOnDemand(1000, 64, 1000, 0, 1500);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  // Shrinking cannot cover 64 nodes (min 16 > 0 remain), so the malleable
+  // job was drained (PAA fallback), then resumed after the on-demand job.
+  EXPECT_GE(r.preemptions, 1u);
+  EXPECT_DOUBLE_EQ(r.malleable_preempt_ratio, 1.0);
+}
+
+TEST(MalleableTest, SetupRepaidOnResumeCountsAsOverhead) {
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 64, 16, 5000, 100, 12000);
+  builder.AddOnDemand(1000, 64, 1000, 0, 1500);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NSpaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  // Setup paid at least twice (initial start + resume after drain).
+  EXPECT_GT(r.setup_node_hours, 100.0 * 64 / kHour * 1.5);
+}
+
+}  // namespace
+}  // namespace hs

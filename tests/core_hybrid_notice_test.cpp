@@ -1,0 +1,226 @@
+// Advance-notice mechanisms: CUA collection, CUP preparation, reservation
+// timeout, and backfilling on reserved nodes (§III-B1, §III-B4).
+#include <gtest/gtest.h>
+
+#include "hybrid_harness.h"
+
+namespace hs {
+namespace {
+
+using test::HybridHarness;
+using test::TestConfig;
+using test::TraceBuilder;
+
+Mechanism CuaPaa() { return {NoticePolicy::kCua, ArrivalPolicy::kPaa}; }
+Mechanism CupPaa() { return {NoticePolicy::kCup, ArrivalPolicy::kPaa}; }
+Mechanism CupSpaa() { return {NoticePolicy::kCup, ArrivalPolicy::kSpaa}; }
+
+TEST(CuaTest, ReservesFreeNodesAtNotice) {
+  TraceBuilder builder(64);
+  builder.AddOnDemand(2000, 32, 500, 0, 600, NoticeClass::kAccurate,
+                      /*notice=*/1000, /*predicted=*/2000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(CuaPaa()));
+  h.Run(1000);
+  EXPECT_EQ(h.sched_.engine().cluster().ReservedCount(0), 32);
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);
+}
+
+TEST(CuaTest, CollectsReleasedNodesUntilArrival) {
+  TraceBuilder builder(64);
+  // Machine full at notice time; a job releases 40 nodes before arrival.
+  builder.AddRigid(0, 40, 1500, 0, 1500);               // ends at 1500
+  builder.AddRigid(0, 24, 50000, 0, 100000);            // keeps running
+  builder.AddOnDemand(2000, 32, 500, 0, 600, NoticeClass::kAccurate, 1000, 2000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(CuaPaa()));
+  h.Run(1600);
+  // The release at t=1500 routed into the reservation.
+  EXPECT_EQ(h.sched_.engine().cluster().ReservedCount(2), 32);
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);
+  EXPECT_EQ(r.preemptions, 0u);  // CUA never preempts
+}
+
+TEST(CuaTest, EarliestNoticeWinsCompetition) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 1500, 0, 1500);  // releases everything at 1500
+  builder.AddOnDemand(2400, 40, 500, 0, 600, NoticeClass::kAccurate, 1100, 2400);
+  builder.AddOnDemand(2500, 40, 500, 0, 600, NoticeClass::kAccurate, 1200, 2500);
+  HybridHarness h(std::move(builder).Build(), TestConfig(CuaPaa()));
+  h.Run(1600);
+  // Job 1 (notice at 1100) outranks job 2 (notice at 1200): it gets its full
+  // 40 nodes; job 2 gets the remaining 24.
+  EXPECT_EQ(h.sched_.engine().cluster().ReservedCount(1), 40);
+  EXPECT_EQ(h.sched_.engine().cluster().ReservedCount(2), 24);
+  h.Run();
+  EXPECT_EQ(h.Finalize().jobs_completed, 3u);
+}
+
+TEST(CuaTest, ReservationTimeoutReleasesNodes) {
+  HybridConfig config = TestConfig(CuaPaa());
+  TraceBuilder builder(64);
+  // Late arrival 25 min after prediction: beyond the 10-minute timeout.
+  const SimTime predicted = 2000;
+  const SimTime actual = predicted + 25 * kMinute;
+  builder.AddRigid(0, 40, 90000, 0, 100000);  // fills the machine partially
+  builder.AddOnDemand(actual, 24, 500, 0, 600, NoticeClass::kLate, 1000, predicted);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run(predicted);
+  EXPECT_EQ(h.sched_.engine().cluster().ReservedCount(1), 24);
+  h.Run(predicted + 11 * kMinute);
+  // Timed out: nodes released back to the pool.
+  EXPECT_EQ(h.sched_.engine().cluster().ReservedCount(1), 0);
+  EXPECT_FALSE(h.sched_.reservations().Has(1));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  // The job still starts instantly at its (late) arrival: 24 free nodes.
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);
+}
+
+TEST(CuaTest, EarlyArrivalUsesArrivalPolicyForDeficit) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 50000, 100, 100000);
+  // Early arrival: notice at 1000 predicts 2800 but arrives at 1500.
+  builder.AddOnDemand(1500, 32, 500, 0, 600, NoticeClass::kEarly, 1000, 2800);
+  HybridHarness h(std::move(builder).Build(), TestConfig(CuaPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_GE(r.preemptions, 1u);  // PAA had to preempt at arrival
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 1.0);
+}
+
+TEST(CupTest, PreemptsRigidRightAfterCheckpoint) {
+  HybridConfig config = TestConfig(CupPaa());
+  // Force a short checkpoint interval so a dump completes before the
+  // predicted arrival.
+  config.engine.checkpoint.node_mtbf = 30 * kDay;
+  config.engine.checkpoint.min_interval = 10 * kMinute;
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 64, 10 * kHour, 100, 20 * kHour);
+  const SimTime notice = 2 * kHour;
+  const SimTime predicted = notice + 30 * kMinute;
+  builder.AddOnDemand(predicted, 32, 500, 0, 600, NoticeClass::kAccurate, notice,
+                      predicted);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  EXPECT_GE(r.preemptions, 1u);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);
+  // The victim was preempted right after a completed dump: zero lost work.
+  EXPECT_DOUBLE_EQ(r.lost_node_hours, 0.0);
+}
+
+TEST(CupTest, DrainsMalleableAheadOfPredictedArrival) {
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 64, 16, 50000, 100, 100000);
+  const SimTime notice = 5000;
+  const SimTime predicted = notice + 1800;
+  builder.AddOnDemand(predicted, 32, 500, 0, 600, NoticeClass::kAccurate, notice,
+                      predicted);
+  HybridHarness h(std::move(builder).Build(), TestConfig(CupSpaa()));
+  h.Run(predicted);
+  // The drain was scheduled so its warning expired by the predicted arrival:
+  // the on-demand job starts at its arrival with zero delay.
+  EXPECT_TRUE(h.sched_.engine().IsRunning(1));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);
+}
+
+TEST(CupTest, CountsUpcomingReleasesInsteadOfPreempting) {
+  TraceBuilder builder(64);
+  // This job's estimate ends before the predicted arrival: CUP must count
+  // it and preempt nothing.
+  builder.AddRigid(0, 40, 2000, 0, 2500);
+  builder.AddRigid(0, 24, 50000, 0, 100000);
+  const SimTime notice = 1000;
+  const SimTime predicted = notice + 1800;  // 2800 > 2500
+  builder.AddOnDemand(predicted, 32, 500, 0, 600, NoticeClass::kAccurate, notice,
+                      predicted);
+  HybridHarness h(std::move(builder).Build(), TestConfig(CupPaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.preemptions, 0u);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);
+}
+
+TEST(CupTest, EarlyArrivalCancelsOutstandingPlans) {
+  TraceBuilder builder(64);
+  builder.AddMalleable(0, 64, 16, 50000, 100, 100000);
+  // Early arrival long before the predicted time; the planned drain (at
+  // predicted - 120 s) must never fire a second preemption.
+  builder.AddOnDemand(1500, 32, 500, 0, 600, NoticeClass::kEarly, 1000, 2800);
+  HybridHarness h(std::move(builder).Build(), TestConfig(CupSpaa()));
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 2u);
+  // Exactly one shrink/drain served the job; the stale plan was discarded.
+  EXPECT_LE(r.preemptions + r.shrinks, 2u);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 1.0);
+}
+
+TEST(BackfillOnReservedTest, TenantRunsAndSurvivesWhenItFits) {
+  HybridConfig config = TestConfig(CuaPaa());
+  config.backfill_on_reserved = true;
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 40, 90000, 0, 100000);  // background load
+  // Notice far ahead: reservation holds 24 nodes for a long window.
+  const SimTime notice = 1000;
+  const SimTime predicted = notice + 30 * kMinute;
+  // Short job that fits entirely inside the reservation window.
+  builder.AddRigid(1200, 16, 300, 0, 400);
+  builder.AddOnDemand(predicted, 24, 500, 0, 600, NoticeClass::kAccurate, notice,
+                      predicted);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run(1300);
+  // The short job runs as a tenant on reserved nodes.
+  EXPECT_TRUE(h.sched_.engine().IsRunning(1));
+  EXPECT_TRUE(h.sched_.engine().Running(1)->is_tenant);
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 3u);
+  EXPECT_EQ(r.preemptions, 0u);  // tenant finished before the arrival
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 1.0);
+}
+
+TEST(BackfillOnReservedTest, TenantKilledOnEarlyArrival) {
+  HybridConfig config = TestConfig(CuaPaa());
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 40, 90000, 0, 100000);
+  // Long-ish tenant that would finish just before the predicted arrival.
+  builder.AddRigid(1200, 16, 1500, 0, 1700);
+  // Early arrival: predicted 2800+, actual 1500.
+  builder.AddOnDemand(1500, 24, 500, 0, 600, NoticeClass::kEarly, 1000, 2900);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run();
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, 3u);
+  EXPECT_GE(r.preemptions, 1u);  // the tenant was killed at arrival
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 1.0);
+}
+
+TEST(BackfillOnReservedTest, DisabledFlagKeepsReservedIdle) {
+  HybridConfig config = TestConfig(CuaPaa());
+  config.backfill_on_reserved = false;
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 40, 90000, 0, 100000);
+  builder.AddRigid(1200, 16, 300, 0, 400);
+  const SimTime predicted = 1000 + 30 * kMinute;
+  builder.AddOnDemand(predicted, 24, 500, 0, 600, NoticeClass::kAccurate, 1000,
+                      predicted);
+  HybridHarness h(std::move(builder).Build(), config);
+  h.Run(1300);
+  // Without tenant placement the short job cannot start (only reserved
+  // nodes are idle).
+  EXPECT_TRUE(h.sched_.engine().IsWaiting(1));
+  h.Run();
+  EXPECT_EQ(h.Finalize().jobs_completed, 3u);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,64 @@
+#include "core/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace hs {
+namespace {
+
+TEST(MechanismTest, SixPaperMechanisms) {
+  const auto& all = PaperMechanisms();
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(ToString(all[0]), "N&PAA");
+  EXPECT_EQ(ToString(all[1]), "N&SPAA");
+  EXPECT_EQ(ToString(all[2]), "CUA&PAA");
+  EXPECT_EQ(ToString(all[3]), "CUA&SPAA");
+  EXPECT_EQ(ToString(all[4]), "CUP&PAA");
+  EXPECT_EQ(ToString(all[5]), "CUP&SPAA");
+}
+
+TEST(MechanismTest, BaselineName) {
+  EXPECT_EQ(ToString(BaselineMechanism()), "FCFS/EASY");
+  EXPECT_TRUE(BaselineMechanism().is_baseline());
+}
+
+TEST(MechanismTest, ParseRoundTrip) {
+  for (const auto& m : PaperMechanisms()) {
+    EXPECT_EQ(ParseMechanism(ToString(m)), m);
+  }
+  EXPECT_EQ(ParseMechanism("FCFS/EASY"), BaselineMechanism());
+  EXPECT_EQ(ParseMechanism("baseline"), BaselineMechanism());
+}
+
+TEST(MechanismTest, ParseRejectsGarbage) {
+  EXPECT_THROW(ParseMechanism("XYZ"), std::invalid_argument);
+  EXPECT_THROW(ParseMechanism("N&XYZ"), std::invalid_argument);
+  EXPECT_THROW(ParseMechanism("FOO&PAA"), std::invalid_argument);
+}
+
+TEST(ConfigTest, PaperConfigDefaults) {
+  const HybridConfig config = MakePaperConfig(PaperMechanisms()[3]);
+  EXPECT_EQ(config.mechanism, PaperMechanisms()[3]);
+  EXPECT_TRUE(config.engine.malleable_flexible);
+  EXPECT_EQ(config.reservation_timeout, 10 * kMinute);
+  EXPECT_EQ(config.engine.drain_warning, 2 * kMinute);
+  EXPECT_EQ(config.Validate(), "");
+}
+
+TEST(ConfigTest, BaselineRunsMalleableRigidly) {
+  const HybridConfig config = MakePaperConfig(BaselineMechanism());
+  EXPECT_FALSE(config.engine.malleable_flexible);
+}
+
+TEST(ConfigTest, ValidateCatchesBadValues) {
+  HybridConfig config = MakePaperConfig(PaperMechanisms()[0]);
+  config.reservation_timeout = -1;
+  EXPECT_NE(config.Validate(), "");
+  config = MakePaperConfig(PaperMechanisms()[0]);
+  config.engine.checkpoint.interval_scale = 0.0;
+  EXPECT_NE(config.Validate(), "");
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,125 @@
+// Preemption-cost ordering and victim selection (core/preemption_cost.h)
+// plus the CUP planning helpers (core/advance_notice.h).
+#include <gtest/gtest.h>
+
+#include "core/advance_notice.h"
+#include "core/arrival.h"
+#include "core/preemption_cost.h"
+#include "hybrid_harness.h"
+
+namespace hs {
+namespace {
+
+using test::HybridHarness;
+using test::TestConfig;
+using test::TraceBuilder;
+
+Mechanism NPaa() { return {NoticePolicy::kNone, ArrivalPolicy::kPaa}; }
+
+TEST(SelectVictimsTest, GreedyPrefixCoversNeed) {
+  const std::vector<PreemptionCandidate> candidates = {
+      {1, 10, 100.0, false}, {2, 20, 200.0, false}, {3, 30, 300.0, false}};
+  const auto victims = SelectVictims(candidates, 25);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0].id, 1);
+  EXPECT_EQ(victims[1].id, 2);
+}
+
+TEST(SelectVictimsTest, InsufficientSupplyReturnsEmpty) {
+  const std::vector<PreemptionCandidate> candidates = {{1, 10, 100.0, false}};
+  EXPECT_TRUE(SelectVictims(candidates, 11).empty());
+}
+
+TEST(SelectVictimsTest, ZeroNeedReturnsEmpty) {
+  const std::vector<PreemptionCandidate> candidates = {{1, 10, 100.0, false}};
+  EXPECT_TRUE(SelectVictims(candidates, 0).empty());
+}
+
+TEST(SelectVictimsTest, ExactCover) {
+  const std::vector<PreemptionCandidate> candidates = {{1, 10, 1.0, false},
+                                                       {2, 10, 2.0, false}};
+  const auto victims = SelectVictims(candidates, 20);
+  EXPECT_EQ(victims.size(), 2u);
+}
+
+TEST(ListCandidatesTest, SortedByCostAndFiltersProtected) {
+  TraceBuilder builder(64);
+  const JobId rigid = builder.AddRigid(0, 16, 10000, 500, 20000);
+  const JobId mall = builder.AddMalleable(0, 16, 4, 10000, 100, 20000);
+  const JobId od = builder.AddOnDemand(0, 16, 10000, 0, 10000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run(5000);
+  const auto candidates = ListPreemptionCandidates(h.sched_.engine(), 5000);
+  // The on-demand job is excluded; the malleable job (setup-only cost)
+  // precedes the rigid one (lost work).
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].id, mall);
+  EXPECT_TRUE(candidates[0].malleable);
+  EXPECT_EQ(candidates[1].id, rigid);
+  EXPECT_LT(candidates[0].cost, candidates[1].cost);
+  (void)od;
+}
+
+TEST(ExpectedReleasesTest, CountsOnlyJobsEndingInWindow) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 16, 1000, 0, 1000);    // est end 1000
+  builder.AddRigid(0, 16, 1000, 0, 50000);   // est end 50000 (pessimistic user)
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run(0);
+  EXPECT_EQ(ExpectedReleaseNodes(h.sched_.engine(), 0, 2000), 16);
+  EXPECT_EQ(ExpectedReleaseNodes(h.sched_.engine(), 0, 60000), 32);
+  EXPECT_EQ(ExpectedReleaseNodes(h.sched_.engine(), 0, 500), 0);
+}
+
+TEST(CupPlanTest, PrefersCheapVictims) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 24, 50000, 1000, 100000);       // expensive: lost work
+  builder.AddMalleable(0, 24, 6, 50000, 100, 100000);  // cheap: setup only
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run(5000);
+  const auto plan =
+      PlanCupPreemptions(h.sched_.engine(), 5000, 7000, 20, 2 * kMinute);
+  ASSERT_GE(plan.size(), 1u);
+  EXPECT_EQ(plan[0].victim, 1);
+  EXPECT_TRUE(plan[0].drain);
+  EXPECT_EQ(plan[0].fire_time, 7000 - 2 * kMinute);
+}
+
+TEST(CupPlanTest, SkipsJobsEndingBeforeArrival) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 24, 1000, 0, 1000);  // ends long before pa
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run(0);
+  const auto plan = PlanCupPreemptions(h.sched_.engine(), 0, 5000, 20, 120);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(CupPlanTest, CoversDeficitWhenPossible) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 16, 50000, 100, 100000);
+  builder.AddRigid(0, 16, 50000, 100, 100000);
+  builder.AddRigid(0, 16, 50000, 100, 100000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run(100);
+  const auto plan = PlanCupPreemptions(h.sched_.engine(), 100, 5000, 40, 120);
+  int covered = 0;
+  for (const auto& step : plan) covered += step.alloc;
+  EXPECT_GE(covered, 40);
+  EXPECT_EQ(plan.size(), 3u);  // 16+16 < 40, needs all three
+}
+
+TEST(ShrinkSupplyTest, ListsOnlyFlexibleRunningJobs) {
+  TraceBuilder builder(64);
+  builder.AddRigid(0, 16, 10000, 0, 20000);
+  const JobId mall = builder.AddMalleable(0, 24, 6, 10000, 0, 20000);
+  HybridHarness h(std::move(builder).Build(), TestConfig(NPaa()));
+  h.Run(100);
+  const auto shrinkable = ListShrinkable(h.sched_.engine());
+  ASSERT_EQ(shrinkable.size(), 1u);
+  EXPECT_EQ(shrinkable[0].first, mall);
+  EXPECT_EQ(shrinkable[0].second, 18);  // 24 - 6
+  EXPECT_EQ(TotalShrinkSupply(h.sched_.engine()), 18);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,126 @@
+// Experiment-harness tests: scenario determinism, grid shapes, result
+// aggregation, and the metric plumbing used by the benches.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "exp/paper_tables.h"
+
+namespace hs {
+namespace {
+
+ScenarioConfig TinyScenario() {
+  ScenarioConfig config = MakePaperScenario(1, "W5");
+  config.theta.num_nodes = 512;
+  config.theta.projects.max_job_size = 512;
+  config.theta.projects.num_projects = 20;
+  return config;
+}
+
+TEST(ScenarioTest, DeterministicInSeed) {
+  const Trace a = BuildScenarioTrace(TinyScenario(), 5);
+  const Trace b = BuildScenarioTrace(TinyScenario(), 5);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].klass, b.jobs[i].klass);
+    EXPECT_EQ(a.jobs[i].notice, b.jobs[i].notice);
+    EXPECT_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+  }
+}
+
+TEST(ScenarioTest, NoticeMixApplied) {
+  ScenarioConfig config = TinyScenario();
+  config.notice_mix = "W1";
+  const Trace trace = BuildScenarioTrace(config, 6);
+  std::size_t none = 0, total = 0;
+  for (const auto& job : trace.jobs) {
+    if (!job.is_on_demand()) continue;
+    ++total;
+    none += job.notice == NoticeClass::kNone;
+  }
+  if (total >= 20) {
+    EXPECT_GT(static_cast<double>(none) / total, 0.4);  // W1: 70% no-notice
+  }
+}
+
+TEST(ScenarioTest, NameEncodesMix) {
+  const Trace trace = BuildScenarioTrace(TinyScenario(), 7);
+  EXPECT_NE(trace.name.find("W5"), std::string::npos);
+}
+
+TEST(ExperimentTest, BuildTracesUsesDistinctSeeds) {
+  ThreadPool pool(2);
+  const auto traces = BuildTraces(TinyScenario(), 3, 100, pool);
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_NE(traces[0].jobs.size(), traces[1].jobs.size());
+}
+
+TEST(ExperimentTest, RunGridShape) {
+  ThreadPool pool(4);
+  const auto traces = BuildTraces(TinyScenario(), 2, 200, pool);
+  const std::vector<HybridConfig> configs = {
+      MakePaperConfig(BaselineMechanism()),
+      MakePaperConfig(PaperMechanisms()[1]),
+      MakePaperConfig(PaperMechanisms()[3]),
+  };
+  const auto grid = RunGrid(traces, configs, pool);
+  ASSERT_EQ(grid.size(), 3u);
+  for (const auto& row : grid) {
+    ASSERT_EQ(row.size(), 2u);
+    for (const auto& r : row) EXPECT_GT(r.jobs_completed, 0u);
+  }
+}
+
+TEST(ExperimentTest, MeanResultAveragesAndAccumulates) {
+  SimResult a, b;
+  a.avg_turnaround_h = 10.0;
+  b.avg_turnaround_h = 20.0;
+  a.utilization = 0.8;
+  b.utilization = 0.9;
+  a.jobs_completed = 100;
+  b.jobs_completed = 50;
+  a.decision_max_us = 5.0;
+  b.decision_max_us = 9.0;
+  const SimResult mean = MeanResult({a, b});
+  EXPECT_DOUBLE_EQ(mean.avg_turnaround_h, 15.0);
+  EXPECT_NEAR(mean.utilization, 0.85, 1e-12);
+  EXPECT_EQ(mean.jobs_completed, 150u);   // counters accumulate
+  EXPECT_DOUBLE_EQ(mean.decision_max_us, 9.0);  // max of maxima
+}
+
+TEST(ExperimentTest, MeanResultOfEmptyIsZero) {
+  const SimResult mean = MeanResult({});
+  EXPECT_DOUBLE_EQ(mean.avg_turnaround_h, 0.0);
+  EXPECT_EQ(mean.jobs_completed, 0u);
+}
+
+TEST(PaperTablesTest, MetricExtraction) {
+  SimResult r;
+  r.avg_turnaround_h = 12.5;
+  r.utilization = 0.84;
+  r.od_instant_rate = 0.98;
+  r.rigid_preempt_ratio = 0.03;
+  r.malleable_preempt_ratio = 0.15;
+  r.rigid_turnaround_h = 14.0;
+  r.malleable_turnaround_h = 11.0;
+  r.od_turnaround_h = 2.0;
+  EXPECT_DOUBLE_EQ(ExtractMetric(r, MetricKind::kAvgTurnaroundH), 12.5);
+  EXPECT_DOUBLE_EQ(ExtractMetric(r, MetricKind::kUtilization), 0.84);
+  EXPECT_DOUBLE_EQ(ExtractMetric(r, MetricKind::kOdInstantRate), 0.98);
+  EXPECT_DOUBLE_EQ(ExtractMetric(r, MetricKind::kRigidPreemptRatio), 0.03);
+  EXPECT_DOUBLE_EQ(ExtractMetric(r, MetricKind::kMalleablePreemptRatio), 0.15);
+  EXPECT_DOUBLE_EQ(ExtractMetric(r, MetricKind::kRigidTurnaroundH), 14.0);
+  EXPECT_DOUBLE_EQ(ExtractMetric(r, MetricKind::kMalleableTurnaroundH), 11.0);
+  EXPECT_DOUBLE_EQ(ExtractMetric(r, MetricKind::kOdTurnaroundH), 2.0);
+}
+
+TEST(PaperTablesTest, MetricMetadata) {
+  for (const MetricKind kind : Fig6Metrics()) {
+    EXPECT_STRNE(MetricName(kind), "?");
+  }
+  EXPECT_TRUE(MetricIsPercent(MetricKind::kUtilization));
+  EXPECT_FALSE(MetricIsPercent(MetricKind::kAvgTurnaroundH));
+  EXPECT_EQ(Fig6Metrics().size(), 7u);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,118 @@
+// Shared test harness for HybridScheduler behaviour tests: a fluent trace
+// builder for small hand-crafted scenarios plus an owning wrapper that
+// exposes the simulator and scheduler internals mid-run.
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "core/hybrid_scheduler.h"
+
+namespace hs::test {
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(int num_nodes) { trace_.num_nodes = num_nodes; }
+
+  /// Jobs must be added in non-decreasing submit order; ids are dense and
+  /// equal to the order of addition.
+  JobId AddRigid(SimTime submit, int size, SimTime compute, SimTime setup,
+                 SimTime estimate) {
+    JobRecord rec;
+    rec.id = static_cast<JobId>(trace_.jobs.size());
+    rec.klass = JobClass::kRigid;
+    rec.submit_time = submit;
+    rec.size = size;
+    rec.min_size = size;
+    rec.compute_time = compute;
+    rec.setup_time = setup;
+    rec.estimate = estimate;
+    Push(rec);
+    return rec.id;
+  }
+
+  JobId AddMalleable(SimTime submit, int max, int min, SimTime compute, SimTime setup,
+                     SimTime estimate) {
+    JobRecord rec;
+    rec.id = static_cast<JobId>(trace_.jobs.size());
+    rec.klass = JobClass::kMalleable;
+    rec.submit_time = submit;
+    rec.size = max;
+    rec.min_size = min;
+    rec.compute_time = compute;
+    rec.setup_time = setup;
+    rec.estimate = estimate;
+    Push(rec);
+    return rec.id;
+  }
+
+  /// `notice`: kNone means no advance notice; otherwise notice_time and
+  /// predicted must be provided consistently with the category.
+  JobId AddOnDemand(SimTime submit, int size, SimTime compute, SimTime setup,
+                    SimTime estimate, NoticeClass notice = NoticeClass::kNone,
+                    SimTime notice_time = kNever, SimTime predicted = kNever) {
+    JobRecord rec;
+    rec.id = static_cast<JobId>(trace_.jobs.size());
+    rec.klass = JobClass::kOnDemand;
+    rec.notice = notice;
+    rec.submit_time = submit;
+    rec.notice_time = notice_time;
+    rec.predicted_arrival = predicted;
+    rec.size = size;
+    rec.min_size = size;
+    rec.compute_time = compute;
+    rec.setup_time = setup;
+    rec.estimate = estimate;
+    Push(rec);
+    return rec.id;
+  }
+
+  Trace Build() && { return std::move(trace_); }
+
+ private:
+  void Push(const JobRecord& rec) {
+    assert(trace_.jobs.empty() || trace_.jobs.back().submit_time <= rec.submit_time);
+    trace_.jobs.push_back(rec);
+  }
+
+  Trace trace_;
+};
+
+/// Owns the full simulation stack and exposes it for inspection.
+class HybridHarness : public EventHandler {
+ public:
+  HybridHarness(Trace trace, HybridConfig config)
+      : trace_(std::move(trace)),
+        collector_(config.instant_threshold),
+        sim_(*this),
+        sched_(trace_, config, collector_, sim_) {
+    sched_.Prime();
+  }
+
+  void HandleEvent(const Event& e, Simulator& s) override { sched_.HandleEvent(e, s); }
+  void OnQuiescent(SimTime now, Simulator& s) override { sched_.OnQuiescent(now, s); }
+
+  /// Runs to completion (or to `until`).
+  void Run(SimTime until = kNever) { sim_.Run(until); }
+
+  SimResult Finalize() const {
+    return collector_.Finalize(trace_.num_nodes,
+                               sched_.engine().cluster().busy_node_seconds());
+  }
+
+  Trace trace_;
+  Collector collector_;
+  Simulator sim_;
+  HybridScheduler sched_;
+};
+
+/// Paper-default config for a mechanism with checkpointing effectively
+/// disabled (tiny traces never reach a Daly interval anyway) so tests can
+/// reason about exact timings.
+inline HybridConfig TestConfig(const Mechanism& mechanism) {
+  HybridConfig config = MakePaperConfig(mechanism);
+  config.engine.checkpoint.node_mtbf = 1000LL * 365 * kDay;
+  return config;
+}
+
+}  // namespace hs::test

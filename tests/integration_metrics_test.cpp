@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "metrics/collector.h"
+#include "metrics/report.h"
+#include "metrics/timeseries.h"
+#include "metrics/utilization.h"
+
+namespace hs {
+namespace {
+
+JobRecord MakeJob(JobId id, JobClass klass, int size, SimTime compute) {
+  JobRecord rec;
+  rec.id = id;
+  rec.klass = klass;
+  rec.size = size;
+  rec.min_size = klass == JobClass::kMalleable ? std::max(1, size / 5) : size;
+  rec.compute_time = compute;
+  rec.estimate = compute;
+  return rec;
+}
+
+TEST(CollectorTest, TurnaroundPerClass) {
+  Collector c;
+  const auto rigid = MakeJob(0, JobClass::kRigid, 10, 100);
+  const auto od = MakeJob(1, JobClass::kOnDemand, 10, 100);
+  c.OnSubmit(rigid, 0);
+  c.OnStart(rigid, 50, 10, false);
+  c.OnFinish(rigid, 3600);
+  c.OnSubmit(od, 0);
+  c.OnStart(od, 0, 10, false);
+  c.OnFinish(od, 7200);
+  const SimResult r = c.Finalize(100, 0.0);
+  EXPECT_DOUBLE_EQ(r.rigid_turnaround_h, 1.0);
+  EXPECT_DOUBLE_EQ(r.od_turnaround_h, 2.0);
+  EXPECT_DOUBLE_EQ(r.avg_turnaround_h, 1.5);
+  EXPECT_EQ(r.jobs_completed, 2u);
+}
+
+TEST(CollectorTest, InstantStartThresholds) {
+  Collector c(300);
+  for (int i = 0; i < 4; ++i) {
+    const auto od = MakeJob(i, JobClass::kOnDemand, 10, 100);
+    c.OnSubmit(od, 0);
+    // Delays: 0, 120, 299, 301.
+    const SimTime delay = (i == 0) ? 0 : (i == 1) ? 120 : (i == 2) ? 299 : 301;
+    c.OnStart(od, delay, 10, false);
+    c.OnFinish(od, 1000 + delay);
+  }
+  const SimResult r = c.Finalize(100, 0.0);
+  EXPECT_DOUBLE_EQ(r.od_instant_rate, 0.75);         // <= 300 s
+  EXPECT_DOUBLE_EQ(r.od_instant_rate_strict, 0.25);  // == 0 s
+  EXPECT_NEAR(r.od_avg_delay_s, (0 + 120 + 299 + 301) / 4.0, 1e-9);
+}
+
+TEST(CollectorTest, PreemptionRatiosCountDistinctJobs) {
+  Collector c;
+  const auto r1 = MakeJob(0, JobClass::kRigid, 10, 100);
+  const auto r2 = MakeJob(1, JobClass::kRigid, 10, 100);
+  c.OnSubmit(r1, 0);
+  c.OnSubmit(r2, 0);
+  // r1 preempted twice (still one preempted job).
+  c.OnPreempt(r1, 10, 500.0, PreemptKind::kArrivalKill);
+  c.OnPreempt(r1, 20, 500.0, PreemptKind::kArrivalKill);
+  c.OnFinish(r1, 100);
+  c.OnFinish(r2, 100);
+  const SimResult result = c.Finalize(100, 0.0);
+  EXPECT_DOUBLE_EQ(result.rigid_preempt_ratio, 0.5);
+  EXPECT_EQ(result.preemptions, 2u);
+  EXPECT_DOUBLE_EQ(result.lost_node_hours, 1000.0 / kHour);
+}
+
+TEST(CollectorTest, UtilizationExcludesOverheads) {
+  Collector c;
+  const auto job = MakeJob(0, JobClass::kRigid, 10, 1000);
+  c.OnSubmit(job, 0);
+  c.OnStart(job, 0, 10, false);
+  c.OnSetupPaid(job, 1000.0);  // 100 s of setup on 10 nodes
+  c.OnCheckpointOverhead(job, 600.0);
+  c.OnFinish(job, 2000);
+  const SimResult r = c.Finalize(10, 20000.0);
+  // Strictly useful work: 1000 s x 10 nodes over 10 nodes x 2000 s = 0.5.
+  // The paper-definition utilization only subtracts preemption waste (none
+  // here), so it equals the allocated utilization.
+  EXPECT_DOUBLE_EQ(r.useful_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(r.allocated_utilization, 1.0);
+}
+
+TEST(CollectorTest, KilledJobsNotCountedCompleted) {
+  Collector c;
+  const auto job = MakeJob(0, JobClass::kRigid, 10, 1000);
+  c.OnSubmit(job, 0);
+  c.OnStart(job, 0, 10, false);
+  c.OnKill(job, 500, 5000.0);
+  const SimResult r = c.Finalize(10, 0.0);
+  EXPECT_EQ(r.jobs_completed, 0u);
+  EXPECT_EQ(r.jobs_killed, 1u);
+  EXPECT_DOUBLE_EQ(r.lost_node_hours, 5000.0 / kHour);
+}
+
+TEST(CollectorTest, ResubmissionKeepsFirstTimes) {
+  Collector c;
+  const auto job = MakeJob(0, JobClass::kRigid, 10, 1000);
+  c.OnSubmit(job, 100);
+  c.OnStart(job, 200, 10, false);
+  c.OnPreempt(job, 500, 0.0, PreemptKind::kArrivalKill);
+  c.OnStart(job, 900, 10, true);  // restart
+  c.OnFinish(job, 3700);
+  const SimResult r = c.Finalize(10, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_turnaround_h, 1.0);          // 3700 - 100
+  EXPECT_DOUBLE_EQ(r.avg_wait_h, 100.0 / kHour);      // first start - submit
+}
+
+TEST(UtilizationTrackerTest, WindowedMeans) {
+  UtilizationTracker t(10);
+  t.Record(0, 5);
+  t.Record(100, 10);
+  t.Record(200, 0);
+  EXPECT_DOUBLE_EQ(t.MeanBusyFraction(0, 100), 0.5);
+  EXPECT_DOUBLE_EQ(t.MeanBusyFraction(100, 200), 1.0);
+  EXPECT_DOUBLE_EQ(t.MeanBusyFraction(0, 200), 0.75);
+  EXPECT_DOUBLE_EQ(t.MeanBusyFraction(150, 250), 0.5);
+}
+
+TEST(UtilizationTrackerTest, RejectsTimeTravel) {
+  UtilizationTracker t(10);
+  t.Record(100, 5);
+  EXPECT_THROW(t.Record(50, 5), std::runtime_error);
+}
+
+TEST(TimeSeriesTest, BucketSums) {
+  TimeSeries s;
+  s.Add(10, 1.0);
+  s.Add(20, 2.0);
+  s.Add(110, 5.0);
+  const auto sums = s.BucketSums(100, 300);
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 5.0);
+  EXPECT_DOUBLE_EQ(sums[2], 0.0);
+}
+
+TEST(TimeSeriesTest, BucketMeans) {
+  TimeSeries s;
+  s.Add(10, 1.0);
+  s.Add(20, 3.0);
+  const auto means = s.BucketMeans(100, 200);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 0.0);
+}
+
+TEST(SparklineTest, RendersOneCharPerValue) {
+  EXPECT_EQ(Sparkline({0.0, 0.5, 1.0}).size(), 3u);
+  EXPECT_EQ(Sparkline({}), "");
+}
+
+TEST(ReportTest, BaselineTableContainsPaperColumns) {
+  SimResult r;
+  r.avg_turnaround_h = 15.6;
+  r.utilization = 0.8393;
+  r.od_instant_rate = 0.2269;
+  const std::string table = RenderBaselineTable(r);
+  EXPECT_NE(table.find("15.6 hours"), std::string::npos);
+  EXPECT_NE(table.find("83.93%"), std::string::npos);
+  EXPECT_NE(table.find("22.69%"), std::string::npos);
+}
+
+TEST(ReportTest, MetricGridShapeValidation) {
+  EXPECT_THROW(RenderMetricGrid("m", {"a", "b"}, {"w"}, {{1.0}}), std::invalid_argument);
+  const std::string grid = RenderMetricGrid("util", {"N&PAA"}, {"W1", "W2"},
+                                            {{0.9, 0.91}}, 1, true);
+  EXPECT_NE(grid.find("90.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs

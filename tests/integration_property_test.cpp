@@ -1,0 +1,106 @@
+// Property-based integration tests: system invariants that must hold for
+// every mechanism on randomized workloads.
+#include <gtest/gtest.h>
+
+#include "hybrid_harness.h"
+#include "exp/scenario.h"
+
+namespace hs {
+namespace {
+
+using test::HybridHarness;
+
+ScenarioConfig PropertyScenario() {
+  ScenarioConfig config = MakePaperScenario(/*weeks=*/1, "W5");
+  config.theta.num_nodes = 512;
+  config.theta.projects.max_job_size = 512;
+  config.theta.projects.num_projects = 24;
+  config.theta.target_load = 0.85;
+  return config;
+}
+
+struct PropertyCase {
+  std::size_t mechanism_index;  // 0..5 paper mechanisms, 6 = baseline
+  std::uint64_t seed;
+};
+
+class MechanismProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(MechanismProperties, InvariantsHold) {
+  const auto [mech_idx, seed] = GetParam();
+  const Mechanism mechanism =
+      mech_idx < 6 ? PaperMechanisms()[mech_idx] : BaselineMechanism();
+  const Trace trace = BuildScenarioTrace(PropertyScenario(), seed);
+  ASSERT_EQ(trace.Validate(), "");
+
+  HybridHarness h(Trace(trace), MakePaperConfig(mechanism));
+  h.Run();
+
+  // 1. The simulation drains: no events, no running jobs, no waiting jobs.
+  EXPECT_TRUE(h.sim_.exhausted());
+  EXPECT_EQ(h.sched_.engine().running_count(), 0u);
+  EXPECT_EQ(h.sched_.engine().queue().size(), 0u);
+
+  // 2. The cluster returns to a fully free state with intact invariants.
+  EXPECT_EQ(h.sched_.engine().cluster().free_count(), trace.num_nodes);
+  EXPECT_EQ(h.sched_.engine().cluster().busy_count(), 0);
+  EXPECT_EQ(h.sched_.engine().cluster().reserved_idle_count(), 0);
+  EXPECT_EQ(h.sched_.engine().cluster().CheckInvariants(), "");
+
+  // 3. Every job completes exactly once; none is killed at its estimate.
+  const SimResult r = h.Finalize();
+  EXPECT_EQ(r.jobs_completed, trace.jobs.size());
+  EXPECT_EQ(r.jobs_killed, 0u);
+
+  // 4. No outstanding leases or reservations.
+  EXPECT_EQ(h.sched_.ledger().TotalOutstanding(), 0u);
+  EXPECT_TRUE(h.sched_.reservations().Snapshot().empty());
+
+  // 5. Conservation: allocated node-seconds equal useful work + setup +
+  //    checkpoints + lost computation (within integer-rounding slack of the
+  //    malleable progress model).
+  const double allocated = h.sched_.engine().cluster().busy_node_seconds();
+  double useful = 0.0;
+  for (const auto& job : trace.jobs) useful += static_cast<double>(job.total_work());
+  const double overheads = (r.setup_node_hours + r.checkpoint_node_hours +
+                            r.lost_node_hours) * kHour;
+  const double slack = 2.0 * static_cast<double>(trace.num_nodes) *
+                       static_cast<double>(trace.jobs.size());
+  EXPECT_NEAR(allocated, useful + overheads, slack)
+      << ToString(mechanism) << " seed=" << seed;
+
+  // 6. Rates and ratios are proper fractions.
+  EXPECT_GE(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  EXPECT_LE(r.allocated_utilization, 1.0 + 1e-9);
+  EXPECT_GE(r.od_instant_rate, r.od_instant_rate_strict);
+  EXPECT_LE(r.od_instant_rate, 1.0 + 1e-9);
+  EXPECT_LE(r.rigid_preempt_ratio, 1.0);
+  EXPECT_LE(r.malleable_preempt_ratio, 1.0);
+}
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  for (std::size_t m = 0; m <= 6; ++m) {
+    for (const std::uint64_t seed : {1ULL, 2ULL}) {
+      cases.push_back({m, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MechanismProperties, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      const Mechanism mechanism = info.param.mechanism_index < 6
+                                      ? PaperMechanisms()[info.param.mechanism_index]
+                                      : BaselineMechanism();
+      std::string name = ToString(mechanism);
+      for (char& c : name) {
+        if (c == '&' || c == '/') c = '_';
+      }
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace hs

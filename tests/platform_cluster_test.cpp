@@ -1,0 +1,175 @@
+#include "platform/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+TEST(ClusterTest, InitialStateAllFree) {
+  Cluster c(16);
+  EXPECT_EQ(c.num_nodes(), 16);
+  EXPECT_EQ(c.free_count(), 16);
+  EXPECT_EQ(c.busy_count(), 0);
+  EXPECT_EQ(c.reserved_idle_count(), 0);
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, StartAndFinishRoundTrip) {
+  Cluster c(16);
+  const auto nodes = c.StartFromFree(1, 10);
+  EXPECT_EQ(nodes.size(), 10u);
+  EXPECT_EQ(c.free_count(), 6);
+  EXPECT_EQ(c.busy_count(), 10);
+  EXPECT_TRUE(c.IsRunning(1));
+  EXPECT_EQ(c.CheckInvariants(), "");
+  const auto released = c.Finish(1);
+  EXPECT_EQ(released.size(), 10u);
+  EXPECT_EQ(c.free_count(), 16);
+  EXPECT_FALSE(c.IsRunning(1));
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, StartBeyondFreeThrows) {
+  Cluster c(8);
+  EXPECT_THROW(c.StartFromFree(1, 9), std::runtime_error);
+}
+
+TEST(ClusterTest, DoubleStartThrows) {
+  Cluster c(8);
+  c.StartFromFree(1, 2);
+  EXPECT_THROW(c.StartFromFree(1, 2), std::runtime_error);
+}
+
+TEST(ClusterTest, FinishUnknownThrows) {
+  Cluster c(8);
+  EXPECT_THROW(c.Finish(42), std::runtime_error);
+}
+
+TEST(ClusterTest, ShrinkReleasesNodes) {
+  Cluster c(16);
+  c.StartFromFree(1, 10);
+  const auto released = c.ReleaseSome(1, 4);
+  EXPECT_EQ(released.size(), 4u);
+  EXPECT_EQ(c.AllocCount(1), 6);
+  EXPECT_EQ(c.free_count(), 10);
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, ExpandFromFree) {
+  Cluster c(16);
+  c.StartFromFree(1, 4);
+  c.ExpandFromFree(1, 6);
+  EXPECT_EQ(c.AllocCount(1), 10);
+  EXPECT_EQ(c.free_count(), 6);
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, ReservationLifecycle) {
+  Cluster c(16);
+  const int got = c.ReserveFromFree(7, 5);
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(c.reserved_idle_count(), 5);
+  EXPECT_EQ(c.free_count(), 11);
+  EXPECT_EQ(c.ReservedCount(7), 5);
+  EXPECT_EQ(c.ReservedIdleCount(7), 5);
+  const auto freed = c.Unreserve(7);
+  EXPECT_EQ(freed.size(), 5u);
+  EXPECT_EQ(c.free_count(), 16);
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, ReserveMoreThanFreeClamps) {
+  Cluster c(8);
+  c.StartFromFree(1, 6);
+  EXPECT_EQ(c.ReserveFromFree(7, 5), 2);
+  EXPECT_EQ(c.ReservedCount(7), 2);
+}
+
+TEST(ClusterTest, FinishReturnsReservedNodesToReservation) {
+  Cluster c(16);
+  c.ReserveFromFree(7, 4);
+  // Tenant starts on the reserved nodes.
+  const auto idle = c.ReservedIdleNodes(7);
+  c.StartOn(2, idle);
+  EXPECT_EQ(c.ReservedIdleCount(7), 0);
+  EXPECT_EQ(c.ReservedCount(7), 4);
+  EXPECT_EQ(c.busy_count(), 4);
+  const auto tenants = c.TenantsOf(7);
+  ASSERT_EQ(tenants.size(), 1u);
+  EXPECT_EQ(tenants[0], 2);
+  // Tenant finishes: nodes snap back to reserved-idle, not free.
+  const auto released = c.Finish(2);
+  EXPECT_EQ(released.size(), 4u);
+  EXPECT_EQ(c.ReservedIdleCount(7), 4);
+  EXPECT_EQ(c.free_count(), 12);
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, UnreserveWithTenantKeepsTenantRunning) {
+  Cluster c(16);
+  c.ReserveFromFree(7, 4);
+  c.StartOn(2, c.ReservedIdleNodes(7));
+  const auto freed = c.Unreserve(7);
+  EXPECT_TRUE(freed.empty());  // all 4 were tenant-occupied
+  EXPECT_TRUE(c.IsRunning(2));
+  EXPECT_EQ(c.ReservedCount(7), 0);
+  // Tenant finish now frees normally.
+  c.Finish(2);
+  EXPECT_EQ(c.free_count(), 16);
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, StartOnReservationConsumesIdleAndFree) {
+  Cluster c(16);
+  c.ReserveFromFree(7, 4);
+  const auto nodes = c.StartOnReservation(7, 3);
+  EXPECT_EQ(nodes.size(), 7u);
+  EXPECT_EQ(c.busy_count(), 7);
+  EXPECT_EQ(c.ReservedCount(7), 0);  // reservation fully consumed
+  EXPECT_EQ(c.reserved_idle_count(), 0);
+  EXPECT_EQ(c.free_count(), 9);
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, ReserveSpecificRequiresFreeNodes) {
+  Cluster c(8);
+  const auto nodes = c.StartFromFree(1, 2);
+  EXPECT_THROW(c.ReserveSpecific(7, nodes), std::runtime_error);
+}
+
+TEST(ClusterTest, ShrinkPrefersUnreservedNodes) {
+  Cluster c(16);
+  c.ReserveFromFree(7, 4);
+  // Tenant spans reserved + free nodes.
+  auto idle = c.ReservedIdleNodes(7);
+  c.StartOn(2, idle);
+  c.ExpandFromFree(2, 4);
+  EXPECT_EQ(c.AllocCount(2), 8);
+  // Shrinking by 4 must give back the plain nodes first.
+  const auto released = c.ReleaseSome(2, 4);
+  for (const int node : released) {
+    EXPECT_EQ(c.reserved_for(node), kNoJob);
+  }
+  EXPECT_EQ(c.ReservedCount(7), 4);
+  EXPECT_EQ(c.CheckInvariants(), "");
+}
+
+TEST(ClusterTest, TimeIntegralsAccumulate) {
+  Cluster c(10);
+  c.Touch(0);
+  c.StartFromFree(1, 4);
+  c.Touch(100);  // 4 busy for 100 s
+  EXPECT_DOUBLE_EQ(c.busy_node_seconds(), 400.0);
+  c.ReserveFromFree(7, 2);
+  c.Touch(200);  // +4 busy, +2 reserved-idle for 100 s
+  EXPECT_DOUBLE_EQ(c.busy_node_seconds(), 800.0);
+  EXPECT_DOUBLE_EQ(c.reserved_idle_node_seconds(), 200.0);
+}
+
+TEST(ClusterTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Cluster(0), std::invalid_argument);
+  EXPECT_THROW(Cluster(-5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,60 @@
+#include "platform/lease_ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+TEST(LeaseLedgerTest, RecordAndTakePreservesOrder) {
+  LeaseLedger ledger;
+  ledger.Record(7, 1, 10, LeaseKind::kPreempted);
+  ledger.Record(7, 2, 5, LeaseKind::kShrunk);
+  ledger.Record(7, 3, 2, LeaseKind::kPlanPreempted);
+  const auto leases = ledger.Take(7);
+  ASSERT_EQ(leases.size(), 3u);
+  EXPECT_EQ(leases[0].lender, 1);
+  EXPECT_EQ(leases[0].kind, LeaseKind::kPreempted);
+  EXPECT_EQ(leases[1].lender, 2);
+  EXPECT_EQ(leases[2].nodes, 2);
+  EXPECT_EQ(ledger.TotalOutstanding(), 0u);
+}
+
+TEST(LeaseLedgerTest, TakeOfUnknownIsEmpty) {
+  LeaseLedger ledger;
+  EXPECT_TRUE(ledger.Take(99).empty());
+}
+
+TEST(LeaseLedgerTest, ZeroNodeLeaseIgnored) {
+  LeaseLedger ledger;
+  ledger.Record(7, 1, 0, LeaseKind::kPreempted);
+  EXPECT_EQ(ledger.TotalOutstanding(), 0u);
+}
+
+TEST(LeaseLedgerTest, DropDiscards) {
+  LeaseLedger ledger;
+  ledger.Record(7, 1, 10, LeaseKind::kPreempted);
+  ledger.Drop(7);
+  EXPECT_TRUE(ledger.Take(7).empty());
+}
+
+TEST(LeaseLedgerTest, PerOnDemandIsolation) {
+  LeaseLedger ledger;
+  ledger.Record(7, 1, 10, LeaseKind::kPreempted);
+  ledger.Record(8, 2, 5, LeaseKind::kShrunk);
+  EXPECT_EQ(ledger.Take(7).size(), 1u);
+  const auto remaining = ledger.Take(8);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].lender, 2);
+}
+
+TEST(LeaseLedgerTest, PeekDoesNotConsume) {
+  LeaseLedger ledger;
+  ledger.Record(7, 1, 10, LeaseKind::kPreempted);
+  ASSERT_NE(ledger.Peek(7), nullptr);
+  EXPECT_EQ(ledger.Peek(7)->size(), 1u);
+  EXPECT_EQ(ledger.TotalOutstanding(), 1u);
+  EXPECT_EQ(ledger.Peek(99), nullptr);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,120 @@
+#include "platform/reservation.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+TEST(ReservationManagerTest, OpenGrabsFreeNodes) {
+  Cluster cluster(16);
+  ReservationManager mgr(cluster);
+  const int got = mgr.Open(7, 10, /*notice=*/100, /*predicted=*/2000);
+  EXPECT_EQ(got, 10);
+  EXPECT_EQ(mgr.Deficit(7), 0);
+  EXPECT_TRUE(mgr.Has(7));
+}
+
+TEST(ReservationManagerTest, OpenWithoutGrab) {
+  Cluster cluster(16);
+  ReservationManager mgr(cluster);
+  const int got = mgr.Open(7, 10, 100, kNever, /*absorbing=*/false, /*grab_free=*/false);
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(mgr.Deficit(7), 10);
+}
+
+TEST(ReservationManagerTest, DuplicateOpenThrows) {
+  Cluster cluster(16);
+  ReservationManager mgr(cluster);
+  mgr.Open(7, 4, 100, 2000);
+  EXPECT_THROW(mgr.Open(7, 4, 100, 2000), std::runtime_error);
+}
+
+TEST(ReservationManagerTest, DeficitTracksShortfall) {
+  Cluster cluster(8);
+  ReservationManager mgr(cluster);
+  cluster.StartFromFree(1, 6);  // only 2 free
+  mgr.Open(7, 5, 100, 2000);
+  EXPECT_EQ(mgr.Deficit(7), 3);
+}
+
+TEST(ReservationManagerTest, AbsorbFromFreeFillsByNoticeOrder) {
+  Cluster cluster(8);
+  ReservationManager mgr(cluster);
+  cluster.StartFromFree(1, 8);  // nothing free
+  mgr.Open(20, 4, /*notice=*/200, 3000);
+  mgr.Open(10, 4, /*notice=*/100, 3000);
+  // Job 1 releases 6 nodes.
+  cluster.Finish(1);
+  cluster.StartFromFree(2, 2);  // keep 6 free
+  mgr.AbsorbFromFree();
+  // Earliest notice (od 10) filled first.
+  EXPECT_EQ(mgr.Deficit(10), 0);
+  EXPECT_EQ(mgr.Deficit(20), 2);
+}
+
+TEST(ReservationManagerTest, NonAbsorbingSkippedByAbsorb) {
+  Cluster cluster(8);
+  ReservationManager mgr(cluster);
+  cluster.StartFromFree(1, 8);
+  mgr.Open(10, 4, 100, kNever, /*absorbing=*/false, /*grab_free=*/false);
+  cluster.Finish(1);
+  mgr.AbsorbFromFree();
+  EXPECT_EQ(mgr.Deficit(10), 4);
+  EXPECT_EQ(cluster.free_count(), 8);
+}
+
+TEST(ReservationManagerTest, TopUpOnlyAffectsOneReservation) {
+  Cluster cluster(16);
+  ReservationManager mgr(cluster);
+  cluster.StartFromFree(1, 16);
+  mgr.Open(10, 4, 100, 3000);
+  mgr.Open(20, 4, 200, 3000);
+  cluster.Finish(1);
+  mgr.TopUp(20);
+  EXPECT_EQ(mgr.Deficit(20), 0);
+  EXPECT_EQ(mgr.Deficit(10), 4);
+}
+
+TEST(ReservationManagerTest, CloseReleasesIdleNodes) {
+  Cluster cluster(16);
+  ReservationManager mgr(cluster);
+  mgr.Open(7, 10, 100, 2000);
+  const auto freed = mgr.Close(7);
+  EXPECT_EQ(freed.size(), 10u);
+  EXPECT_FALSE(mgr.Has(7));
+  EXPECT_EQ(cluster.free_count(), 16);
+}
+
+TEST(ReservationManagerTest, MarkArrivedSetsFlag) {
+  Cluster cluster(16);
+  ReservationManager mgr(cluster);
+  mgr.Open(7, 4, 100, 2000);
+  EXPECT_FALSE(mgr.Find(7)->arrived);
+  mgr.MarkArrived(7);
+  EXPECT_TRUE(mgr.Find(7)->arrived);
+}
+
+TEST(ReservationManagerTest, TotalDeficitSums) {
+  Cluster cluster(4);
+  ReservationManager mgr(cluster);
+  cluster.StartFromFree(1, 4);
+  mgr.Open(10, 3, 100, 2000);
+  mgr.Open(20, 2, 200, 2000);
+  EXPECT_EQ(mgr.TotalDeficit(), 5);
+}
+
+TEST(ReservationManagerTest, RouteFreedNodesHonorsNoticeOrder) {
+  Cluster cluster(8);
+  ReservationManager mgr(cluster);
+  const auto nodes = cluster.StartFromFree(1, 8);
+  mgr.Open(20, 2, 200, 3000);
+  mgr.Open(10, 2, 100, 3000);
+  const auto released = cluster.Finish(1);
+  const auto leftover = mgr.RouteFreedNodes(released);
+  EXPECT_EQ(mgr.Deficit(10), 0);
+  EXPECT_EQ(mgr.Deficit(20), 0);
+  EXPECT_EQ(leftover.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,197 @@
+#include "sched/backfill.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+namespace hs {
+namespace {
+
+/// A self-contained fixture: owns the records so WaitingJob pointers stay
+/// valid, and supplies a simple wall estimator (rigid: estimate; malleable:
+/// work / alloc).
+class BackfillFixture {
+ public:
+  WaitingJob* AddRigid(JobId id, int size, SimTime estimate, SimTime submit = 0) {
+    JobRecord& rec = records_[id];
+    rec.id = id;
+    rec.size = size;
+    rec.min_size = size;
+    rec.compute_time = estimate;
+    rec.estimate = estimate;
+    WaitingJob w;
+    w.id = id;
+    w.record = &rec;
+    w.first_submit = submit;
+    w.estimate_remaining = estimate;
+    w.est_work_remaining = static_cast<std::int64_t>(estimate) * size;
+    queue_storage_.push_back(w);
+    return &queue_storage_.back();
+  }
+
+  WaitingJob* AddMalleable(JobId id, int max, int min, SimTime estimate) {
+    WaitingJob* w = AddRigid(id, max, estimate);
+    records_[id].klass = JobClass::kMalleable;
+    records_[id].min_size = min;
+    w->flexible = true;
+    return w;
+  }
+
+  BackfillInput MakeInput(int free, SimTime now = 0) {
+    BackfillInput input;
+    input.free_nodes = free;
+    input.now = now;
+    for (const auto& w : queue_storage_) input.queue.push_back(&w);
+    input.running = running;
+    input.wall_estimate = [](const WaitingJob& w, int alloc) -> SimTime {
+      if (w.record->is_malleable()) {
+        return (w.est_work_remaining + alloc - 1) / alloc;
+      }
+      return w.estimate_remaining;
+    };
+    return input;
+  }
+
+  std::vector<RunningView> running;
+
+ private:
+  std::map<JobId, JobRecord> records_;
+  std::deque<WaitingJob> queue_storage_;
+};
+
+TEST(BackfillTest, StartsJobsWhileTheyFit) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 4, 100);
+  fx.AddRigid(2, 4, 100);
+  const auto result = EasyBackfill(fx.MakeInput(8));
+  ASSERT_EQ(result.starts.size(), 2u);
+  EXPECT_EQ(result.blocked_head, kNoJob);
+}
+
+TEST(BackfillTest, BlockedHeadGetsShadowReservation) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 10, 100);
+  fx.running = {{50, 6, 500}};  // running job ends at 500
+  const auto result = EasyBackfill(fx.MakeInput(4));
+  EXPECT_TRUE(result.starts.empty());
+  EXPECT_EQ(result.blocked_head, 1);
+  EXPECT_EQ(result.shadow_time, 500);
+  EXPECT_EQ(result.extra_nodes, 0);  // 4 free + 6 released = exactly 10
+}
+
+TEST(BackfillTest, ExtraNodesComputedAtShadow) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 8, 100);
+  fx.running = {{50, 6, 500}};
+  const auto result = EasyBackfill(fx.MakeInput(4));
+  EXPECT_EQ(result.shadow_time, 500);
+  EXPECT_EQ(result.extra_nodes, 2);  // 10 available - 8 needed
+}
+
+TEST(BackfillTest, ShortJobBackfillsBeforeShadow) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 10, 1000);      // blocked head
+  fx.AddRigid(2, 4, 400);        // ends at 400 < shadow 500: may jump ahead
+  fx.running = {{50, 6, 500}};
+  const auto result = EasyBackfill(fx.MakeInput(4));
+  ASSERT_EQ(result.starts.size(), 1u);
+  EXPECT_EQ(result.starts[0].job, 2);
+  EXPECT_EQ(result.starts[0].alloc, 4);
+}
+
+TEST(BackfillTest, LongJobMustFitInExtraNodes) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 8, 1000);   // blocked head: shadow 500, extra 2
+  fx.AddRigid(2, 4, 9999);   // too long and too wide: must NOT start
+  fx.AddRigid(3, 2, 9999);   // long but fits in the 2 extra nodes
+  fx.running = {{50, 6, 500}};
+  const auto result = EasyBackfill(fx.MakeInput(4));
+  ASSERT_EQ(result.starts.size(), 1u);
+  EXPECT_EQ(result.starts[0].job, 3);
+  EXPECT_EQ(result.extra_nodes, 0);  // consumed
+}
+
+TEST(BackfillTest, BackfillNeverDelaysHead) {
+  // Property: total nodes handed to jobs that outlive the shadow never
+  // exceeds the extra count.
+  BackfillFixture fx;
+  fx.AddRigid(1, 9, 1000);  // head blocked: 3 free + 7 = 10 at 500, extra 1
+  fx.AddRigid(2, 1, 9999);
+  fx.AddRigid(3, 1, 9999);  // only one of these can run past shadow
+  fx.running = {{50, 7, 500}};
+  const auto result = EasyBackfill(fx.MakeInput(3));
+  int past_shadow_nodes = 0;
+  for (const auto& s : result.starts) past_shadow_nodes += s.alloc;
+  EXPECT_LE(past_shadow_nodes, 1);
+}
+
+TEST(BackfillTest, MalleableHeadStartsAtMinWhenTight) {
+  BackfillFixture fx;
+  fx.AddMalleable(1, 16, 4, 100);
+  const auto result = EasyBackfill(fx.MakeInput(6));
+  ASSERT_EQ(result.starts.size(), 1u);
+  EXPECT_EQ(result.starts[0].alloc, 6);  // min 4 <= 6 < max 16: take all free
+}
+
+TEST(BackfillTest, MalleableGetsMaxWhenRoomy) {
+  BackfillFixture fx;
+  fx.AddMalleable(1, 16, 4, 100);
+  const auto result = EasyBackfill(fx.MakeInput(40));
+  ASSERT_EQ(result.starts.size(), 1u);
+  EXPECT_EQ(result.starts[0].alloc, 16);
+}
+
+TEST(BackfillTest, MalleableBelowMinBlocks) {
+  BackfillFixture fx;
+  fx.AddMalleable(1, 16, 8, 100);
+  fx.running = {{50, 10, 700}};
+  const auto result = EasyBackfill(fx.MakeInput(4));
+  EXPECT_TRUE(result.starts.empty());
+  EXPECT_EQ(result.blocked_head, 1);
+  EXPECT_EQ(result.shadow_time, 700);
+}
+
+TEST(BackfillTest, HeldNodesReduceFreeNeed) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 10, 100);
+  auto input = fx.MakeInput(4);
+  input.held_nodes = [](const WaitingJob&) { return 6; };  // 6 held elsewhere
+  const auto result = EasyBackfill(input);
+  ASSERT_EQ(result.starts.size(), 1u);
+  EXPECT_EQ(result.starts[0].alloc, 10);  // 6 held + 4 free
+}
+
+TEST(BackfillTest, UnreachableHeadBlocksAllBackfill) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 100, 100);  // impossible: nothing running, 4 free
+  fx.AddRigid(2, 2, 10);
+  const auto result = EasyBackfill(fx.MakeInput(4));
+  EXPECT_TRUE(result.starts.empty());  // conservative: no backfill
+  EXPECT_EQ(result.blocked_head, 1);
+}
+
+TEST(BackfillTest, QueueOrderPreservedForStarts) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 2, 100);
+  fx.AddRigid(2, 2, 100);
+  fx.AddRigid(3, 2, 100);
+  const auto result = EasyBackfill(fx.MakeInput(6));
+  ASSERT_EQ(result.starts.size(), 3u);
+  EXPECT_EQ(result.starts[0].job, 1);
+  EXPECT_EQ(result.starts[1].job, 2);
+  EXPECT_EQ(result.starts[2].job, 3);
+}
+
+TEST(BackfillTest, ShadowUsesEarliestSufficientRelease) {
+  BackfillFixture fx;
+  fx.AddRigid(1, 10, 100);
+  fx.running = {{50, 4, 300}, {51, 4, 600}, {52, 4, 900}};
+  const auto result = EasyBackfill(fx.MakeInput(2));
+  // 2 free + 4@300 + 4@600 = 10 at t=600.
+  EXPECT_EQ(result.shadow_time, 600);
+  EXPECT_EQ(result.extra_nodes, 0);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,275 @@
+#include "sched/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+/// Minimal harness: a hand-built trace, a pass-through handler that applies
+/// engine operations on finish/kill events, and helpers to drive time.
+class EngineHarness : public EventHandler {
+ public:
+  explicit EngineHarness(Trace trace, EngineConfig config = {})
+      : trace_(std::move(trace)),
+        sim_(*this),
+        collector_(5 * kMinute),
+        engine_(trace_, config, collector_, sim_) {}
+
+  void HandleEvent(const Event& event, Simulator&) override {
+    engine_.cluster().Touch(event.time);
+    switch (event.kind) {
+      case EventKind::kJobFinish:
+        engine_.FinishRunning(event.job, event.time);
+        break;
+      case EventKind::kJobKill:
+        engine_.KillAtEstimate(event.job, event.time);
+        break;
+      case EventKind::kWarningExpire:
+        engine_.CompleteDrain(event.job, event.time);
+        break;
+      case EventKind::kJobSubmit:
+        engine_.EnqueueFresh(event.job, event.time);
+        break;
+      default:
+        break;
+    }
+  }
+  void OnQuiescent(SimTime now, Simulator&) override {
+    if (auto_schedule) engine_.RunSchedulingPass(now);
+  }
+
+  Trace trace_;
+  Simulator sim_;
+  Collector collector_;
+  ExecutionEngine engine_;
+  bool auto_schedule = false;
+};
+
+JobRecord Rigid(JobId id, SimTime submit, int size, SimTime compute, SimTime setup,
+                SimTime estimate) {
+  JobRecord rec;
+  rec.id = id;
+  rec.klass = JobClass::kRigid;
+  rec.submit_time = submit;
+  rec.size = size;
+  rec.min_size = size;
+  rec.compute_time = compute;
+  rec.setup_time = setup;
+  rec.estimate = estimate;
+  return rec;
+}
+
+JobRecord Malleable(JobId id, SimTime submit, int max, int min, SimTime compute,
+                    SimTime setup, SimTime estimate) {
+  JobRecord rec = Rigid(id, submit, max, compute, setup, estimate);
+  rec.klass = JobClass::kMalleable;
+  rec.min_size = min;
+  return rec;
+}
+
+Trace MakeTrace(std::vector<JobRecord> jobs, int nodes = 64) {
+  Trace trace;
+  trace.num_nodes = nodes;
+  trace.jobs = std::move(jobs);
+  return trace;
+}
+
+EngineConfig NoCheckpointConfig() {
+  EngineConfig config;
+  config.checkpoint.node_mtbf = 1000LL * 365 * kDay;  // effectively no dumps
+  return config;
+}
+
+TEST(EngineTest, RigidJobRunsToCompletion) {
+  EngineHarness h(MakeTrace({Rigid(0, 0, 8, 1000, 100, 2000)}), NoCheckpointConfig());
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 8, 0));
+  EXPECT_TRUE(h.engine_.IsRunning(0));
+  h.sim_.Run();
+  EXPECT_FALSE(h.engine_.IsRunning(0));
+  EXPECT_EQ(h.engine_.jobs_finished(), 1u);
+  EXPECT_EQ(h.engine_.jobs_killed(), 0u);
+  EXPECT_EQ(h.sim_.now(), 1100);  // setup + compute
+  EXPECT_EQ(h.engine_.cluster().free_count(), 64);
+}
+
+TEST(EngineTest, RigidWallIncludesCheckpointDumps) {
+  EngineConfig config;  // default MTBF: a 2K-node job checkpoints every few hours
+  Trace trace = MakeTrace({Rigid(0, 0, 2048, 20 * kHour, 0, 24 * kHour)}, 4392);
+  EngineHarness h(std::move(trace), config);
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 2048, 0));
+  const RunningJob* r = h.engine_.Running(0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_GT(r->timeline.num_checkpoints(), 0);
+  const int dumps = r->timeline.num_checkpoints();
+  const SimTime overhead = r->timeline.overhead();
+  EXPECT_EQ(overhead, 1200);  // >= 1K nodes pays the large dump cost
+  h.sim_.Run();
+  EXPECT_EQ(h.sim_.now(), 20 * kHour + dumps * overhead);
+}
+
+TEST(EngineTest, StartWaitingRejectsWhenNoRoom) {
+  EngineHarness h(MakeTrace({Rigid(0, 0, 65, 100, 0, 100)}, 64));
+  h.engine_.EnqueueFresh(0, 0);
+  EXPECT_FALSE(h.engine_.StartWaiting(0, 65, 0));
+  EXPECT_TRUE(h.engine_.IsWaiting(0));
+}
+
+TEST(EngineTest, PreemptRigidLosesUncheckpointedWork) {
+  EngineHarness h(MakeTrace({Rigid(0, 0, 8, 10000, 100, 20000)}), NoCheckpointConfig());
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 8, 0));
+  // Advance to t=5000 via a dummy event.
+  h.sim_.Schedule(5000, EventKind::kSchedule);
+  h.sim_.Run(5000);
+  h.engine_.PreemptNow(0, 5000, PreemptKind::kArrivalKill);
+  EXPECT_TRUE(h.engine_.IsWaiting(0));
+  // No checkpoints: all 4900 s of compute progress lost; remaining demand is
+  // the full compute.
+  const WaitingJob* w = h.engine_.queue().Find(0);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->compute_remaining, 10000);
+  EXPECT_EQ(w->restarts, 1);
+  EXPECT_EQ(w->first_submit, 0);  // original submit preserved
+}
+
+TEST(EngineTest, MalleableWorkConservingResize) {
+  // 16-node malleable job, work = 1000 s x 16 nodes, no setup.
+  EngineHarness h(MakeTrace({Malleable(0, 0, 16, 4, 1000, 0, 1000)}));
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 16, 0));
+  // At t=500 half the work is done; shrink to 8 nodes: remaining 8000
+  // node-seconds take 1000 more seconds.
+  h.sim_.Schedule(500, EventKind::kSchedule);
+  h.sim_.Run(500);
+  h.engine_.ShrinkBy(0, 8, 500);
+  EXPECT_EQ(h.engine_.Running(0)->alloc, 8);
+  h.sim_.Run();
+  EXPECT_EQ(h.sim_.now(), 1500);
+  EXPECT_EQ(h.engine_.jobs_finished(), 1u);
+}
+
+TEST(EngineTest, MalleableExpandShortensRuntime) {
+  EngineHarness h(MakeTrace({Malleable(0, 0, 16, 4, 1000, 0, 1000)}));
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 8, 0));  // work=16000 ns at 8 nodes
+  h.sim_.Schedule(1000, EventKind::kSchedule);
+  h.sim_.Run(1000);
+  h.engine_.ExpandByFromFree(0, 8, 1000);  // 8000 left at 16 nodes: 500 s
+  h.sim_.Run();
+  EXPECT_EQ(h.sim_.now(), 1500);
+}
+
+TEST(EngineTest, ShrinkBelowMinThrows) {
+  EngineHarness h(MakeTrace({Malleable(0, 0, 16, 8, 1000, 0, 1000)}));
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 16, 0));
+  EXPECT_THROW(h.engine_.ShrinkBy(0, 9, 0), std::runtime_error);
+  EXPECT_EQ(h.engine_.ShrinkableNodes(0), 8);
+}
+
+TEST(EngineTest, DrainPreservesProgress) {
+  EngineHarness h(MakeTrace({Malleable(0, 0, 16, 4, 1000, 0, 2000)}));
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 16, 0));
+  h.sim_.Schedule(500, EventKind::kSchedule);
+  h.sim_.Run(500);
+  h.engine_.BeginDrain(0, /*od=*/99, 500);
+  EXPECT_TRUE(h.engine_.Running(0)->draining);
+  EXPECT_EQ(h.engine_.ShrinkableNodes(0), 0);  // draining jobs can't shrink
+  h.sim_.Run(620);                              // warning expires at 620
+  EXPECT_TRUE(h.engine_.IsWaiting(0));
+  const WaitingJob* w = h.engine_.queue().Find(0);
+  ASSERT_NE(w, nullptr);
+  // 620 s at 16 nodes = 9920 node-seconds done out of 16000.
+  EXPECT_EQ(w->work_remaining, 16000 - 620 * 16);
+}
+
+TEST(EngineTest, DrainCancelKeepsJobRunning) {
+  EngineHarness h(MakeTrace({Malleable(0, 0, 16, 4, 1000, 0, 2000)}));
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 16, 0));
+  h.engine_.BeginDrain(0, 99, 0);
+  h.engine_.CancelDrain(0);
+  h.sim_.Run();
+  EXPECT_EQ(h.engine_.jobs_finished(), 1u);
+  EXPECT_EQ(h.sim_.now(), 1000);  // undisturbed completion
+}
+
+TEST(EngineTest, FinishBeforeWarningCancelsDrain) {
+  EngineHarness h(MakeTrace({Malleable(0, 0, 16, 4, 100, 0, 200)}));
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 16, 0));
+  h.engine_.BeginDrain(0, 99, 50);  // warning would expire at 170 > finish 100
+  h.sim_.Run();
+  EXPECT_EQ(h.engine_.jobs_finished(), 1u);
+  EXPECT_EQ(h.sim_.now(), 100);
+}
+
+TEST(EngineTest, EstimatedEndUsesEstimatesNotActuals) {
+  EngineHarness h(MakeTrace({Rigid(0, 0, 8, 1000, 0, 5000)}), NoCheckpointConfig());
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 8, 0));
+  EXPECT_EQ(h.engine_.EstimatedEnd(0, 0), 5000);  // estimate bound, not 1000
+}
+
+TEST(EngineTest, PreemptionCostOrdering) {
+  EngineConfig config = NoCheckpointConfig();
+  EngineHarness h(MakeTrace({Rigid(0, 0, 8, 10000, 100, 20000),
+                             Malleable(1, 0, 8, 2, 10000, 100, 20000)}),
+                  config);
+  h.engine_.EnqueueFresh(0, 0);
+  h.engine_.EnqueueFresh(1, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 8, 0));
+  ASSERT_TRUE(h.engine_.StartWaiting(1, 8, 0));
+  h.sim_.Schedule(5000, EventKind::kSchedule);
+  h.sim_.Run(5000);
+  // Malleable loses only setup; rigid loses progress + setup.
+  EXPECT_LT(h.engine_.PreemptionCostNodeSec(1, 5000),
+            h.engine_.PreemptionCostNodeSec(0, 5000));
+}
+
+TEST(EngineTest, SchedulingPassStartsFcfsAndBackfills) {
+  Trace trace = MakeTrace({Rigid(0, 0, 40, 1000, 0, 1000),
+                           Rigid(1, 0, 40, 1000, 0, 1000),
+                           Rigid(2, 0, 10, 500, 0, 500)},
+                          64);
+  EngineHarness h(std::move(trace), NoCheckpointConfig());
+  h.auto_schedule = true;
+  for (const auto& job : h.trace_.jobs) {
+    h.sim_.Schedule(job.submit_time, EventKind::kJobSubmit, job.id);
+  }
+  h.sim_.Run();
+  EXPECT_EQ(h.engine_.jobs_finished(), 3u);
+  // Job 0 starts at 0; job 1 can't (40+40 > 64) but job 2 backfills
+  // (ends 500 <= shadow 1000); job 1 starts at 1000.
+  EXPECT_EQ(h.sim_.now(), 2000);
+}
+
+TEST(EngineTest, KillAtEstimateFiresForOverrunningJob) {
+  // Hand-build a record that lies: actual compute beyond the estimate is
+  // impossible via validation, so drive the engine directly with a job whose
+  // estimate equals compute (kill and finish coincide; finish wins).
+  EngineHarness h(MakeTrace({Rigid(0, 0, 8, 1000, 0, 1000)}), NoCheckpointConfig());
+  h.engine_.EnqueueFresh(0, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 8, 0));
+  h.sim_.Run();
+  EXPECT_EQ(h.engine_.jobs_finished(), 1u);
+  EXPECT_EQ(h.engine_.jobs_killed(), 0u);  // finish event has priority
+}
+
+TEST(EngineTest, TenantFlagTracked) {
+  EngineHarness h(MakeTrace({Rigid(0, 0, 4, 1000, 0, 1000)}, 64));
+  h.engine_.cluster().ReserveFromFree(99, 8);
+  h.engine_.EnqueueFresh(0, 0);
+  const auto idle = h.engine_.cluster().ReservedIdleNodes(99);
+  std::vector<int> four(idle.begin(), idle.begin() + 4);
+  h.engine_.StartTenant(0, four, 0);
+  EXPECT_TRUE(h.engine_.Running(0)->is_tenant);
+  EXPECT_FALSE(h.engine_.IsPreemptable(0));  // tenants handled separately
+  EXPECT_EQ(h.engine_.ShrinkableNodes(0), 0);
+}
+
+}  // namespace
+}  // namespace hs

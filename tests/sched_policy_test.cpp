@@ -1,0 +1,129 @@
+#include "sched/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/queue_manager.h"
+
+namespace hs {
+namespace {
+
+JobRecord MakeRecord(JobId id, int size, SimTime estimate) {
+  JobRecord rec;
+  rec.id = id;
+  rec.size = size;
+  rec.min_size = size;
+  rec.compute_time = estimate;
+  rec.estimate = estimate;
+  return rec;
+}
+
+WaitingJob MakeWaiting(const JobRecord& rec, SimTime submit) {
+  WaitingJob w;
+  w.id = rec.id;
+  w.record = &rec;
+  w.first_submit = submit;
+  w.enqueue_time = submit;
+  w.estimate_remaining = rec.estimate;
+  return w;
+}
+
+TEST(PolicyTest, FcfsOrdersBySubmitTime) {
+  const auto rec1 = MakeRecord(1, 10, 100);
+  const auto rec2 = MakeRecord(2, 10, 100);
+  const auto w1 = MakeWaiting(rec1, 500);
+  const auto w2 = MakeWaiting(rec2, 100);
+  const auto policy = MakePolicy(PolicyKind::kFcfs);
+  EXPECT_GT(policy->Key(w1, 1000), policy->Key(w2, 1000));
+}
+
+TEST(PolicyTest, SjfOrdersByEstimate) {
+  const auto rec1 = MakeRecord(1, 10, 50);
+  const auto rec2 = MakeRecord(2, 10, 500);
+  const auto w1 = MakeWaiting(rec1, 0);
+  const auto w2 = MakeWaiting(rec2, 0);
+  const auto policy = MakePolicy(PolicyKind::kSjf);
+  EXPECT_LT(policy->Key(w1, 0), policy->Key(w2, 0));
+  const auto ljf = MakePolicy(PolicyKind::kLjf);
+  EXPECT_GT(ljf->Key(w1, 0), ljf->Key(w2, 0));
+}
+
+TEST(PolicyTest, SizePolicies) {
+  const auto rec1 = MakeRecord(1, 8, 100);
+  const auto rec2 = MakeRecord(2, 64, 100);
+  const auto w1 = MakeWaiting(rec1, 0);
+  const auto w2 = MakeWaiting(rec2, 0);
+  EXPECT_LT(MakePolicy(PolicyKind::kSmallestFirst)->Key(w1, 0),
+            MakePolicy(PolicyKind::kSmallestFirst)->Key(w2, 0));
+  EXPECT_GT(MakePolicy(PolicyKind::kLargestFirst)->Key(w1, 0),
+            MakePolicy(PolicyKind::kLargestFirst)->Key(w2, 0));
+}
+
+TEST(PolicyTest, Wfp3FavorsLongWaiters) {
+  const auto rec = MakeRecord(1, 10, 1000);
+  auto w_old = MakeWaiting(rec, 0);
+  auto w_new = MakeWaiting(rec, 0);
+  w_old.enqueue_time = 0;
+  w_new.enqueue_time = 5000;
+  const auto policy = MakePolicy(PolicyKind::kWfp3);
+  EXPECT_LT(policy->Key(w_old, 10000), policy->Key(w_new, 10000));
+}
+
+TEST(PolicyTest, AllPoliciesHaveNames) {
+  for (const auto kind : {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf,
+                          PolicyKind::kSmallestFirst, PolicyKind::kLargestFirst,
+                          PolicyKind::kWfp3}) {
+    EXPECT_STRNE(MakePolicy(kind)->name(), "");
+    EXPECT_STREQ(MakePolicy(kind)->name(), ToString(kind));
+  }
+}
+
+TEST(QueueManagerTest, AddRemoveContains) {
+  const auto rec = MakeRecord(1, 10, 100);
+  QueueManager q;
+  q.Add(MakeWaiting(rec, 0));
+  EXPECT_TRUE(q.Contains(1));
+  EXPECT_EQ(q.size(), 1u);
+  const WaitingJob w = q.Remove(1);
+  EXPECT_EQ(w.id, 1);
+  EXPECT_FALSE(q.Contains(1));
+  EXPECT_THROW(q.Remove(1), std::runtime_error);
+}
+
+TEST(QueueManagerTest, DuplicateAddThrows) {
+  const auto rec = MakeRecord(1, 10, 100);
+  QueueManager q;
+  q.Add(MakeWaiting(rec, 0));
+  EXPECT_THROW(q.Add(MakeWaiting(rec, 0)), std::runtime_error);
+}
+
+TEST(QueueManagerTest, OrderedRespectsBoostThenPolicy) {
+  const auto rec1 = MakeRecord(1, 10, 100);
+  const auto rec2 = MakeRecord(2, 10, 100);
+  const auto rec3 = MakeRecord(3, 10, 100);
+  QueueManager q;
+  q.Add(MakeWaiting(rec1, 100));
+  q.Add(MakeWaiting(rec2, 50));
+  auto boosted = MakeWaiting(rec3, 900);
+  boosted.boosted = true;
+  q.Add(boosted);
+  const auto policy = MakePolicy(PolicyKind::kFcfs);
+  const auto view = q.Ordered(*policy, 1000);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0]->id, 3);  // boosted first despite late submit
+  EXPECT_EQ(view[1]->id, 2);
+  EXPECT_EQ(view[2]->id, 1);
+}
+
+TEST(QueueManagerTest, FindMutable) {
+  const auto rec = MakeRecord(1, 10, 100);
+  QueueManager q;
+  q.Add(MakeWaiting(rec, 0));
+  WaitingJob* w = q.FindMutable(1);
+  ASSERT_NE(w, nullptr);
+  w->boosted = true;
+  EXPECT_TRUE(q.Find(1)->boosted);
+  EXPECT_EQ(q.FindMutable(9), nullptr);
+}
+
+}  // namespace
+}  // namespace hs

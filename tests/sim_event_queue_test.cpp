@@ -1,0 +1,113 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  q.Push(300, EventKind::kJobSubmit, 3);
+  q.Push(100, EventKind::kJobSubmit, 1);
+  q.Push(200, EventKind::kJobSubmit, 2);
+  EXPECT_EQ(q.Pop().job, 1);
+  EXPECT_EQ(q.Pop().job, 2);
+  EXPECT_EQ(q.Pop().job, 3);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, KindBreaksTimeTies) {
+  EventQueue q;
+  q.Push(100, EventKind::kJobSubmit, 1);
+  q.Push(100, EventKind::kJobFinish, 2);
+  q.Push(100, EventKind::kAdvanceNotice, 3);
+  // Finish (0) before notice (4) before submit (5).
+  EXPECT_EQ(q.Pop().job, 2);
+  EXPECT_EQ(q.Pop().job, 3);
+  EXPECT_EQ(q.Pop().job, 1);
+}
+
+TEST(EventQueueTest, InsertionOrderBreaksFullTies) {
+  EventQueue q;
+  q.Push(100, EventKind::kJobSubmit, 1);
+  q.Push(100, EventKind::kJobSubmit, 2);
+  EXPECT_EQ(q.Pop().job, 1);
+  EXPECT_EQ(q.Pop().job, 2);
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue q;
+  const EventId id = q.Push(100, EventKind::kJobFinish, 1);
+  q.Push(200, EventKind::kJobFinish, 2);
+  q.Cancel(id);
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_EQ(q.Pop().job, 2);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelAfterPopIsHarmless) {
+  EventQueue q;
+  const EventId id = q.Push(100, EventKind::kJobFinish, 1);
+  q.Push(200, EventKind::kJobFinish, 2);
+  q.Pop();
+  q.Cancel(id);  // already fired
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_EQ(q.Pop().job, 2);
+}
+
+TEST(EventQueueTest, DoubleCancelIsHarmless) {
+  EventQueue q;
+  const EventId id = q.Push(100, EventKind::kJobFinish, 1);
+  q.Cancel(id);
+  q.Cancel(id);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelNoEventIsNoop) {
+  EventQueue q;
+  q.Cancel(kNoEvent);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, PeekTimeReflectsLiveEvents) {
+  EventQueue q;
+  const EventId id = q.Push(100, EventKind::kJobFinish, 1);
+  q.Push(250, EventKind::kJobFinish, 2);
+  EXPECT_EQ(q.PeekTime(), 100);
+  q.Cancel(id);
+  EXPECT_EQ(q.PeekTime(), 250);
+}
+
+TEST(EventQueueTest, PeekTimeOfEmptyIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.PeekTime(), kNever);
+}
+
+TEST(EventQueueTest, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.Pop(), std::runtime_error);
+}
+
+TEST(EventQueueTest, AuxPayloadCarried) {
+  EventQueue q;
+  q.Push(10, EventKind::kWarningExpire, 5, 77);
+  const Event e = q.Pop();
+  EXPECT_EQ(e.job, 5);
+  EXPECT_EQ(e.aux, 77);
+}
+
+TEST(EventQueueTest, ManyEventsSortedProperty) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) {
+    q.Push((i * 7919) % 503, EventKind::kJobSubmit, i);
+  }
+  SimTime prev = -1;
+  while (!q.Empty()) {
+    const Event e = q.Pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+}  // namespace
+}  // namespace hs

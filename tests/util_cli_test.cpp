@@ -1,0 +1,56 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+CliArgs Make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, ParsesKeyValueFlags) {
+  const auto args = Make({"prog", "--weeks=4", "--name=test"});
+  EXPECT_EQ(args.GetInt("weeks", 0), 4);
+  EXPECT_EQ(args.GetString("name", ""), "test");
+}
+
+TEST(CliTest, BooleanFlagWithoutValue) {
+  const auto args = Make({"prog", "--verbose"});
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_TRUE(args.Has("verbose"));
+}
+
+TEST(CliTest, DefaultsWhenAbsent) {
+  const auto args = Make({"prog"});
+  EXPECT_EQ(args.GetInt("missing", 9), 9);
+  EXPECT_EQ(args.GetString("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(args.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.GetBool("missing", false));
+}
+
+TEST(CliTest, PositionalArguments) {
+  const auto args = Make({"prog", "input.swf", "--flag", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.swf");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(CliTest, DoubleParsing) {
+  const auto args = Make({"prog", "--scale=0.5"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("scale", 0.0), 0.5);
+}
+
+TEST(CliTest, BoolVariants) {
+  EXPECT_TRUE(Make({"p", "--x=yes"}).GetBool("x", false));
+  EXPECT_TRUE(Make({"p", "--x=1"}).GetBool("x", false));
+  EXPECT_FALSE(Make({"p", "--x=no"}).GetBool("x", true));
+}
+
+TEST(CliTest, ProgramName) {
+  EXPECT_EQ(Make({"prog"}).program(), "prog");
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,64 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+RangeHistogram MakeSizeHist() { return RangeHistogram({128, 256, 512, 1024}); }
+
+TEST(HistogramTest, BinBoundsPartitionRange) {
+  const auto hist = MakeSizeHist();
+  ASSERT_EQ(hist.bins().size(), 3u);
+  EXPECT_EQ(hist.bins()[0].lo, 128);
+  EXPECT_EQ(hist.bins()[0].hi, 255);
+  EXPECT_EQ(hist.bins()[1].lo, 256);
+  EXPECT_EQ(hist.bins()[1].hi, 511);
+  EXPECT_EQ(hist.bins()[2].lo, 512);
+  EXPECT_EQ(hist.bins()[2].hi, 1024);  // last bin inclusive of final edge
+}
+
+TEST(HistogramTest, AddCountsAndWeights) {
+  auto hist = MakeSizeHist();
+  hist.Add(128, 2.0);
+  hist.Add(255, 1.0);
+  hist.Add(256, 4.0);
+  hist.Add(1024, 8.0);
+  EXPECT_EQ(hist.bins()[0].count, 2u);
+  EXPECT_EQ(hist.bins()[1].count, 1u);
+  EXPECT_EQ(hist.bins()[2].count, 1u);
+  EXPECT_DOUBLE_EQ(hist.bins()[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(hist.total_weight(), 15.0);
+  EXPECT_EQ(hist.total_count(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  auto hist = MakeSizeHist();
+  hist.Add(1);      // below first edge
+  hist.Add(99999);  // above last edge
+  EXPECT_EQ(hist.bins()[0].count, 1u);
+  EXPECT_EQ(hist.bins()[2].count, 1u);
+}
+
+TEST(HistogramTest, Shares) {
+  auto hist = MakeSizeHist();
+  hist.Add(128, 1.0);
+  hist.Add(600, 3.0);
+  EXPECT_DOUBLE_EQ(hist.CountShare(0), 0.5);
+  EXPECT_DOUBLE_EQ(hist.WeightShare(2), 0.75);
+}
+
+TEST(HistogramTest, SharesOfEmptyHistogramAreZero) {
+  const auto hist = MakeSizeHist();
+  EXPECT_DOUBLE_EQ(hist.CountShare(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.WeightShare(0), 0.0);
+}
+
+TEST(HistogramTest, RejectsBadEdges) {
+  EXPECT_THROW(RangeHistogram({128}), std::invalid_argument);
+  EXPECT_THROW(RangeHistogram({128, 128}), std::invalid_argument);
+  EXPECT_THROW(RangeHistogram({256, 128}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,123 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace hs {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.UniformInt(0, 1'000'000) == b.UniformInt(0, 1'000'000)) ? 1 : 0;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng root1(7), root2(7);
+  Rng fork_a1 = root1.Fork("arrivals");
+  Rng fork_a2 = root2.Fork("arrivals");
+  EXPECT_EQ(fork_a1.UniformInt(0, 1 << 30), fork_a2.UniformInt(0, 1 << 30));
+
+  // Different tags produce different streams.
+  Rng root3(7);
+  Rng fork_b = root3.Fork("sizes");
+  Rng root4(7);
+  Rng fork_a3 = root4.Fork("arrivals");
+  EXPECT_NE(fork_b.UniformInt(0, 1 << 30), fork_a3.UniformInt(0, 1 << 30));
+}
+
+TEST(RngTest, RepeatedForksWithSameTagDiffer) {
+  Rng root(9);
+  Rng f1 = root.Fork("x");
+  Rng f2 = root.Fork("x");
+  EXPECT_NE(f1.UniformInt(0, 1 << 30), f2.UniformInt(0, 1 << 30));
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, UniformInHalfOpenRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(19);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(50, 1.2)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+  for (const auto& [k, v] : counts) EXPECT_LT(k, 50u);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.Categorical(weights)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroThrows) {
+  Rng rng(29);
+  EXPECT_THROW(rng.Categorical({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(RngTest, HashTagStable) {
+  EXPECT_EQ(HashTag("abc"), HashTag("abc"));
+  EXPECT_NE(HashTag("abc"), HashTag("abd"));
+}
+
+}  // namespace
+}  // namespace hs

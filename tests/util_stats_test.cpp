@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hs {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10;
+    all.Add(v);
+    (i % 2 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenValues) {
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0); }
+
+TEST(ConfidenceTest, ZeroForSmallSamples) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(ConfidenceHalfWidth95(s), 0.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(ConfidenceHalfWidth95(s), 0.0);
+}
+
+TEST(ConfidenceTest, ShrinksWithSampleSize) {
+  RunningStats small, big;
+  for (int i = 0; i < 10; ++i) small.Add(i % 2);
+  for (int i = 0; i < 1000; ++i) big.Add(i % 2);
+  EXPECT_GT(ConfidenceHalfWidth95(small), ConfidenceHalfWidth95(big));
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace hs

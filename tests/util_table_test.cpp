@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TextTable table({"a", "bb"});
+  table.AddRow({"1", "2"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| a"), std::string::npos);
+  EXPECT_NE(out.find("| bb"), std::string::npos);
+  EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsSizeToWidestCell) {
+  TextTable table({"x"});
+  table.AddRow({"wide-cell-content"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("wide-cell-content"), std::string::npos);
+  // Header row must be padded to the same width: find a line with "x" then
+  // spaces up to the separator.
+  EXPECT_NE(out.find("| x                 |"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TableTest, RuleInsertsSeparator) {
+  TextTable table({"a"});
+  table.AddRow({"1"});
+  table.AddRule();
+  table.AddRow({"2"});
+  const std::string out = table.Render();
+  // 5 rules total: top, under header, mid, bottom... count '+' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(FmtTest, Decimals) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+}
+
+TEST(FmtPctTest, Percentage) {
+  EXPECT_EQ(FmtPct(0.8393), "83.93%");
+  EXPECT_EQ(FmtPct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,51 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+TEST(TimeTest, ConstantsAreConsistent) {
+  EXPECT_EQ(kMinute, 60);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+TEST(TimeTest, FormatDurationSeconds) { EXPECT_EQ(FormatDuration(42), "42s"); }
+
+TEST(TimeTest, FormatDurationMinutes) { EXPECT_EQ(FormatDuration(125), "2m05s"); }
+
+TEST(TimeTest, FormatDurationHours) {
+  EXPECT_EQ(FormatDuration(2 * kHour + 30 * kMinute), "2h30m");
+}
+
+TEST(TimeTest, FormatDurationDays) {
+  EXPECT_EQ(FormatDuration(3 * kDay + 4 * kHour), "3d04h");
+}
+
+TEST(TimeTest, FormatDurationNegative) { EXPECT_EQ(FormatDuration(-90), "-1m30s"); }
+
+TEST(TimeTest, FormatTimestamp) {
+  EXPECT_EQ(FormatTimestamp(kDay + kHour + kMinute + 1), "1+01:01:01");
+  EXPECT_EQ(FormatTimestamp(0), "0+00:00:00");
+}
+
+TEST(TimeTest, ToHours) {
+  EXPECT_DOUBLE_EQ(ToHours(kHour), 1.0);
+  EXPECT_DOUBLE_EQ(ToHours(90 * kMinute), 1.5);
+}
+
+TEST(TimeTest, RoundUpExactMultipleUnchanged) { EXPECT_EQ(RoundUp(900, 900), 900); }
+
+TEST(TimeTest, RoundUpToNextQuantum) {
+  EXPECT_EQ(RoundUp(901, 900), 1800);
+  EXPECT_EQ(RoundUp(1, 900), 900);
+}
+
+TEST(TimeTest, NeverIsLargerThanAnyTimestamp) {
+  EXPECT_GT(kNever, 100LL * 365 * kDay);
+}
+
+}  // namespace
+}  // namespace hs

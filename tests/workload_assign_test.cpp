@@ -1,0 +1,121 @@
+#include "workload/type_assign.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/theta_model.h"
+
+namespace hs {
+namespace {
+
+Trace MakeTrace() {
+  ThetaConfig config;
+  config.weeks = 2;
+  return GenerateThetaTrace(config, 42);
+}
+
+TEST(TypeAssignTest, ProjectsAreHomogeneousExceptLargeOnDemand) {
+  Trace trace = MakeTrace();
+  Rng rng(7);
+  AssignJobTypes(trace, {}, rng);
+  std::map<std::int32_t, std::set<JobClass>> classes_by_project;
+  const int large = trace.num_nodes / 2;
+  for (const auto& job : trace.jobs) {
+    if (job.size > large) continue;  // reassignment may differ
+    classes_by_project[job.project].insert(job.klass);
+  }
+  for (const auto& [project, classes] : classes_by_project) {
+    // A project is allowed two classes only if its on-demand jobs were
+    // reassigned; small jobs of one project must agree.
+    EXPECT_LE(classes.size(), 2u) << "project " << project;
+  }
+}
+
+TEST(TypeAssignTest, NoLargeOnDemandJobsSurvive) {
+  Trace trace = MakeTrace();
+  Rng rng(8);
+  AssignJobTypes(trace, {}, rng);
+  for (const auto& job : trace.jobs) {
+    if (job.is_on_demand()) {
+      EXPECT_LE(job.size, trace.num_nodes / 2);
+    }
+  }
+}
+
+TEST(TypeAssignTest, SharesRoughlyMatchConfig) {
+  Trace trace = MakeTrace();
+  Rng rng(9);
+  AssignJobTypes(trace, {}, rng);
+  std::map<std::int32_t, JobClass> project_class;
+  for (const auto& job : trace.jobs) {
+    if (job.size <= trace.num_nodes / 2) project_class[job.project] = job.klass;
+  }
+  std::size_t od = 0, rigid = 0, malleable = 0;
+  for (const auto& [p, k] : project_class) {
+    od += (k == JobClass::kOnDemand);
+    rigid += (k == JobClass::kRigid);
+    malleable += (k == JobClass::kMalleable);
+  }
+  const double n = static_cast<double>(project_class.size());
+  EXPECT_NEAR(rigid / n, 0.60, 0.12);
+  EXPECT_NEAR(od / n, 0.10, 0.08);
+  EXPECT_NEAR(malleable / n, 0.30, 0.12);
+}
+
+TEST(TypeAssignTest, MalleableMinSizeIsTwentyPercent) {
+  Trace trace = MakeTrace();
+  Rng rng(10);
+  AssignJobTypes(trace, {}, rng);
+  for (const auto& job : trace.jobs) {
+    if (job.is_malleable()) {
+      EXPECT_EQ(job.min_size, (job.size + 4) / 5);  // ceil(0.2 * size)
+      EXPECT_GE(job.min_size, 1);
+    } else {
+      EXPECT_EQ(job.min_size, job.size);
+    }
+  }
+}
+
+TEST(TypeAssignTest, MalleableSetupBelowFivePercent) {
+  Trace trace = MakeTrace();
+  Rng rng(11);
+  AssignJobTypes(trace, {}, rng);
+  for (const auto& job : trace.jobs) {
+    if (job.is_malleable()) {
+      EXPECT_LE(static_cast<double>(job.setup_time), 0.051 * job.compute_time);
+    }
+  }
+}
+
+TEST(TypeAssignTest, ResultStillValidTrace) {
+  Trace trace = MakeTrace();
+  Rng rng(12);
+  AssignJobTypes(trace, {}, rng);
+  EXPECT_EQ(trace.Validate(), "");
+}
+
+TEST(TypeAssignTest, DeterministicInRngSeed) {
+  Trace a = MakeTrace(), b = MakeTrace();
+  Rng ra(13), rb(13);
+  AssignJobTypes(a, {}, ra);
+  AssignJobTypes(b, {}, rb);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].klass, b.jobs[i].klass);
+  }
+}
+
+TEST(TypeAssignTest, CustomSharesRespected) {
+  Trace trace = MakeTrace();
+  TypeAssignConfig config;
+  config.on_demand_project_share = 0.0;
+  config.rigid_project_share = 1.0;
+  Rng rng(14);
+  AssignJobTypes(trace, config, rng);
+  EXPECT_EQ(trace.CountClass(JobClass::kOnDemand), 0u);
+  EXPECT_EQ(trace.CountClass(JobClass::kMalleable), 0u);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,109 @@
+#include "workload/notice_model.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/theta_model.h"
+#include "workload/type_assign.h"
+
+namespace hs {
+namespace {
+
+Trace MakeLabelledTrace(std::uint64_t seed = 21) {
+  ThetaConfig config;
+  config.weeks = 3;
+  Trace trace = GenerateThetaTrace(config, seed);
+  Rng rng(seed);
+  AssignJobTypes(trace, {}, rng);
+  return trace;
+}
+
+TEST(NoticeModelTest, PresetsSumToOne) {
+  for (const auto& mix : PaperNoticeMixes()) {
+    EXPECT_NEAR(mix.none + mix.accurate + mix.early + mix.late, 1.0, 1e-9) << mix.name;
+  }
+}
+
+TEST(NoticeModelTest, LookupByName) {
+  EXPECT_DOUBLE_EQ(NoticeMixByName("W1").none, 0.70);
+  EXPECT_DOUBLE_EQ(NoticeMixByName("W2").accurate, 0.70);
+  EXPECT_DOUBLE_EQ(NoticeMixByName("W4").late, 0.70);
+  EXPECT_THROW(NoticeMixByName("W9"), std::out_of_range);
+}
+
+TEST(NoticeModelTest, AssignedTraceValidates) {
+  Trace trace = MakeLabelledTrace();
+  Rng rng(5);
+  AssignNotices(trace, NoticeMixByName("W5"), {}, rng);
+  EXPECT_EQ(trace.Validate(), "");
+}
+
+TEST(NoticeModelTest, OnlyOnDemandJobsTouched) {
+  Trace trace = MakeLabelledTrace();
+  Rng rng(6);
+  AssignNotices(trace, NoticeMixByName("W5"), {}, rng);
+  for (const auto& job : trace.jobs) {
+    if (!job.is_on_demand()) {
+      EXPECT_EQ(job.notice, NoticeClass::kNone);
+      EXPECT_EQ(job.notice_time, kNever);
+    }
+  }
+}
+
+TEST(NoticeModelTest, LeadTimeWithinConfiguredBand) {
+  Trace trace = MakeLabelledTrace();
+  NoticeModelConfig config;
+  Rng rng(7);
+  AssignNotices(trace, NoticeMixByName("W2"), config, rng);
+  for (const auto& job : trace.jobs) {
+    if (job.is_on_demand() && job.notice != NoticeClass::kNone &&
+        job.notice_time > 0) {
+      const SimTime lead = job.predicted_arrival - job.notice_time;
+      EXPECT_GE(lead, config.lead_lo);
+      EXPECT_LE(lead, config.lead_hi);
+    }
+  }
+}
+
+TEST(NoticeModelTest, CategoryConstraintsHold) {
+  Trace trace = MakeLabelledTrace();
+  NoticeModelConfig config;
+  Rng rng(8);
+  AssignNotices(trace, NoticeMixByName("W5"), config, rng);
+  for (const auto& job : trace.jobs) {
+    if (!job.is_on_demand()) continue;
+    switch (job.notice) {
+      case NoticeClass::kNone:
+        EXPECT_EQ(job.notice_time, kNever);
+        break;
+      case NoticeClass::kAccurate:
+        EXPECT_EQ(job.predicted_arrival, job.submit_time);
+        break;
+      case NoticeClass::kEarly:
+        EXPECT_LE(job.notice_time, job.submit_time);
+        EXPECT_GE(job.predicted_arrival, job.submit_time);
+        break;
+      case NoticeClass::kLate:
+        EXPECT_LE(job.predicted_arrival, job.submit_time);
+        EXPECT_LE(job.submit_time - job.predicted_arrival, config.late_window);
+        break;
+    }
+  }
+}
+
+TEST(NoticeModelTest, MixSharesApproximatelyRespected) {
+  Trace trace = MakeLabelledTrace(99);
+  Rng rng(9);
+  AssignNotices(trace, NoticeMixByName("W1"), {}, rng);
+  std::size_t none = 0, total = 0;
+  for (const auto& job : trace.jobs) {
+    if (!job.is_on_demand()) continue;
+    ++total;
+    none += (job.notice == NoticeClass::kNone) ? 1 : 0;
+  }
+  if (total > 50) {
+    EXPECT_NEAR(static_cast<double>(none) / total, 0.70, 0.15);
+  }
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,151 @@
+#include "workload/swf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hs {
+namespace {
+
+Trace SampleTrace() {
+  Trace trace;
+  trace.name = "sample";
+  trace.num_nodes = 256;
+  JobRecord rigid;
+  rigid.id = 0;
+  rigid.project = 3;
+  rigid.klass = JobClass::kRigid;
+  rigid.submit_time = 1000;
+  rigid.size = 128;
+  rigid.min_size = 128;
+  rigid.compute_time = 3600;
+  rigid.setup_time = 180;
+  rigid.estimate = 5400;
+  JobRecord od;
+  od.id = 1;
+  od.project = 7;
+  od.klass = JobClass::kOnDemand;
+  od.notice = NoticeClass::kAccurate;
+  od.submit_time = 2000;
+  od.notice_time = 1000;
+  od.predicted_arrival = 2000;
+  od.size = 64;
+  od.min_size = 64;
+  od.compute_time = 600;
+  od.setup_time = 30;
+  od.estimate = 900;
+  JobRecord mall;
+  mall.id = 2;
+  mall.project = 9;
+  mall.klass = JobClass::kMalleable;
+  mall.submit_time = 3000;
+  mall.size = 100;
+  mall.min_size = 20;
+  mall.compute_time = 1800;
+  mall.setup_time = 10;
+  mall.estimate = 2400;
+  trace.jobs = {rigid, od, mall};
+  return trace;
+}
+
+TEST(HswfTest, RoundTripPreservesEverything) {
+  const Trace original = SampleTrace();
+  std::stringstream buffer;
+  WriteHswf(original, buffer);
+  const Trace parsed = ReadHswf(buffer);
+  EXPECT_EQ(parsed.num_nodes, original.num_nodes);
+  EXPECT_EQ(parsed.name, original.name);
+  ASSERT_EQ(parsed.jobs.size(), original.jobs.size());
+  for (std::size_t i = 0; i < parsed.jobs.size(); ++i) {
+    const auto& a = original.jobs[i];
+    const auto& b = parsed.jobs[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.project, b.project);
+    EXPECT_EQ(a.klass, b.klass);
+    EXPECT_EQ(a.notice, b.notice);
+    EXPECT_EQ(a.submit_time, b.submit_time);
+    EXPECT_EQ(a.notice_time, b.notice_time);
+    EXPECT_EQ(a.predicted_arrival, b.predicted_arrival);
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_EQ(a.min_size, b.min_size);
+    EXPECT_EQ(a.compute_time, b.compute_time);
+    EXPECT_EQ(a.estimate, b.estimate);
+    EXPECT_EQ(a.setup_time, b.setup_time);
+  }
+  EXPECT_EQ(parsed.Validate(), "");
+}
+
+TEST(HswfTest, NeverSerializesAsMinusOne) {
+  Trace trace = SampleTrace();
+  std::stringstream buffer;
+  WriteHswf(trace, buffer);
+  const Trace parsed = ReadHswf(buffer);
+  EXPECT_EQ(parsed.jobs[0].notice_time, kNever);  // rigid job: no notice
+}
+
+TEST(HswfTest, BadLineThrowsWithLineNumber) {
+  std::stringstream buffer("; MaxNodes: 10\n1 2 garbage\n");
+  try {
+    ReadHswf(buffer);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(HswfTest, BadClassThrows) {
+  std::stringstream buffer("; MaxNodes: 10\n0 0 7 0 0 -1 -1 4 4 60 60 0\n");
+  EXPECT_THROW(ReadHswf(buffer), std::runtime_error);
+}
+
+TEST(SwfImportTest, ParsesStandardFields) {
+  // job submit wait run used_procs cpu mem req_procs req_time req_mem status
+  // uid gid app queue partition prev think
+  std::stringstream swf(
+      "; MaxNodes: 100\n"
+      "1 1000 5 3600 64 -1 -1 64 7200 -1 1 10 20 -1 1 -1 -1 -1\n"
+      "2 2000 5 1800 -1 -1 -1 32 3600 -1 1 11 21 -1 1 -1 -1 -1\n");
+  const Trace trace = ImportSwf(swf);
+  ASSERT_EQ(trace.jobs.size(), 2u);
+  EXPECT_EQ(trace.num_nodes, 100);
+  EXPECT_EQ(trace.jobs[0].submit_time, 1000);
+  EXPECT_EQ(trace.jobs[0].size, 64);
+  EXPECT_EQ(trace.jobs[0].compute_time, 3600);
+  EXPECT_EQ(trace.jobs[0].estimate, 7200);
+  EXPECT_EQ(trace.jobs[0].klass, JobClass::kRigid);
+  EXPECT_EQ(trace.jobs[0].project, 20);  // gid used as project
+  EXPECT_EQ(trace.jobs[1].size, 32);
+}
+
+TEST(SwfImportTest, SkipsInvalidJobs) {
+  std::stringstream swf(
+      "1 1000 5 -1 64 -1 -1 64 7200 -1 1 10 20 -1 1 -1 -1 -1\n"   // no runtime
+      "2 2000 5 1800 0 -1 -1 0 3600 -1 1 11 21 -1 1 -1 -1 -1\n"   // no procs
+      "3 3000 5 1800 16 -1 -1 16 3600 -1 1 11 21 -1 1 -1 -1 -1\n");
+  const Trace trace = ImportSwf(swf, 64);
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.jobs[0].size, 16);
+}
+
+TEST(SwfImportTest, EstimateNeverBelowRuntime) {
+  std::stringstream swf("1 0 0 3600 16 -1 -1 16 60 -1 1 1 1 -1 1 -1 -1 -1\n");
+  const Trace trace = ImportSwf(swf, 64);
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_GE(trace.jobs[0].estimate, trace.jobs[0].compute_time);
+}
+
+TEST(HswfFileTest, FileRoundTrip) {
+  const Trace original = SampleTrace();
+  const std::string path = ::testing::TempDir() + "/hswf_roundtrip.hswf";
+  WriteHswfFile(original, path);
+  const Trace parsed = ReadHswfFile(path);
+  EXPECT_EQ(parsed.jobs.size(), original.jobs.size());
+  EXPECT_EQ(parsed.num_nodes, original.num_nodes);
+}
+
+TEST(HswfFileTest, MissingFileThrows) {
+  EXPECT_THROW(ReadHswfFile("/nonexistent/path/file.hswf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hs

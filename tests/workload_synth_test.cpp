@@ -1,0 +1,107 @@
+#include "workload/theta_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/characterize.h"
+
+namespace hs {
+namespace {
+
+ThetaConfig SmallConfig() {
+  ThetaConfig config;
+  config.weeks = 2;
+  return config;
+}
+
+TEST(ThetaModelTest, DeterministicInSeed) {
+  const Trace a = GenerateThetaTrace(SmallConfig(), 1);
+  const Trace b = GenerateThetaTrace(SmallConfig(), 1);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+    EXPECT_EQ(a.jobs[i].size, b.jobs[i].size);
+    EXPECT_EQ(a.jobs[i].compute_time, b.jobs[i].compute_time);
+  }
+}
+
+TEST(ThetaModelTest, DifferentSeedsDiffer) {
+  const Trace a = GenerateThetaTrace(SmallConfig(), 1);
+  const Trace b = GenerateThetaTrace(SmallConfig(), 2);
+  EXPECT_NE(a.jobs.size(), b.jobs.size());
+}
+
+TEST(ThetaModelTest, TraceIsValid) {
+  const Trace trace = GenerateThetaTrace(SmallConfig(), 3);
+  EXPECT_EQ(trace.Validate(), "");
+}
+
+TEST(ThetaModelTest, RespectsMachineLimits) {
+  const Trace trace = GenerateThetaTrace(SmallConfig(), 4);
+  for (const auto& job : trace.jobs) {
+    EXPECT_GE(job.size, 128);                       // Theta minimum
+    EXPECT_LE(job.size, 4392);                      // machine size
+    // Allocation quantum of 128, except full-machine requests (4392 is not
+    // a multiple of 128 on Theta).
+    EXPECT_TRUE(job.size % 128 == 0 || job.size == 4392) << job.size;
+    EXPECT_LE(job.setup_time + job.compute_time, kDay);  // 1-day cap
+    EXPECT_GE(job.estimate, job.setup_time + job.compute_time);
+  }
+}
+
+TEST(ThetaModelTest, OfferedLoadNearTarget) {
+  ThetaConfig config = SmallConfig();
+  config.weeks = 4;
+  config.target_load = 0.9;
+  const Trace trace = GenerateThetaTrace(config, 5);
+  EXPECT_NEAR(trace.OfferedLoad(), 0.9, 0.12);
+}
+
+TEST(ThetaModelTest, SetupWithinRigidBand) {
+  const Trace trace = GenerateThetaTrace(SmallConfig(), 6);
+  for (const auto& job : trace.jobs) {
+    const double frac = static_cast<double>(job.setup_time) / job.compute_time;
+    EXPECT_GE(frac, 0.04);  // 5% minus rounding slack
+    EXPECT_LE(frac, 0.11);  // 10% plus rounding slack
+  }
+}
+
+TEST(ThetaModelTest, ManyProjectsActive) {
+  ThetaConfig config = SmallConfig();
+  config.weeks = 4;
+  const Trace trace = GenerateThetaTrace(config, 7);
+  std::set<std::int32_t> projects;
+  for (const auto& job : trace.jobs) projects.insert(job.project);
+  EXPECT_GT(projects.size(), 30u);  // Zipf tail still shows up
+}
+
+TEST(ThetaModelTest, SizeMixSkewsSmall) {
+  const Trace trace = GenerateThetaTrace(SmallConfig(), 8);
+  const auto hist = SizeHistogram(trace);
+  // Fig. 3 shape: the smallest bin dominates the job count, while large
+  // jobs hold a disproportionate share of node-hours.
+  EXPECT_GT(hist.CountShare(0), 0.3);
+  const std::size_t last = hist.bins().size() - 1;
+  EXPECT_GT(hist.WeightShare(last) + hist.WeightShare(last - 1),
+            hist.CountShare(last) + hist.CountShare(last - 1));
+}
+
+TEST(ThetaModelTest, EstimatesQuantizedTo15Minutes) {
+  const Trace trace = GenerateThetaTrace(SmallConfig(), 9);
+  for (const auto& job : trace.jobs) {
+    if (job.estimate != job.setup_time + job.compute_time) {
+      EXPECT_EQ(job.estimate % (15 * kMinute), 0) << "job " << job.id;
+    }
+  }
+}
+
+TEST(ThetaModelTest, HorizonRespected) {
+  ThetaConfig config = SmallConfig();
+  const Trace trace = GenerateThetaTrace(config, 10);
+  EXPECT_LT(trace.LastSubmit(), static_cast<SimTime>(config.weeks) * kWeek +
+                                    kDay);  // bursts may spill slightly
+}
+
+}  // namespace
+}  // namespace hs

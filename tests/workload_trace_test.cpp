@@ -1,0 +1,86 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace hs {
+namespace {
+
+JobRecord MakeJob(JobId id, SimTime submit, int size, SimTime compute) {
+  JobRecord j;
+  j.id = id;
+  j.project = 0;
+  j.submit_time = submit;
+  j.size = size;
+  j.min_size = size;
+  j.compute_time = compute;
+  j.setup_time = 0;
+  j.estimate = compute;
+  return j;
+}
+
+TEST(TraceTest, CanonicalizeSortsAndRenumbers) {
+  Trace trace;
+  trace.num_nodes = 100;
+  trace.jobs = {MakeJob(5, 300, 10, 60), MakeJob(9, 100, 10, 60), MakeJob(2, 200, 10, 60)};
+  trace.Canonicalize();
+  ASSERT_EQ(trace.jobs.size(), 3u);
+  EXPECT_EQ(trace.jobs[0].submit_time, 100);
+  EXPECT_EQ(trace.jobs[1].submit_time, 200);
+  EXPECT_EQ(trace.jobs[2].submit_time, 300);
+  EXPECT_EQ(trace.jobs[0].id, 0);
+  EXPECT_EQ(trace.jobs[2].id, 2);
+}
+
+TEST(TraceTest, ValidateDetectsOversizedJob) {
+  Trace trace;
+  trace.num_nodes = 8;
+  trace.jobs = {MakeJob(0, 0, 16, 60)};
+  EXPECT_NE(trace.Validate(), "");
+}
+
+TEST(TraceTest, ValidateDetectsUnsortedJobs) {
+  Trace trace;
+  trace.num_nodes = 100;
+  trace.jobs = {MakeJob(0, 200, 10, 60), MakeJob(1, 100, 10, 60)};
+  EXPECT_NE(trace.Validate(), "");
+}
+
+TEST(TraceTest, ValidTracePasses) {
+  Trace trace;
+  trace.num_nodes = 100;
+  trace.jobs = {MakeJob(0, 100, 10, 60), MakeJob(1, 200, 10, 60)};
+  EXPECT_EQ(trace.Validate(), "");
+}
+
+TEST(TraceTest, OfferedLoadMatchesHandComputation) {
+  Trace trace;
+  trace.num_nodes = 10;
+  // Two jobs of 5 nodes x 100 s over a 100 s span: load = 1000 / 1000 = 1.
+  trace.jobs = {MakeJob(0, 0, 5, 100), MakeJob(1, 100, 5, 100)};
+  EXPECT_DOUBLE_EQ(trace.OfferedLoad(), 1.0);
+}
+
+TEST(TraceTest, EmptyTraceBasics) {
+  Trace trace;
+  trace.num_nodes = 10;
+  EXPECT_EQ(trace.FirstSubmit(), 0);
+  EXPECT_EQ(trace.LastSubmit(), 0);
+  EXPECT_DOUBLE_EQ(trace.OfferedLoad(), 0.0);
+  EXPECT_EQ(trace.Validate(), "");
+}
+
+TEST(TraceTest, CountClass) {
+  Trace trace;
+  trace.num_nodes = 100;
+  auto a = MakeJob(0, 0, 10, 60);
+  auto b = MakeJob(1, 1, 10, 60);
+  b.klass = JobClass::kMalleable;
+  b.min_size = 2;
+  trace.jobs = {a, b};
+  EXPECT_EQ(trace.CountClass(JobClass::kRigid), 1u);
+  EXPECT_EQ(trace.CountClass(JobClass::kMalleable), 1u);
+  EXPECT_EQ(trace.CountClass(JobClass::kOnDemand), 0u);
+}
+
+}  // namespace
+}  // namespace hs
