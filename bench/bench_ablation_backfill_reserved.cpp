@@ -3,7 +3,7 @@
 // notices, where reservations live longest).
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/env.h"
 
@@ -16,24 +16,26 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W2");
-  const auto traces = BuildTraces(scenario, scale.seeds, 900, pool);
+  ExperimentRunner runner(pool);
 
-  std::vector<HybridConfig> configs;
+  std::vector<SimSpec> specs;
   std::vector<std::string> labels;
   for (const char* name : {"CUA&SPAA", "CUP&SPAA"}) {
     for (const bool on : {true, false}) {
-      HybridConfig config = MakePaperConfig(ParseMechanism(name));
-      config.backfill_on_reserved = on;
-      configs.push_back(config);
+      SimSpec base = SimSpec::Parse(std::string(name) + "/FCFS/W2/backfill=" +
+                                    (on ? "1" : "0"));
+      base.weeks = scale.weeks;
+      for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 900)) {
+        specs.push_back(seeded);
+      }
       labels.push_back(std::string(name) + (on ? " +backfill" : " -backfill"));
     }
   }
-  const auto grid = RunGrid(traces, configs, pool);
+  const auto means = GroupMeans(runner.Run(specs), static_cast<std::size_t>(scale.seeds));
 
   std::vector<LabeledResult> rows;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    rows.push_back({labels[i], MeanResult(grid[i])});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    rows.push_back({labels[i], means[i]});
   }
   std::printf("%s\n", RenderComparisonTable(rows).c_str());
   std::printf("expected: +backfill improves utilization/turnaround slightly at "

@@ -10,8 +10,7 @@
 // checkpointing recovers its value.
 #include <cstdio>
 
-#include "exp/experiment.h"
-#include "exp/paper_tables.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/env.h"
 
@@ -24,40 +23,50 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-  const auto traces = BuildTraces(scenario, scale.seeds, 960, pool);
+  ExperimentRunner runner(pool);
 
   const std::vector<double> interval_scales = {0.25, 0.5, 1.0, 2.0};
   // Node MTBF of 1 year: a 1K-node job fails about once every 8.7 hours —
   // a petascale-era failure rate (the Daly inputs keep their own MTBF).
-  const std::vector<std::pair<const char*, SimTime>> regimes = {
+  const std::vector<std::pair<const char*, int>> regimes = {
       {"no failures", 0},
-      {"node MTBF 4y", 4LL * 365 * kDay},
-      {"node MTBF 1y", 365 * kDay},
+      {"node MTBF 4y", 4 * 365},
+      {"node MTBF 1y", 365},
   };
 
-  for (const auto& [label, mtbf] : regimes) {
-    std::vector<HybridConfig> configs;
-    std::vector<std::string> columns;
+  // One flat spec vector over (regime x interval scale): every cell shares
+  // the same scenario, so the runner builds each seed's trace exactly once.
+  std::vector<SimSpec> specs;
+  std::vector<std::string> columns;
+  for (const auto& [label, mtbf_days] : regimes) {
     for (const double s : interval_scales) {
-      HybridConfig config = MakePaperConfig(ParseMechanism("CUA&SPAA"));
-      config.engine.checkpoint.interval_scale = s;
-      config.engine.inject_failures = mtbf > 0;
-      if (mtbf > 0) config.engine.failure_node_mtbf = mtbf;
-      configs.push_back(config);
-      columns.push_back(Fmt(s, 2) + "x Daly");
+      std::string spec_text = "CUA&SPAA/FCFS/W5/ckpt_scale=" + Fmt(s, 2);
+      if (mtbf_days > 0) {
+        spec_text += "/failures=1/mtbf_days=" + std::to_string(mtbf_days);
+      }
+      SimSpec base = SimSpec::Parse(spec_text);
+      base.weeks = scale.weeks;
+      for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 960)) {
+        specs.push_back(seeded);
+      }
     }
-    const auto grid = RunGrid(traces, configs, pool);
-    TextTable table({"regime: " + std::string(label), columns[0], columns[1],
-                     columns[2], columns[3]});
+  }
+  for (const double s : interval_scales) {
+    columns.push_back(Fmt(s, 2) + "x Daly");
+  }
+  const auto means = GroupMeans(runner.Run(specs), static_cast<std::size_t>(scale.seeds));
+
+  for (std::size_t r = 0; r < regimes.size(); ++r) {
+    TextTable table({"regime: " + std::string(regimes[r].first), columns[0],
+                     columns[1], columns[2], columns[3]});
     std::vector<std::string> tat = {"rigid turnaround (h)"};
     std::vector<std::string> lost = {"lost node-h (x1000)"};
     std::vector<std::string> fails = {"failures"};
     for (std::size_t s = 0; s < interval_scales.size(); ++s) {
-      const SimResult m = MeanResult(grid[s]);
+      const SimResult& m = means[r * interval_scales.size() + s];
       tat.push_back(Fmt(m.rigid_turnaround_h, 1));
       lost.push_back(Fmt(m.lost_node_hours / 1000.0, 0));
-      fails.push_back(std::to_string(m.failures / grid[s].size()));
+      fails.push_back(std::to_string(m.failures / static_cast<std::size_t>(scale.seeds)));
     }
     table.AddRow(tat);
     table.AddRow(lost);

@@ -2,7 +2,7 @@
 // the request). Smaller minima give SPAA a deeper shrink supply.
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/env.h"
 
@@ -15,14 +15,23 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  std::vector<LabeledResult> rows;
+  ExperimentRunner runner(pool);
+
+  std::vector<SimSpec> specs;
+  std::vector<std::string> labels;
   for (const double frac : {0.1, 0.2, 0.5}) {
-    ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-    scenario.types.malleable_min_frac = frac;
-    const auto traces = BuildTraces(scenario, scale.seeds, 920, pool);
-    const HybridConfig config = MakePaperConfig(ParseMechanism("N&SPAA"));
-    const auto grid = RunGrid(traces, {config}, pool);
-    rows.push_back({"min=" + FmtPct(frac, 0), MeanResult(grid[0])});
+    SimSpec base = SimSpec::Parse("N&SPAA/FCFS/W5/malleable_min=" + Fmt(frac, 1));
+    base.weeks = scale.weeks;
+    for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 920)) {
+      specs.push_back(seeded);
+    }
+    labels.push_back("min=" + FmtPct(frac, 0));
+  }
+  const auto means = GroupMeans(runner.Run(specs), static_cast<std::size_t>(scale.seeds));
+
+  std::vector<LabeledResult> rows;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    rows.push_back({labels[i], means[i]});
   }
   std::printf("%s\n", RenderComparisonTable(rows).c_str());
   std::printf("expected: smaller minima raise the shrink supply, cutting "

@@ -2,7 +2,7 @@
 // of projects that submit on-demand work (§IV-B default: 10%).
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/env.h"
 
@@ -15,15 +15,25 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  std::vector<LabeledResult> rows;
+  ExperimentRunner runner(pool);
+
+  std::vector<SimSpec> specs;
+  std::vector<std::string> labels;
   for (const double share : {0.05, 0.10, 0.20, 0.30}) {
-    ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-    scenario.types.on_demand_project_share = share;
-    scenario.types.rigid_project_share = 0.70 - share;  // keep malleable at 30%
-    const auto traces = BuildTraces(scenario, scale.seeds, 930, pool);
-    const HybridConfig config = MakePaperConfig(ParseMechanism("CUA&SPAA"));
-    const auto grid = RunGrid(traces, {config}, pool);
-    rows.push_back({"od-projects=" + FmtPct(share, 0), MeanResult(grid[0])});
+    // Keep the malleable project share at 30%.
+    SimSpec base = SimSpec::Parse("CUA&SPAA/FCFS/W5/od_share=" + Fmt(share, 2) +
+                                  "/rigid_share=" + Fmt(0.70 - share, 2));
+    base.weeks = scale.weeks;
+    for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 930)) {
+      specs.push_back(seeded);
+    }
+    labels.push_back("od-projects=" + FmtPct(share, 0));
+  }
+  const auto means = GroupMeans(runner.Run(specs), static_cast<std::size_t>(scale.seeds));
+
+  std::vector<LabeledResult> rows;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    rows.push_back({labels[i], means[i]});
   }
   std::printf("%s\n", RenderComparisonTable(rows).c_str());
   std::printf("expected: instant-start stays high while batch turnaround and "

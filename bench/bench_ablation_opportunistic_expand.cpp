@@ -4,7 +4,7 @@
 // scheduling pass. Measures what that buys (and costs).
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/env.h"
 
@@ -17,23 +17,26 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-  const auto traces = BuildTraces(scenario, scale.seeds, 950, pool);
+  ExperimentRunner runner(pool);
 
-  std::vector<HybridConfig> configs;
+  std::vector<SimSpec> specs;
   std::vector<std::string> labels;
   for (const char* name : {"N&SPAA", "CUA&SPAA"}) {
     for (const bool expand : {false, true}) {
-      HybridConfig config = MakePaperConfig(ParseMechanism(name));
-      config.opportunistic_expand = expand;
-      configs.push_back(config);
+      SimSpec base = SimSpec::Parse(std::string(name) + "/FCFS/W5/expand=" +
+                                    (expand ? "1" : "0"));
+      base.weeks = scale.weeks;
+      for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 950)) {
+        specs.push_back(seeded);
+      }
       labels.push_back(std::string(name) + (expand ? " +expand" : "        "));
     }
   }
-  const auto grid = RunGrid(traces, configs, pool);
+  const auto means = GroupMeans(runner.Run(specs), static_cast<std::size_t>(scale.seeds));
+
   std::vector<LabeledResult> rows;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    rows.push_back({labels[i], MeanResult(grid[i])});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    rows.push_back({labels[i], means[i]});
   }
   std::printf("%s\n", RenderComparisonTable(rows).c_str());
   std::printf("expected: +expand shortens malleable turnaround (idle nodes get "

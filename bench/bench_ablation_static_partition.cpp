@@ -5,7 +5,7 @@
 // deliver both responsiveness and utilization from one shared pool.
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/env.h"
 
@@ -18,26 +18,29 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-  const auto traces = BuildTraces(scenario, scale.seeds, 940, pool);
+  ExperimentRunner runner(pool);
 
-  std::vector<HybridConfig> configs;
-  std::vector<std::string> labels;
-  configs.push_back(MakePaperConfig(BaselineMechanism()));
-  labels.push_back("shared, FCFS/EASY");
+  std::vector<std::pair<std::string, std::string>> cells;
+  cells.emplace_back("shared, FCFS/EASY", "baseline/FCFS/W5");
   for (const int partition : {256, 512, 1024}) {
-    HybridConfig config = MakePaperConfig(BaselineMechanism());
-    config.static_od_partition = partition;
-    configs.push_back(config);
-    labels.push_back("static partition " + std::to_string(partition));
+    cells.emplace_back("static partition " + std::to_string(partition),
+                       "baseline/FCFS/W5/partition=" + std::to_string(partition));
   }
-  configs.push_back(MakePaperConfig(ParseMechanism("CUA&SPAA")));
-  labels.push_back("hybrid CUA&SPAA");
+  cells.emplace_back("hybrid CUA&SPAA", "CUA&SPAA/FCFS/W5");
 
-  const auto grid = RunGrid(traces, configs, pool);
+  std::vector<SimSpec> specs;
+  for (const auto& [label, spec_text] : cells) {
+    SimSpec base = SimSpec::Parse(spec_text);
+    base.weeks = scale.weeks;
+    for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 940)) {
+      specs.push_back(seeded);
+    }
+  }
+  const auto means = GroupMeans(runner.Run(specs), static_cast<std::size_t>(scale.seeds));
+
   std::vector<LabeledResult> rows;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    rows.push_back({labels[i], MeanResult(grid[i])});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    rows.push_back({cells[i].first, means[i]});
   }
   std::printf("%s\n", RenderComparisonTable(rows).c_str());
   std::printf("expected: small partitions leave on-demand jobs queueing behind "

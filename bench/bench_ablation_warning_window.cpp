@@ -3,7 +3,7 @@
 // hardest on arrival-time preemption.
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/env.h"
 
@@ -16,22 +16,23 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-  const auto traces = BuildTraces(scenario, scale.seeds, 910, pool);
+  ExperimentRunner runner(pool);
 
-  std::vector<HybridConfig> configs;
+  std::vector<SimSpec> specs;
   std::vector<std::string> labels;
   for (const SimTime warning : {SimTime{0}, 2 * kMinute, 10 * kMinute}) {
-    HybridConfig config = MakePaperConfig(ParseMechanism("N&PAA"));
-    config.engine.drain_warning = warning;
-    configs.push_back(config);
+    SimSpec base = SimSpec::Parse("N&PAA/FCFS/W5/warning=" + std::to_string(warning));
+    base.weeks = scale.weeks;
+    for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 910)) {
+      specs.push_back(seeded);
+    }
     labels.push_back("warning=" + FormatDuration(warning));
   }
-  const auto grid = RunGrid(traces, configs, pool);
+  const auto means = GroupMeans(runner.Run(specs), static_cast<std::size_t>(scale.seeds));
 
   std::vector<LabeledResult> rows;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    rows.push_back({labels[i], MeanResult(grid[i])});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    rows.push_back({labels[i], means[i]});
   }
   std::printf("%s\n", RenderComparisonTable(rows).c_str());
   std::printf("expected: longer warnings delay on-demand starts (lower strict "

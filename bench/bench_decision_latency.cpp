@@ -8,59 +8,13 @@
 #include "core/arrival.h"
 #include "core/preemption_cost.h"
 #include "core/shrink_expand.h"
-#include "metrics/collector.h"
-#include "sched/batch_scheduler.h"
-#include "sim/simulator.h"
+#include "exp/fixtures.h"
 
 namespace hs {
 namespace {
 
-/// Builds an engine with `n` running jobs (alternating rigid/malleable).
-class LoadedEngine : public EventHandler {
- public:
-  explicit LoadedEngine(int n)
-      : trace_(MakeTrace(n)), sim_(*this), collector_(), engine_(trace_, Config(),
-                                                                 collector_, sim_) {
-    for (int i = 0; i < n; ++i) {
-      engine_.EnqueueFresh(i, 0);
-      const bool ok = engine_.StartWaiting(i, trace_.jobs[i].size, 0);
-      if (!ok) throw std::runtime_error("LoadedEngine: machine too small");
-    }
-  }
-
-  void HandleEvent(const Event&, Simulator&) override {}
-  void OnQuiescent(SimTime, Simulator&) override {}
-
-  ExecutionEngine& engine() { return engine_; }
-
- private:
-  static EngineConfig Config() {
-    EngineConfig config;
-    config.checkpoint.node_mtbf = 1000LL * 365 * kDay;
-    return config;
-  }
-  static Trace MakeTrace(int n) {
-    Trace trace;
-    trace.num_nodes = n * 16;
-    for (int i = 0; i < n; ++i) {
-      JobRecord rec;
-      rec.id = i;
-      rec.klass = (i % 2 == 0) ? JobClass::kRigid : JobClass::kMalleable;
-      rec.size = 16;
-      rec.min_size = rec.is_malleable() ? 4 : 16;
-      rec.compute_time = 10000 + i;
-      rec.setup_time = 100;
-      rec.estimate = 30000;
-      trace.jobs.push_back(rec);
-    }
-    return trace;
-  }
-
-  Trace trace_;
-  Simulator sim_;
-  Collector collector_;
-  ExecutionEngine engine_;
-};
+/// The engine-with-n-running-jobs fixture lives in exp/fixtures.h.
+using test::LoadedEngine;
 
 void BM_PaaDecision(benchmark::State& state) {
   LoadedEngine loaded(static_cast<int>(state.range(0)));

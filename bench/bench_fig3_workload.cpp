@@ -3,7 +3,7 @@
 // ring) per size range.
 #include <cstdio>
 
-#include "exp/scenario.h"
+#include "exp/sim_spec.h"
 #include "util/env.h"
 #include "util/table.h"
 #include "workload/characterize.h"
@@ -12,8 +12,9 @@ using namespace hs;
 
 int main() {
   const BenchScale scale = ResolveBenchScale();
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-  const Trace trace = BuildScenarioTrace(scenario, 1);
+  SimSpec spec = SimSpec::Parse("baseline/FCFS/W5/seed=1");
+  spec.weeks = scale.weeks;
+  const Trace trace = spec.BuildTrace();
   const TraceSummary s = Summarize(trace);
 
   std::printf("=== Table I: synthetic Theta-like workload (%d weeks) ===\n\n",

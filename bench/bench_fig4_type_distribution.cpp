@@ -4,7 +4,7 @@
 // differ in activity — exactly the spread the paper shows.
 #include <cstdio>
 
-#include "exp/scenario.h"
+#include "exp/sim_spec.h"
 #include "util/env.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -18,12 +18,14 @@ int main() {
   std::printf("=== Fig. 4: job-type distribution across %d generated traces ===\n\n",
               traces);
 
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
+  SimSpec spec = SimSpec::Parse("baseline/FCFS/W5");
+  spec.weeks = scale.weeks;
   TextTable table({"Trace", "Jobs", "Rigid", "On-demand", "Malleable",
                    "OD node-hours"});
   RunningStats od_share;
   for (int i = 0; i < traces; ++i) {
-    const Trace trace = BuildScenarioTrace(scenario, 2000 + i);
+    spec.seed = 2000 + static_cast<std::uint64_t>(i);
+    const Trace trace = spec.BuildTrace();
     const ClassShares shares = JobClassShares(trace);
     const ClassShares nh = NodeHourClassShares(trace);
     od_share.Add(shares.on_demand);

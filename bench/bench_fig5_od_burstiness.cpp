@@ -2,7 +2,7 @@
 // the bursty pattern (project sessions submit several jobs minutes apart).
 #include <cstdio>
 
-#include "exp/scenario.h"
+#include "exp/sim_spec.h"
 #include "metrics/timeseries.h"
 #include "util/env.h"
 #include "util/table.h"
@@ -15,9 +15,11 @@ int main() {
   std::printf("=== Fig. 5: on-demand jobs per week (3 sample traces, %d weeks) ===\n\n",
               scale.weeks);
 
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
+  SimSpec spec = SimSpec::Parse("baseline/FCFS/W5");
+  spec.weeks = scale.weeks;
   for (const std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
-    const Trace trace = BuildScenarioTrace(scenario, seed);
+    spec.seed = seed;
+    const Trace trace = spec.BuildTrace();
     const auto weekly = WeeklyOnDemandCounts(trace);
     std::vector<double> series(weekly.begin(), weekly.end());
     std::size_t total = 0, peak = 0;

@@ -14,7 +14,7 @@
 //   Obs. 12 CUA's best turnaround is on W4 (late arrivals).
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "exp/paper_tables.h"
 #include "metrics/report.h"
 #include "util/env.h"
@@ -35,26 +35,33 @@ int main() {
   std::printf("\n");
 
   ThreadPool pool;
+  ExperimentRunner runner(pool);
 
-  // Configs: baseline + the six mechanisms.
-  std::vector<HybridConfig> configs = {MakePaperConfig(BaselineMechanism())};
+  // Cells: (baseline + the six mechanisms) x the five notice mixes, seeds
+  // flattened config-major so GroupMeans reduces per cell.
   std::vector<std::string> labels = {"FCFS/EASY"};
   for (const Mechanism& mechanism : PaperMechanisms()) {
-    configs.push_back(MakePaperConfig(mechanism));
     labels.push_back(ToString(mechanism));
   }
+  std::vector<std::string> mechanism_specs = {"baseline"};
+  for (const Mechanism& mechanism : PaperMechanisms()) {
+    mechanism_specs.push_back(ToString(mechanism));
+  }
 
-  // results[w][c] = mean over seeds.
+  // means[w][c] = mean over seeds.
   std::vector<std::string> workload_names;
   std::vector<std::vector<SimResult>> means;
   for (const auto& mix : PaperNoticeMixes()) {
-    const ScenarioConfig scenario = MakePaperScenario(scale.weeks, mix.name);
-    const auto traces = BuildTraces(scenario, scale.seeds, 42, pool);
-    const auto grid = RunGrid(traces, configs, pool);
-    std::vector<SimResult> row;
-    row.reserve(configs.size());
-    for (const auto& per_seed : grid) row.push_back(MeanResult(per_seed));
-    means.push_back(std::move(row));
+    std::vector<SimSpec> specs;
+    for (const std::string& mechanism : mechanism_specs) {
+      SimSpec base = SimSpec::Parse(mechanism + "/FCFS/" + mix.name);
+      base.weeks = scale.weeks;
+      for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 42)) {
+        specs.push_back(seeded);
+      }
+    }
+    means.push_back(GroupMeans(runner.Run(specs),
+                               static_cast<std::size_t>(scale.seeds)));
     workload_names.push_back(mix.name);
   }
 

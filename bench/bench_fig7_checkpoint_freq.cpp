@@ -7,7 +7,7 @@
 // dominate failures.
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "exp/paper_tables.h"
 #include "metrics/report.h"
 #include "util/env.h"
@@ -22,25 +22,29 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-  const auto traces = BuildTraces(scenario, scale.seeds, 77, pool);
+  ExperimentRunner runner(pool);
 
-  std::vector<HybridConfig> configs;
+  std::vector<SimSpec> specs;
   std::vector<std::string> labels;
   std::vector<std::string> columns;
   for (const Mechanism& mechanism : PaperMechanisms()) {
     labels.push_back(ToString(mechanism));
     for (const double s : interval_scales) {
-      HybridConfig config = MakePaperConfig(mechanism);
-      config.engine.checkpoint.interval_scale = s;
-      configs.push_back(config);
+      SimSpec base = SimSpec::Parse(ToString(mechanism) + "/FCFS/W5/ckpt_scale=" +
+                                    Fmt(s, 2));
+      base.weeks = scale.weeks;
+      for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 77)) {
+        specs.push_back(seeded);
+      }
     }
   }
   for (const double s : interval_scales) {
     columns.push_back(Fmt(s, 2) + "x Daly");
   }
 
-  const auto grid = RunGrid(traces, configs, pool);
+  // cell_means[m * |scales| + s] = mean over seeds.
+  const auto cell_means =
+      GroupMeans(runner.Run(specs), static_cast<std::size_t>(scale.seeds));
 
   const std::vector<MetricKind> metrics = {MetricKind::kRigidTurnaroundH,
                                            MetricKind::kUtilization,
@@ -50,8 +54,7 @@ int main() {
                                            std::vector<double>(interval_scales.size()));
     for (std::size_t m = 0; m < labels.size(); ++m) {
       for (std::size_t s = 0; s < interval_scales.size(); ++s) {
-        cells[m][s] = ExtractMetric(MeanResult(grid[m * interval_scales.size() + s]),
-                                    metric);
+        cells[m][s] = ExtractMetric(cell_means[m * interval_scales.size() + s], metric);
       }
     }
     std::printf("%s\n", RenderMetricGrid(MetricName(metric), labels, columns, cells,
@@ -70,10 +73,10 @@ int main() {
   // time feeds queueing congestion at ~84% load. See EXPERIMENTS.md.
   double frequent_tat = 0.0, daly_tat = 0.0, frequent_util = 0.0, daly_util = 0.0;
   for (std::size_t m = 0; m < labels.size(); ++m) {
-    frequent_tat += MeanResult(grid[m * interval_scales.size() + 0]).rigid_turnaround_h / 6.0;
-    daly_tat += MeanResult(grid[m * interval_scales.size() + 2]).rigid_turnaround_h / 6.0;
-    frequent_util += MeanResult(grid[m * interval_scales.size() + 0]).utilization / 6.0;
-    daly_util += MeanResult(grid[m * interval_scales.size() + 2]).utilization / 6.0;
+    frequent_tat += cell_means[m * interval_scales.size() + 0].rigid_turnaround_h / 6.0;
+    daly_tat += cell_means[m * interval_scales.size() + 2].rigid_turnaround_h / 6.0;
+    frequent_util += cell_means[m * interval_scales.size() + 0].utilization / 6.0;
+    daly_util += cell_means[m * interval_scales.size() + 2].utilization / 6.0;
   }
   std::printf("shape checks vs paper (Obs. 13):\n");
   std::printf("  [%s] utilization rises with checkpoint frequency: 0.25x Daly "

@@ -1,0 +1,90 @@
+// ExperimentRunner at full width: the complete 7-mechanism (baseline + six)
+// x ordering-policy grid from one flat vector of SimSpecs, with results
+// streamed to CSV as cells complete. Doubles as the API example for
+// spec-driven sweeps and as a perf smoke of the trace-sharing runner (7
+// mechanisms x |policies| cells per seed reuse one trace per seed).
+//
+// Scale via HYBRIDSCHED_WEEKS / HYBRIDSCHED_SEEDS; set
+// HYBRIDSCHED_GRID_CSV=path to keep the streamed rows.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exp/paper_tables.h"
+#include "exp/runner.h"
+#include "metrics/report.h"
+#include "util/env.h"
+
+using namespace hs;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale();
+  const std::vector<std::string> policies = PolicyNames();
+  std::vector<std::string> mechanisms = {"baseline"};
+  for (const std::string& name : MechanismNames()) {
+    if (name != "baseline") mechanisms.push_back(name);
+  }
+
+  std::printf("=== Spec grid: %zu mechanisms x %zu policies "
+              "(%d weeks x %d seeds per cell) ===\n\n",
+              mechanisms.size(), policies.size(), scale.weeks, scale.seeds);
+
+  // One flat spec vector, mechanism-major then policy, seeds innermost.
+  std::vector<SimSpec> specs;
+  for (const std::string& mechanism : mechanisms) {
+    for (const std::string& policy : policies) {
+      SimSpec base = SimSpec::Parse(mechanism + "/" + policy + "/W5");
+      base.weeks = scale.weeks;
+      for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 800)) {
+        specs.push_back(seeded);
+      }
+    }
+  }
+
+  // Stream every completed cell as a CSV row (to a file when requested,
+  // else into a discarded buffer — the streaming path still runs).
+  const std::string csv_path = EnvString("HYBRIDSCHED_GRID_CSV", "");
+  std::ofstream csv_file;
+  std::ostringstream csv_buffer;
+  if (!csv_path.empty()) csv_file.open(csv_path);
+  std::ostream& csv_out = csv_file.is_open() ? static_cast<std::ostream&>(csv_file)
+                                             : csv_buffer;
+  CsvResultSink sink(csv_out);
+
+  ThreadPool pool;
+  ExperimentRunner runner(pool);
+  const auto started = std::chrono::steady_clock::now();
+  const auto rows = runner.Run(specs, &sink);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  const auto means = GroupMeans(rows, static_cast<std::size_t>(scale.seeds));
+
+  for (const MetricKind metric :
+       {MetricKind::kAvgTurnaroundH, MetricKind::kUtilization,
+        MetricKind::kOdInstantRate}) {
+    std::vector<std::vector<double>> cells(
+        mechanisms.size(), std::vector<double>(policies.size()));
+    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        cells[m][p] = ExtractMetric(means[m * policies.size() + p], metric);
+      }
+    }
+    std::printf("%s\n", RenderMetricGrid(MetricName(metric), mechanisms, policies,
+                                         cells, MetricIsPercent(metric) ? 1 : 2,
+                                         MetricIsPercent(metric))
+                            .c_str());
+  }
+
+  std::printf("ran %zu cells (%zu simulations) in %.1f s (%.2f sims/s)\n",
+              means.size(), rows.size(), elapsed_s,
+              static_cast<double>(rows.size()) / elapsed_s);
+  if (csv_file.is_open()) {
+    std::printf("streamed rows to %s\n", csv_path.c_str());
+  }
+  std::printf("\nshape check: instant-start stays high under every ordering "
+              "policy — the mechanisms act on running jobs, orthogonally to "
+              "queue order (§I).\n");
+  return 0;
+}

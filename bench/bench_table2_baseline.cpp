@@ -7,7 +7,7 @@
 // Scale via HYBRIDSCHED_WEEKS / HYBRIDSCHED_SEEDS / HYBRIDSCHED_FULL=1.
 #include <cstdio>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/env.h"
 
@@ -19,10 +19,11 @@ int main() {
               scale.weeks, scale.seeds);
 
   ThreadPool pool;
-  const ScenarioConfig scenario = MakePaperScenario(scale.weeks, "W5");
-  const auto traces = BuildTraces(scenario, scale.seeds, 1000, pool);
-  const auto results = RunGrid(traces, {MakePaperConfig(BaselineMechanism())}, pool);
-  const SimResult mean = MeanResult(results[0]);
+  ExperimentRunner runner(pool);
+  SimSpec base = SimSpec::Parse("baseline/FCFS/W5");
+  base.weeks = scale.weeks;
+  const SimResult mean =
+      MeanResult(ResultsOf(runner.Run(SeedSweep(base, scale.seeds, 1000))));
 
   std::printf("%s\n", RenderBaselineTable(mean).c_str());
   std::printf("paper reports: 15.6 hours | 83.93%% | 22.69%%\n\n");

@@ -4,33 +4,44 @@
 //
 //   ./checkpoint_tuning [--weeks=2] [--mechanism=CUP&PAA]
 #include <cstdio>
+#include <exception>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 using namespace hs;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const CliArgs args(argc, argv);
-  const int weeks = static_cast<int>(args.GetInt("weeks", 2));
-  const Mechanism mechanism =
-      ParseMechanism(args.GetString("mechanism", "CUP&PAA"));
+  SimSpec base = SimSpec::FromCli(args);
+  // This example's defaults apply only when neither the dedicated flag nor
+  // a --spec string set the field.
+  const bool has_spec = args.Has("spec");
+  if (!args.Has("mechanism") && !has_spec) base.mechanism = "CUP&PAA";
+  if (!args.Has("weeks") && !has_spec) base.weeks = 2;
+  if (!args.Has("preset") && !has_spec) base.preset = "midsize";
+  if (!args.Has("seed") && !has_spec) base.seed = 42;
+  args.RejectUnknown();
 
-  ScenarioConfig scenario = MakePaperScenario(weeks, "W5");
-  scenario.theta.num_nodes = 2048;
-  scenario.theta.projects.max_job_size = 2048;
-  const Trace trace = BuildScenarioTrace(scenario, 42);
+  ThreadPool pool;
+  ExperimentRunner runner(pool);
+  const std::vector<double> scales = {0.25, 0.5, 1.0, 2.0};
+  std::vector<SimSpec> specs;
+  for (const double scale : scales) {
+    SimSpec spec = base;
+    spec.SetOverride("ckpt_scale", Fmt(scale, 2));
+    specs.push_back(spec);
+  }
+  const auto rows = runner.Run(specs);
 
-  std::printf("checkpoint interval sweep, %s, %d weeks, %zu jobs\n\n",
-              ToString(mechanism).c_str(), weeks, trace.jobs.size());
+  std::printf("checkpoint interval sweep, %s, %d weeks (trace %s)\n\n",
+              base.mechanism.c_str(), base.weeks, rows[0].trace_name.c_str());
   TextTable table({"Interval (x Daly)", "Rigid turnaround (h)", "Utilization",
                    "Lost node-h", "Checkpoint node-h"});
-  for (const double scale : {0.25, 0.5, 1.0, 2.0}) {
-    HybridConfig config = MakePaperConfig(mechanism);
-    config.engine.checkpoint.interval_scale = scale;
-    const SimResult r = RunSimulation(trace, config);
-    table.AddRow({Fmt(scale, 2), Fmt(r.rigid_turnaround_h, 2),
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    const SimResult& r = rows[i].result;
+    table.AddRow({Fmt(scales[i], 2), Fmt(r.rigid_turnaround_h, 2),
                   FmtPct(r.utilization, 1), Fmt(r.lost_node_hours, 0),
                   Fmt(r.checkpoint_node_hours, 0)});
   }
@@ -39,4 +50,7 @@ int main(int argc, char** argv) {
               "optimum (scale < 1) trades dump overhead for less lost work "
               "under preemption.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

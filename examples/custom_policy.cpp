@@ -1,38 +1,71 @@
 // The mechanisms compose with any queue-ordering policy ("our mechanisms
 // manipulate the running jobs; a scheduling policy determines the order of
-// waiting jobs", §I). This example runs CUA&SPAA under several policies.
+// waiting jobs", §I). This example registers a *custom* policy in the
+// PolicyRegistry and sweeps CUA&SPAA across it plus the built-ins — every
+// cell addressed by a SimSpec string.
 //
 //   ./custom_policy [--weeks=2] [--seed=3]
 #include <cstdio>
+#include <exception>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "metrics/report.h"
 #include "util/cli.h"
 
 using namespace hs;
 
-int main(int argc, char** argv) {
+namespace {
+
+/// A bounded-slowdown policy: jobs whose wait already dwarfs their demand
+/// go first. Registering it is the only step — after that it is usable
+/// from any spec string, CLI flag, or EngineConfig::policy value.
+class BoundedSlowdown final : public OrderingPolicy {
+ public:
+  const char* name() const override { return "BoundedSlowdown"; }
+  double Key(const WaitingJob& job, SimTime now) const override {
+    const double wait = static_cast<double>(now - job.enqueue_time);
+    const double demand =
+        std::max<double>(10 * kMinute, static_cast<double>(job.estimate_remaining));
+    return -(wait + demand) / demand;  // larger slowdown first
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   const CliArgs args(argc, argv);
   const int weeks = static_cast<int>(args.GetInt("weeks", 2));
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 3));
+  args.RejectUnknown();
 
-  ScenarioConfig scenario = MakePaperScenario(weeks, "W5");
-  scenario.theta.num_nodes = 2048;
-  scenario.theta.projects.max_job_size = 2048;
-  const Trace trace = BuildScenarioTrace(scenario, seed);
-  std::printf("CUA&SPAA under different queue policies (%zu jobs, %d weeks)\n\n",
-              trace.jobs.size(), weeks);
+  RegisterPolicy("BoundedSlowdown", [] { return std::make_unique<BoundedSlowdown>(); },
+                 {"bsld"});
 
-  std::vector<LabeledResult> rows;
-  for (const PolicyKind policy :
-       {PolicyKind::kFcfs, PolicyKind::kSjf, PolicyKind::kLjf,
-        PolicyKind::kSmallestFirst, PolicyKind::kWfp3}) {
-    HybridConfig config = MakePaperConfig({NoticePolicy::kCua, ArrivalPolicy::kSpaa});
-    config.engine.policy = policy;
-    rows.push_back({ToString(policy), RunSimulation(trace, config)});
+  ThreadPool pool;
+  ExperimentRunner runner(pool);
+  const std::vector<std::string> policies = {"FCFS", "SJF", "LJF", "SmallestFirst",
+                                             "WFP3", "bsld"};
+  std::vector<SimSpec> specs;
+  for (const std::string& policy : policies) {
+    SimSpec spec = SimSpec::Parse("CUA&SPAA/" + policy + "/W5/preset=midsize");
+    spec.weeks = weeks;
+    spec.seed = seed;
+    specs.push_back(spec);
   }
-  std::printf("%s\n", RenderComparisonTable(rows).c_str());
-  std::printf("Instant-start stays high under every ordering policy: the\n"
+  const auto rows = runner.Run(specs);
+
+  std::printf("CUA&SPAA under different queue policies (%d weeks, seed %llu)\n\n",
+              weeks, static_cast<unsigned long long>(seed));
+  std::vector<LabeledResult> table;
+  for (const SpecResult& row : rows) {
+    table.push_back({row.spec.policy, row.result});
+  }
+  std::printf("%s\n", RenderComparisonTable(table).c_str());
+  std::printf("Instant-start stays high under every ordering policy — including\n"
+              "the custom BoundedSlowdown registered by this example: the\n"
               "mechanisms act on running jobs, orthogonally to queue order.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

@@ -4,36 +4,35 @@
 //
 //   ./malleable_incentive [--weeks=2] [--seeds=3]
 #include <cstdio>
+#include <exception>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "util/cli.h"
 
 using namespace hs;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const CliArgs args(argc, argv);
   const int weeks = static_cast<int>(args.GetInt("weeks", 2));
   const int seeds = static_cast<int>(args.GetInt("seeds", 3));
+  args.RejectUnknown();
 
-  ScenarioConfig honest = MakePaperScenario(weeks, "W5");
-  honest.theta.num_nodes = 2048;
-  honest.theta.projects.max_job_size = 2048;
+  SimSpec honest = SimSpec::Parse("CUA&SPAA/FCFS/W5/preset=midsize");
+  honest.weeks = weeks;
 
   // "Liars": the malleable projects declare their jobs rigid instead
-  // (rigid share absorbs the malleable share).
-  ScenarioConfig liars = honest;
-  liars.types.rigid_project_share =
-      honest.types.rigid_project_share + (1.0 - honest.types.rigid_project_share -
-                                          honest.types.on_demand_project_share);
+  // (rigid share absorbs the malleable share; on-demand keeps its 10%).
+  SimSpec liars = honest;
+  liars.SetOverride("rigid_share", "0.9");
 
   ThreadPool pool;
-  const HybridConfig config =
-      MakePaperConfig({NoticePolicy::kCua, ArrivalPolicy::kSpaa});
-
-  const auto honest_traces = BuildTraces(honest, seeds, 500, pool);
-  const auto liar_traces = BuildTraces(liars, seeds, 500, pool);
-  const SimResult honest_mean = MeanResult(RunGrid(honest_traces, {config}, pool)[0]);
-  const SimResult liar_mean = MeanResult(RunGrid(liar_traces, {config}, pool)[0]);
+  ExperimentRunner runner(pool);
+  std::vector<SimSpec> specs;
+  for (const SimSpec& seeded : SeedSweep(honest, seeds, 500)) specs.push_back(seeded);
+  for (const SimSpec& seeded : SeedSweep(liars, seeds, 500)) specs.push_back(seeded);
+  const auto means = GroupMeans(runner.Run(specs), static_cast<std::size_t>(seeds));
+  const SimResult& honest_mean = means[0];
+  const SimResult& liar_mean = means[1];
 
   std::printf("CUA&SPAA on %d weeks x %d seeds (2048 nodes)\n\n", weeks, seeds);
   std::printf("Declared honestly (malleable projects stay malleable):\n");
@@ -52,4 +51,7 @@ int main(int argc, char** argv) {
               incentive ? "reproduced" : "NOT reproduced",
               incentive ? "beat" : "did not beat");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

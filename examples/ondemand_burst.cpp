@@ -4,26 +4,28 @@
 //
 //   ./ondemand_burst [--weeks=2] [--burst=12] [--seed=1]
 #include <cstdio>
+#include <exception>
 
-#include "exp/experiment.h"
+#include "exp/session.h"
 #include "metrics/report.h"
 #include "util/cli.h"
 
 using namespace hs;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const CliArgs args(argc, argv);
   const int weeks = static_cast<int>(args.GetInt("weeks", 2));
   const int burst = static_cast<int>(args.GetInt("burst", 8));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  args.RejectUnknown();
 
-  // Background batch load: no on-demand projects at all.
-  ScenarioConfig scenario = MakePaperScenario(weeks, "W5");
-  scenario.theta.num_nodes = 2048;
-  scenario.theta.projects.max_job_size = 2048;
-  scenario.types.on_demand_project_share = 0.0;
-  scenario.types.rigid_project_share = 0.65;
-  Trace trace = BuildScenarioTrace(scenario, seed);
+  // Background batch load: no on-demand projects at all (spec-described),
+  // then surgically inject the burst into the materialized trace.
+  SimSpec background =
+      SimSpec::Parse("baseline/FCFS/W5/preset=midsize/od_share=0.0/rigid_share=0.65");
+  background.weeks = weeks;
+  background.seed = seed;
+  Trace trace = background.BuildTrace();
 
   // Inject the burst: `burst` on-demand jobs within 15 minutes, mid-trace,
   // each with a 20-minute advance notice.
@@ -54,14 +56,19 @@ int main(int argc, char** argv) {
               burst, FormatTimestamp(burst_start).c_str(), trace.jobs.size(),
               trace.num_nodes);
 
+  // Same doctored trace under every mechanism, each in its own session.
   std::vector<LabeledResult> rows;
-  rows.push_back({"FCFS/EASY", RunSimulation(trace, MakePaperConfig(BaselineMechanism()))});
+  rows.push_back({"FCFS/EASY",
+                  SimulationSession(trace, MakePaperConfig(BaselineMechanism())).Run()});
   for (const Mechanism& mechanism : PaperMechanisms()) {
     rows.push_back({ToString(mechanism),
-                    RunSimulation(trace, MakePaperConfig(mechanism))});
+                    SimulationSession(trace, MakePaperConfig(mechanism)).Run()});
   }
   std::printf("%s\n", RenderComparisonTable(rows).c_str());
   std::printf("InstantStart counts every on-demand start within 5 minutes of "
               "arrival; the burst is served by shrinking/preempting batch work.\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

@@ -1,15 +1,15 @@
-// Quickstart: build a tiny hybrid workload by hand, run it under the
-// FCFS/EASY baseline and under CUA&SPAA, and compare the paper's metrics.
+// Quickstart: the two front doors of the simulator.
+//
+//   1. Declarative: a SimSpec string names mechanism / policy / notice mix /
+//      preset and runs in one line.
+//   2. Programmatic: build a tiny hybrid workload by hand and run it inside
+//      a SimulationSession, which owns the whole stack (trace, collector,
+//      simulator, scheduler).
 //
 //   ./quickstart
-//
-// This is the 5-minute tour of the public API:
-//   Trace + JobRecord        (workload/)
-//   HybridConfig + Mechanism (core/)
-//   RunSimulation -> SimResult (core/hybrid_scheduler.h)
 #include <cstdio>
 
-#include "core/hybrid_scheduler.h"
+#include "exp/session.h"
 #include "metrics/report.h"
 
 using namespace hs;
@@ -65,14 +65,23 @@ void Report(const char* label, const SimResult& r) {
 }  // namespace
 
 int main() {
+  // 1. The one-liner: a spec string is a full experiment description.
+  //    (mechanism / ordering policy / notice mix / key=value refinements)
+  const SimResult spec_run = RunSpec("CUA&SPAA/FCFS/W5/preset=tiny/weeks=1/seed=7");
+  std::printf("spec run \"CUA&SPAA/FCFS/W5/preset=tiny/weeks=1/seed=7\":\n");
+  Report("  CUA&SPAA", spec_run);
+  std::printf("\n");
+
+  // 2. The programmatic path: hand-built trace, session-owned stack.
   const Trace trace = BuildTinyWorkload();
-  std::printf("quickstart: %zu jobs on %d nodes\n\n", trace.jobs.size(),
+  std::printf("hand-built workload: %zu jobs on %d nodes\n\n", trace.jobs.size(),
               trace.num_nodes);
 
-  const SimResult baseline =
-      RunSimulation(trace, MakePaperConfig(BaselineMechanism()));
-  const SimResult hybrid = RunSimulation(
-      trace, MakePaperConfig({NoticePolicy::kCua, ArrivalPolicy::kSpaa}));
+  SimulationSession baseline_session(trace, MakePaperConfig(BaselineMechanism()));
+  const SimResult baseline = baseline_session.Run();
+  SimulationSession hybrid_session(
+      trace, MakePaperConfig(ParseMechanism("CUA&SPAA")));
+  const SimResult hybrid = hybrid_session.Run();
 
   Report("FCFS/EASY", baseline);
   Report("CUA&SPAA", hybrid);

@@ -2,12 +2,13 @@
 // characterize an existing HSWF (or standard SWF) trace.
 //
 //   ./trace_tools generate --out=trace.hswf [--weeks=4] [--seed=1] [--mix=W5]
+//                          [--preset=paper] [--spec=...]
 //   ./trace_tools inspect trace.hswf
 //   ./trace_tools import-swf theta.swf --out=theta.hswf
 #include <cstdio>
 #include <fstream>
 
-#include "exp/scenario.h"
+#include "exp/sim_spec.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "workload/characterize.h"
@@ -18,11 +19,13 @@ using namespace hs;
 namespace {
 
 int Generate(const CliArgs& args) {
-  ScenarioConfig scenario = MakePaperScenario(
-      static_cast<int>(args.GetInt("weeks", 4)), args.GetString("mix", "W5"));
-  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
-  const Trace trace = BuildScenarioTrace(scenario, seed);
+  // The full scenario vocabulary of SimSpec is available: preset, mix,
+  // weeks, seed and scenario overrides (nodes=..., od_share=..., ...).
+  SimSpec spec = SimSpec::FromCli(args);
+  if (!args.Has("weeks") && !args.Has("spec")) spec.weeks = 4;
   const std::string out = args.GetString("out", "trace.hswf");
+  args.RejectUnknown();
+  const Trace trace = spec.BuildTrace();
   WriteHswfFile(trace, out);
   std::printf("wrote %zu jobs to %s (offered load %.2f)\n", trace.jobs.size(),
               out.c_str(), trace.OfferedLoad());
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return Generate(args);
     if (command == "inspect") {
       if (args.positional().size() < 2) throw std::runtime_error("missing trace path");
+      args.RejectUnknown();
       return Inspect(ReadHswfFile(args.positional()[1]));
     }
     if (command == "import-swf") {
@@ -78,7 +82,9 @@ int main(int argc, char** argv) {
       std::ifstream in(args.positional()[1]);
       if (!in) throw std::runtime_error("cannot open " + args.positional()[1]);
       const Trace trace = ImportSwf(in);
-      WriteHswfFile(trace, args.GetString("out", "imported.hswf"));
+      const std::string out = args.GetString("out", "imported.hswf");
+      args.RejectUnknown();
+      WriteHswfFile(trace, out);
       std::printf("imported %zu jobs (all rigid; run type assignment in your "
                   "own pipeline)\n",
                   trace.jobs.size());

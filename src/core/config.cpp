@@ -3,6 +3,9 @@
 namespace hs {
 
 std::string HybridConfig::Validate() const {
+  if (!PolicyRegistry().Contains(engine.policy)) {
+    return "unknown policy: " + engine.policy;
+  }
   if (reservation_timeout < 0) return "reservation_timeout must be >= 0";
   if (instant_threshold < 0) return "instant_threshold must be >= 0";
   if (engine.drain_warning < 0) return "drain_warning must be >= 0";
@@ -18,7 +21,7 @@ std::string HybridConfig::Validate() const {
 HybridConfig MakePaperConfig(const Mechanism& mechanism) {
   HybridConfig config;
   config.mechanism = mechanism;
-  config.engine.policy = PolicyKind::kFcfs;
+  config.engine.policy = "FCFS";
   // The baseline schedules malleable jobs as rigid requests of their maximum
   // size ("without special treatments", Table II).
   config.engine.malleable_flexible = !mechanism.is_baseline();

@@ -311,31 +311,4 @@ void HybridScheduler::OnQuiescent(SimTime now, Simulator&) {
   util_track_.Record(now, engine_.cluster().busy_count());
 }
 
-SimResult RunSimulation(const Trace& trace, const HybridConfig& config) {
-  Collector collector(config.instant_threshold);
-  // Simulator needs its handler at construction and the scheduler needs the
-  // simulator; a small forwarding holder breaks the cycle.
-  class Holder : public EventHandler {
-   public:
-    Holder(const Trace& t, const HybridConfig& c, Collector& col)
-        : sim_(*this), sched_(t, c, col, sim_) {}
-    void HandleEvent(const Event& e, Simulator& s) override { sched_.HandleEvent(e, s); }
-    void OnQuiescent(SimTime now, Simulator& s) override { sched_.OnQuiescent(now, s); }
-    Simulator& sim() { return sim_; }
-    HybridScheduler& sched() { return sched_; }
-
-   private:
-    Simulator sim_;
-    HybridScheduler sched_;
-  };
-  Holder holder(trace, config, collector);
-  holder.sched().Prime();
-  holder.sim().Run();
-  SimResult result = collector.Finalize(
-      trace.num_nodes, holder.sched().engine().cluster().busy_node_seconds());
-  result.window_utilization = holder.sched().utilization_tracker().MeanBusyFraction(
-      trace.FirstSubmit(), trace.LastSubmit());
-  return result;
-}
-
 }  // namespace hs

@@ -107,8 +107,8 @@ class HybridScheduler : public EventHandler {
   UtilizationTracker util_track_;
 };
 
-/// Convenience: builds, primes and runs one full simulation of `trace`
-/// under `config`; returns the finalized metrics.
-SimResult RunSimulation(const Trace& trace, const HybridConfig& config);
+// NOTE: RunSimulation moved to exp/session.h, where it is a thin wrapper
+// around SimulationSession — the facade that owns the trace / collector /
+// simulator / scheduler lifetimes this constructor documents by hand.
 
 }  // namespace hs

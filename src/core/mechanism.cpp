@@ -1,5 +1,6 @@
 #include "core/mechanism.h"
 
+#include <cctype>
 #include <stdexcept>
 
 namespace hs {
@@ -27,21 +28,49 @@ std::string ToString(const Mechanism& mechanism) {
   return std::string(ToString(mechanism.notice)) + "&" + ToString(mechanism.arrival);
 }
 
+NamedRegistry<Mechanism>& MechanismRegistry() {
+  static NamedRegistry<Mechanism>* registry = [] {
+    auto* r = new NamedRegistry<Mechanism>("mechanism");
+    r->Register("baseline", BaselineMechanism(), {"FCFS/EASY", "fcfs-easy"});
+    for (const Mechanism& m : PaperMechanisms()) r->Register(ToString(m), m);
+    return r;
+  }();
+  return *registry;
+}
+
+void RegisterMechanism(const std::string& name, const Mechanism& mechanism,
+                       const std::vector<std::string>& aliases) {
+  MechanismRegistry().Register(name, mechanism, aliases);
+}
+
+std::vector<std::string> MechanismNames() { return MechanismRegistry().Names(); }
+
 Mechanism ParseMechanism(const std::string& name) {
-  if (name == "FCFS/EASY" || name == "baseline") return BaselineMechanism();
+  if (MechanismRegistry().Contains(name)) return MechanismRegistry().Get(name);
+  // Not registered: diagnose which token of a "NOTICE&ARRIVAL" pair is bad
+  // so typos are reported precisely.
   const auto amp = name.find('&');
-  if (amp == std::string::npos) throw std::invalid_argument("bad mechanism: " + name);
+  if (amp == std::string::npos) {
+    MechanismRegistry().Get(name);  // throws, listing the known names
+  }
   const std::string notice = name.substr(0, amp);
   const std::string arrival = name.substr(amp + 1);
-  Mechanism m;
-  if (notice == "N") m.notice = NoticePolicy::kNone;
-  else if (notice == "CUA") m.notice = NoticePolicy::kCua;
-  else if (notice == "CUP") m.notice = NoticePolicy::kCup;
-  else throw std::invalid_argument("bad notice policy: " + notice);
-  if (arrival == "PAA") m.arrival = ArrivalPolicy::kPaa;
-  else if (arrival == "SPAA") m.arrival = ArrivalPolicy::kSpaa;
-  else throw std::invalid_argument("bad arrival policy: " + arrival);
-  return m;
+  std::string notice_upper = notice;
+  for (char& c : notice_upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (notice_upper != "N" && notice_upper != "CUA" && notice_upper != "CUP") {
+    throw std::invalid_argument("unknown notice policy '" + notice + "' in '" +
+                                name + "' (expected N, CUA or CUP)");
+  }
+  throw std::invalid_argument("unknown arrival policy '" + arrival + "' in '" +
+                              name + "' (expected PAA or SPAA)");
+}
+
+std::string CanonicalMechanismName(const std::string& name) {
+  if (MechanismRegistry().Contains(name)) return MechanismRegistry().Canonical(name);
+  ParseMechanism(name);  // throws the precise diagnostic
+  return name;
 }
 
 const std::array<Mechanism, 6>& PaperMechanisms() {

@@ -8,6 +8,9 @@
 
 #include <array>
 #include <string>
+#include <vector>
+
+#include "util/registry.h"
 
 namespace hs {
 
@@ -35,8 +38,27 @@ const char* ToString(NoticePolicy policy);
 const char* ToString(ArrivalPolicy policy);
 /// "N&PAA", "CUA&SPAA", ... or "FCFS/EASY" for the baseline.
 std::string ToString(const Mechanism& mechanism);
-/// Parses the names produced by ToString; throws std::invalid_argument.
+
+/// The global mechanism registry: canonical name -> Mechanism. The paper's
+/// six mechanisms plus the baseline are pre-registered ("baseline", with
+/// aliases "FCFS/EASY" and "fcfs-easy"); new named variants register here
+/// and become addressable from SimSpec strings and the CLI.
+NamedRegistry<Mechanism>& MechanismRegistry();
+
+/// Registers a named mechanism variant (plus optional aliases).
+void RegisterMechanism(const std::string& name, const Mechanism& mechanism,
+                       const std::vector<std::string>& aliases = {});
+
+/// Canonical names of every registered mechanism, in registration order.
+std::vector<std::string> MechanismNames();
+
+/// Parses the names produced by ToString plus anything registered in
+/// MechanismRegistry (case-insensitive). Throws std::invalid_argument
+/// naming the offending token ("unknown notice policy 'X' in 'X&PAA'").
 Mechanism ParseMechanism(const std::string& name);
+
+/// The canonical registry spelling of `name` ("fcfs/easy" -> "baseline").
+std::string CanonicalMechanismName(const std::string& name);
 
 /// The six mechanisms evaluated in the paper, in its presentation order:
 /// N&PAA, N&SPAA, CUA&PAA, CUA&SPAA, CUP&PAA, CUP&SPAA.

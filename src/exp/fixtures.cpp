@@ -1,0 +1,76 @@
+#include "exp/fixtures.h"
+
+#include <stdexcept>
+
+namespace hs::test {
+
+EngineSandbox::EngineSandbox(Trace trace, EngineConfig config,
+                             SimTime instant_threshold)
+    : trace_(std::move(trace)),
+      sim_(*this),
+      collector_(instant_threshold),
+      engine_(trace_, config, collector_, sim_) {}
+
+void EngineSandbox::HandleEvent(const Event& event, Simulator&) {
+  engine_.cluster().Touch(event.time);
+  switch (event.kind) {
+    case EventKind::kJobFinish:
+      engine_.FinishRunning(event.job, event.time);
+      break;
+    case EventKind::kJobKill:
+      engine_.KillAtEstimate(event.job, event.time);
+      break;
+    case EventKind::kWarningExpire:
+      engine_.CompleteDrain(event.job, event.time);
+      break;
+    case EventKind::kJobSubmit:
+      engine_.EnqueueFresh(event.job, event.time);
+      break;
+    default:
+      break;
+  }
+}
+
+void EngineSandbox::OnQuiescent(SimTime now, Simulator&) {
+  if (auto_schedule) engine_.RunSchedulingPass(now);
+}
+
+LoadedEngine::LoadedEngine(int n)
+    : trace_(MakeTrace(n)),
+      sim_(*this),
+      collector_(),
+      engine_(trace_, Config(), collector_, sim_) {
+  for (int i = 0; i < n; ++i) {
+    engine_.EnqueueFresh(i, 0);
+    const bool ok = engine_.StartWaiting(i, trace_.jobs[static_cast<std::size_t>(i)].size, 0);
+    if (!ok) throw std::runtime_error("LoadedEngine: machine too small");
+  }
+}
+
+void LoadedEngine::HandleEvent(const Event&, Simulator&) {}
+void LoadedEngine::OnQuiescent(SimTime, Simulator&) {}
+
+EngineConfig LoadedEngine::Config() {
+  EngineConfig config;
+  config.checkpoint.node_mtbf = 1000LL * 365 * kDay;
+  return config;
+}
+
+Trace LoadedEngine::MakeTrace(int n) {
+  Trace trace;
+  trace.num_nodes = n * 16;
+  for (int i = 0; i < n; ++i) {
+    JobRecord rec;
+    rec.id = i;
+    rec.klass = (i % 2 == 0) ? JobClass::kRigid : JobClass::kMalleable;
+    rec.size = 16;
+    rec.min_size = rec.is_malleable() ? 4 : 16;
+    rec.compute_time = 10000 + i;
+    rec.setup_time = 100;
+    rec.estimate = 30000;
+    trace.jobs.push_back(rec);
+  }
+  return trace;
+}
+
+}  // namespace hs::test

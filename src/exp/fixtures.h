@@ -1,0 +1,74 @@
+// Owning fixtures for tests and microbenchmarks that need a live
+// ExecutionEngine or a bare Simulator without hand-wiring the
+// simulator/handler/collector lifetimes at every call site.
+#pragma once
+
+#include <utility>
+
+#include "sched/batch_scheduler.h"
+#include "sim/simulator.h"
+
+namespace hs::test {
+
+/// Owns a Simulator wired to a caller-defined handler; the building block
+/// for unit tests of the event loop itself.
+template <typename Handler>
+class SimSandbox {
+ public:
+  template <typename... Args>
+  explicit SimSandbox(Args&&... args)
+      : handler(std::forward<Args>(args)...), sim(handler) {}
+
+  Handler handler;
+  Simulator sim;
+};
+
+/// Owns the trace/collector/simulator/engine stack and dispatches events to
+/// the engine: finish/kill/drain/submit are applied, and the quiescent hook
+/// optionally runs a scheduling pass (`auto_schedule`).
+class EngineSandbox : public EventHandler {
+ public:
+  explicit EngineSandbox(Trace trace, EngineConfig config = {},
+                         SimTime instant_threshold = 5 * kMinute);
+
+  void HandleEvent(const Event& event, Simulator& sim) override;
+  void OnQuiescent(SimTime now, Simulator& sim) override;
+
+  Trace trace_;
+  Simulator sim_;
+  Collector collector_;
+  ExecutionEngine engine_;
+  bool auto_schedule = false;
+};
+
+/// Owns a bare Collector for unit tests of the metrics layer.
+class CollectorSandbox {
+ public:
+  explicit CollectorSandbox(SimTime instant_threshold = 5 * kMinute)
+      : collector(instant_threshold) {}
+
+  Collector collector;
+};
+
+/// An engine with `n` running jobs (alternating rigid/malleable), for
+/// microbenchmarks of the arrival-time decision kernels.
+class LoadedEngine : public EventHandler {
+ public:
+  explicit LoadedEngine(int n);
+
+  void HandleEvent(const Event& event, Simulator& sim) override;
+  void OnQuiescent(SimTime now, Simulator& sim) override;
+
+  ExecutionEngine& engine() { return engine_; }
+
+ private:
+  static EngineConfig Config();
+  static Trace MakeTrace(int n);
+
+  Trace trace_;
+  Simulator sim_;
+  Collector collector_;
+  ExecutionEngine engine_;
+};
+
+}  // namespace hs::test

@@ -1,0 +1,95 @@
+// ExperimentRunner: executes a flat vector of SimSpecs over the thread
+// pool, streaming one result row per completed cell to a ResultSink.
+//
+// Replaces the nested-vector RunGrid API: an experiment is now "a list of
+// specs" (any mix of mechanisms, policies, presets, seeds and overrides),
+// results come back in spec order, and traces are built once per distinct
+// ScenarioKey() and shared across the cells that need them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/session.h"
+#include "exp/sim_spec.h"
+#include "util/csv.h"
+#include "util/thread_pool.h"
+
+namespace hs {
+
+/// One completed experiment cell.
+struct SpecResult {
+  SimSpec spec;
+  std::string trace_name;
+  SimResult result;
+};
+
+/// Streaming consumer of completed cells. OnResult is invoked from the
+/// runner as each cell finishes (serialized; never concurrently), in
+/// completion order — not spec order.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void OnResult(const SpecResult& row) = 0;
+};
+
+/// Writes one CSV row per completed cell (header first).
+class CsvResultSink final : public ResultSink {
+ public:
+  /// `out` must outlive the sink.
+  explicit CsvResultSink(std::ostream& out);
+  void OnResult(const SpecResult& row) override;
+
+ private:
+  CsvWriter writer_;
+  bool header_written_ = false;
+};
+
+/// Writes one JSON object per line per completed cell (JSONL).
+class JsonlResultSink final : public ResultSink {
+ public:
+  /// `out` must outlive the sink.
+  explicit JsonlResultSink(std::ostream& out) : out_(out) {}
+  void OnResult(const SpecResult& row) override;
+
+ private:
+  std::ostream& out_;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ThreadPool& pool) : pool_(pool) {}
+
+  /// Runs every spec (validating all of them up front; throws
+  /// std::invalid_argument on the first bad one). Distinct scenarios are
+  /// generated once, in parallel; cells then run in parallel, each inside
+  /// its own SimulationSession. `sink` (optional) receives each row as it
+  /// completes. Returns the rows in spec order.
+  std::vector<SpecResult> Run(const std::vector<SimSpec>& specs,
+                              ResultSink* sink = nullptr);
+
+ private:
+  ThreadPool& pool_;
+  std::mutex sink_mutex_;
+};
+
+/// `count` copies of `base` with seed = base_seed + i: the per-trace
+/// averaging pattern of every paper experiment.
+std::vector<SimSpec> SeedSweep(const SimSpec& base, int count, std::uint64_t base_seed);
+
+/// Extracts the bare SimResults of `rows`, in order.
+std::vector<SimResult> ResultsOf(const std::vector<SpecResult>& rows);
+
+/// Field-wise arithmetic mean of per-seed results (counters accumulate,
+/// maxima take the max).
+SimResult MeanResult(const std::vector<SimResult>& results);
+
+/// Means of consecutive groups of `group_size` rows: the "configs x seeds"
+/// reduction when specs were laid out config-major via SeedSweep.
+std::vector<SimResult> GroupMeans(const std::vector<SpecResult>& rows,
+                                  std::size_t group_size);
+
+}  // namespace hs

@@ -18,4 +18,46 @@ ScenarioConfig MakePaperScenario(int weeks, const std::string& notice_mix) {
   return config;
 }
 
+namespace {
+
+ScenarioConfig ScaledScenario(int weeks, const std::string& mix, int nodes,
+                              int projects) {
+  ScenarioConfig config = MakePaperScenario(weeks, mix);
+  config.theta.num_nodes = nodes;
+  config.theta.projects.max_job_size = nodes;
+  if (projects > 0) config.theta.projects.num_projects = projects;
+  return config;
+}
+
+}  // namespace
+
+NamedRegistry<ScenarioPreset>& ScenarioRegistry() {
+  static NamedRegistry<ScenarioPreset>* registry = [] {
+    auto* r = new NamedRegistry<ScenarioPreset>("scenario preset");
+    r->Register("paper", [](int weeks, const std::string& mix) {
+      return MakePaperScenario(weeks, mix);
+    });
+    r->Register("midsize", [](int weeks, const std::string& mix) {
+      return ScaledScenario(weeks, mix, 2048, 0);
+    });
+    r->Register("tiny", [](int weeks, const std::string& mix) {
+      return ScaledScenario(weeks, mix, 512, 20);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+void RegisterScenarioPreset(const std::string& name, ScenarioPreset preset,
+                            const std::vector<std::string>& aliases) {
+  ScenarioRegistry().Register(name, std::move(preset), aliases);
+}
+
+ScenarioConfig MakeScenario(const std::string& preset, int weeks,
+                            const std::string& notice_mix) {
+  return ScenarioRegistry().Get(preset)(weeks, notice_mix);
+}
+
+std::vector<std::string> ScenarioPresetNames() { return ScenarioRegistry().Names(); }
+
 }  // namespace hs

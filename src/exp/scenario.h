@@ -3,8 +3,11 @@
 // advance-notice mix (Table III).
 #pragma once
 
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "util/registry.h"
 #include "workload/notice_model.h"
 #include "workload/theta_model.h"
 #include "workload/type_assign.h"
@@ -23,5 +26,29 @@ Trace BuildScenarioTrace(const ScenarioConfig& config, std::uint64_t seed);
 
 /// Paper-default scenario with the given horizon.
 ScenarioConfig MakePaperScenario(int weeks, const std::string& notice_mix = "W5");
+
+/// Builds a ScenarioConfig from (weeks, notice mix); the registered form of
+/// a scenario preset.
+using ScenarioPreset = std::function<ScenarioConfig(int weeks, const std::string& notice_mix)>;
+
+/// The global scenario-preset registry. Pre-registered presets:
+///   "paper"   - Theta-scale machine (4,392 nodes, 211 projects; Table I)
+///   "midsize" - 2,048-node machine (the examples' quick-turnaround scale)
+///   "tiny"    - 512 nodes / 20 projects (test-sized traces)
+/// New workload families register here and become addressable from SimSpec
+/// strings and the CLI.
+NamedRegistry<ScenarioPreset>& ScenarioRegistry();
+
+/// Registers a scenario preset (plus optional aliases).
+void RegisterScenarioPreset(const std::string& name, ScenarioPreset preset,
+                            const std::vector<std::string>& aliases = {});
+
+/// Instantiates a registered preset by (case-insensitive) name; throws
+/// std::invalid_argument naming the token and the known presets.
+ScenarioConfig MakeScenario(const std::string& preset, int weeks,
+                            const std::string& notice_mix);
+
+/// Canonical names of every registered preset, in registration order.
+std::vector<std::string> ScenarioPresetNames();
 
 }  // namespace hs

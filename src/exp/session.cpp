@@ -1,0 +1,67 @@
+#include "exp/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hs {
+
+SimulationSession::SimulationSession(const SimSpec& spec)
+    : SimulationSession(spec, std::make_shared<const Trace>(spec.BuildTrace())) {}
+
+SimulationSession::SimulationSession(const SimSpec& spec,
+                                     std::shared_ptr<const Trace> trace)
+    : spec_(spec),
+      trace_(std::move(trace)),
+      config_(spec.BuildConfig()),
+      collector_(config_.instant_threshold),
+      sim_(*this),
+      sched_(*trace_, config_, collector_, sim_) {
+  const std::string error = config_.Validate();
+  if (!error.empty()) {
+    throw std::invalid_argument("invalid config from spec '" + spec.ToString() +
+                                "': " + error);
+  }
+  sched_.Prime();
+}
+
+SimulationSession::SimulationSession(Trace trace, const HybridConfig& config)
+    : trace_(std::make_shared<const Trace>(std::move(trace))),
+      config_(config),
+      collector_(config_.instant_threshold),
+      sim_(*this),
+      sched_(*trace_, config_, collector_, sim_) {
+  const std::string error = config_.Validate();
+  if (!error.empty()) throw std::invalid_argument("invalid config: " + error);
+  sched_.Prime();
+}
+
+void SimulationSession::HandleEvent(const Event& event, Simulator& sim) {
+  sched_.HandleEvent(event, sim);
+}
+
+void SimulationSession::OnQuiescent(SimTime now, Simulator& sim) {
+  sched_.OnQuiescent(now, sim);
+}
+
+SimResult SimulationSession::Run(SimTime until) {
+  sim_.Run(until);
+  return Finalize();
+}
+
+SimResult SimulationSession::Finalize() const {
+  SimResult result = collector_.Finalize(
+      trace_->num_nodes, sched_.engine().cluster().busy_node_seconds());
+  result.window_utilization = sched_.utilization_tracker().MeanBusyFraction(
+      trace_->FirstSubmit(), trace_->LastSubmit());
+  return result;
+}
+
+SimResult RunSimulation(const Trace& trace, const HybridConfig& config) {
+  return SimulationSession(trace, config).Run();
+}
+
+SimResult RunSpec(const std::string& spec) {
+  return SimulationSession(SimSpec::Parse(spec)).Run();
+}
+
+}  // namespace hs

@@ -1,0 +1,71 @@
+// SimulationSession: one simulation run behind a single owner.
+//
+// The session owns every piece of the stack — trace, configuration, metrics
+// collector, event simulator, and hybrid scheduler — in construction order,
+// so the "trace/collector/sim must outlive the scheduler" lifetime rule is
+// enforced by the type instead of by every call site. Construct it from a
+// declarative SimSpec (the normal path) or from a hand-built trace +
+// config (tests, trace surgery), then Run().
+#pragma once
+
+#include <memory>
+
+#include "core/hybrid_scheduler.h"
+#include "exp/sim_spec.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace hs {
+
+class SimulationSession final : public EventHandler {
+ public:
+  /// Materializes the spec (trace + config) and primes the scheduler.
+  /// Throws std::invalid_argument when the spec or config is inconsistent.
+  explicit SimulationSession(const SimSpec& spec);
+
+  /// Runs `spec`'s configuration against a pre-built trace (the
+  /// ExperimentRunner path: one trace genuinely shared by many concurrent
+  /// cells, no per-cell copy).
+  SimulationSession(const SimSpec& spec, std::shared_ptr<const Trace> trace);
+
+  /// Custom-trace path for tests and trace surgery; `spec()` stays default.
+  SimulationSession(Trace trace, const HybridConfig& config);
+
+  /// Runs the simulation (to exhaustion, or to `until`) and returns the
+  /// finalized metrics. Safe to call repeatedly with increasing `until`.
+  SimResult Run(SimTime until = kNever);
+
+  /// Metrics of whatever has executed so far (Run() calls this for you).
+  SimResult Finalize() const;
+
+  // EventHandler: the session is its own event sink, forwarding to the
+  // scheduler (this is what breaks the simulator <-> handler cycle every
+  // call site used to hand-wire).
+  void HandleEvent(const Event& event, Simulator& sim) override;
+  void OnQuiescent(SimTime now, Simulator& sim) override;
+
+  const SimSpec& spec() const { return spec_; }
+  const Trace& trace() const { return *trace_; }
+  const HybridConfig& config() const { return config_; }
+  Collector& collector() { return collector_; }
+  Simulator& simulator() { return sim_; }
+  HybridScheduler& scheduler() { return sched_; }
+  const HybridScheduler& scheduler() const { return sched_; }
+
+ private:
+  SimSpec spec_;
+  std::shared_ptr<const Trace> trace_;  // shared with the runner's cache
+  HybridConfig config_;
+  Collector collector_;
+  Simulator sim_;
+  HybridScheduler sched_;
+};
+
+/// Compatibility wrapper: builds, primes and runs one SimulationSession.
+SimResult RunSimulation(const Trace& trace, const HybridConfig& config);
+
+/// Convenience: parses `spec`, runs it, returns the metrics.
+SimResult RunSpec(const std::string& spec);
+
+}  // namespace hs

@@ -1,0 +1,405 @@
+#include "exp/sim_spec.h"
+
+#include <cctype>
+#include <functional>
+#include <stdexcept>
+
+#include "core/mechanism.h"
+#include "sched/policy.h"
+
+namespace hs {
+
+namespace {
+
+// --- strict value parsing ---------------------------------------------------
+
+std::int64_t ParseIntValue(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(value, &consumed, 10);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || consumed != value.size()) {
+    throw std::invalid_argument("override '" + key + "': expected an integer, got '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+double ParseDoubleValue(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || consumed != value.size()) {
+    throw std::invalid_argument("override '" + key + "': expected a number, got '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+bool ParseBoolValue(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "no" || value == "off") return false;
+  throw std::invalid_argument("override '" + key + "': expected a boolean, got '" +
+                              value + "'");
+}
+
+void Require(bool ok, const std::string& key, const char* constraint) {
+  if (!ok) {
+    throw std::invalid_argument("override '" + key + "' " + constraint);
+  }
+}
+
+// --- the override table -----------------------------------------------------
+
+struct OverrideEntry {
+  OverrideKey info;
+  /// Applies `value` to whichever target matches info.scenario; the other
+  /// pointer is null. Throws std::invalid_argument on a bad value.
+  std::function<void(const std::string& value, ScenarioConfig*, HybridConfig*)> apply;
+};
+
+const std::vector<OverrideEntry>& OverrideTable() {
+  static const std::vector<OverrideEntry>* table = [] {
+    auto* t = new std::vector<OverrideEntry>;
+    const auto scenario = [t](const char* key, const char* help,
+                              std::function<void(const std::string&, ScenarioConfig&)> fn) {
+      t->push_back({{key, help, true},
+                    [fn = std::move(fn)](const std::string& v, ScenarioConfig* s,
+                                         HybridConfig*) { fn(v, *s); }});
+    };
+    const auto config = [t](const char* key, const char* help,
+                            std::function<void(const std::string&, HybridConfig&)> fn) {
+      t->push_back({{key, help, false},
+                    [fn = std::move(fn)](const std::string& v, ScenarioConfig*,
+                                         HybridConfig* c) { fn(v, *c); }});
+    };
+
+    scenario("nodes", "machine size (also caps the largest job)",
+             [](const std::string& v, ScenarioConfig& s) {
+               const auto nodes = ParseIntValue("nodes", v);
+               Require(nodes > 0, "nodes", "must be > 0");
+               s.theta.num_nodes = static_cast<int>(nodes);
+               s.theta.projects.max_job_size = static_cast<int>(nodes);
+             });
+    scenario("projects", "number of projects in the synthetic workload",
+             [](const std::string& v, ScenarioConfig& s) {
+               const auto n = ParseIntValue("projects", v);
+               Require(n > 0, "projects", "must be > 0");
+               s.theta.projects.num_projects = static_cast<int>(n);
+             });
+    scenario("load", "offered-load calibration target",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double load = ParseDoubleValue("load", v);
+               Require(load > 0.0 && load <= 2.0, "load", "must be in (0, 2]");
+               s.theta.target_load = load;
+             });
+    scenario("od_share", "share of projects submitting on-demand jobs",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double share = ParseDoubleValue("od_share", v);
+               Require(share >= 0.0 && share <= 1.0, "od_share", "must be in [0, 1]");
+               s.types.on_demand_project_share = share;
+             });
+    scenario("rigid_share", "share of projects submitting rigid jobs",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double share = ParseDoubleValue("rigid_share", v);
+               Require(share >= 0.0 && share <= 1.0, "rigid_share", "must be in [0, 1]");
+               s.types.rigid_project_share = share;
+             });
+    scenario("malleable_min", "malleable minimum size as a fraction of the request",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double frac = ParseDoubleValue("malleable_min", v);
+               Require(frac > 0.0 && frac <= 1.0, "malleable_min", "must be in (0, 1]");
+               s.types.malleable_min_frac = frac;
+             });
+
+    config("ckpt_scale", "checkpoint interval as a multiple of the Daly optimum",
+           [](const std::string& v, HybridConfig& c) {
+             const double scale = ParseDoubleValue("ckpt_scale", v);
+             Require(scale > 0.0, "ckpt_scale", "must be > 0");
+             c.engine.checkpoint.interval_scale = scale;
+           });
+    config("warning", "malleable drain warning, seconds",
+           [](const std::string& v, HybridConfig& c) {
+             const auto seconds = ParseIntValue("warning", v);
+             Require(seconds >= 0, "warning", "must be >= 0");
+             c.engine.drain_warning = seconds;
+           });
+    config("backfill", "backfill jobs onto reserved nodes (bool)",
+           [](const std::string& v, HybridConfig& c) {
+             c.backfill_on_reserved = ParseBoolValue("backfill", v);
+           });
+    config("expand", "opportunistically expand malleable jobs (bool)",
+           [](const std::string& v, HybridConfig& c) {
+             c.opportunistic_expand = ParseBoolValue("expand", v);
+           });
+    config("hold", "hold returned nodes for preempted lenders (bool)",
+           [](const std::string& v, HybridConfig& c) {
+             c.hold_returned_nodes = ParseBoolValue("hold", v);
+           });
+    config("partition", "static on-demand partition size, nodes (0 = off)",
+           [](const std::string& v, HybridConfig& c) {
+             const auto nodes = ParseIntValue("partition", v);
+             Require(nodes >= 0, "partition", "must be >= 0");
+             c.static_od_partition = static_cast<int>(nodes);
+           });
+    config("timeout", "reservation timeout after the predicted arrival, seconds",
+           [](const std::string& v, HybridConfig& c) {
+             const auto seconds = ParseIntValue("timeout", v);
+             Require(seconds >= 0, "timeout", "must be >= 0");
+             c.reservation_timeout = seconds;
+           });
+    config("instant", "instant-start threshold, seconds",
+           [](const std::string& v, HybridConfig& c) {
+             const auto seconds = ParseIntValue("instant", v);
+             Require(seconds >= 0, "instant", "must be >= 0");
+             c.instant_threshold = seconds;
+           });
+    config("failures", "inject hardware failures (bool)",
+           [](const std::string& v, HybridConfig& c) {
+             c.engine.inject_failures = ParseBoolValue("failures", v);
+           });
+    config("mtbf_days", "per-node mean time between failures, days",
+           [](const std::string& v, HybridConfig& c) {
+             const double days = ParseDoubleValue("mtbf_days", v);
+             Require(days > 0.0, "mtbf_days", "must be > 0");
+             c.engine.failure_node_mtbf = static_cast<SimTime>(days * kDay);
+           });
+    return t;
+  }();
+  return *table;
+}
+
+const OverrideEntry& FindOverride(const std::string& key) {
+  for (const OverrideEntry& entry : OverrideTable()) {
+    if (entry.info.key == key) return entry;
+  }
+  std::string known;
+  for (const OverrideEntry& entry : OverrideTable()) {
+    if (!known.empty()) known += ", ";
+    known += entry.info.key;
+  }
+  throw std::invalid_argument("unknown override key '" + key + "' (known: " + known +
+                              ")");
+}
+
+// --- name canonicalization --------------------------------------------------
+
+std::string CanonicalMixName(const std::string& name) {
+  std::string upper = name;
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  try {
+    return NoticeMixByName(upper).name;
+  } catch (const std::out_of_range&) {
+    std::string known;
+    for (const NoticeMix& mix : PaperNoticeMixes()) {
+      if (!known.empty()) known += ", ";
+      known += mix.name;
+    }
+    throw std::invalid_argument("unknown notice mix '" + name + "' (known: " + known +
+                                ")");
+  }
+}
+
+int ParseWeeksValue(const std::string& value) {
+  const auto weeks = ParseIntValue("weeks", value);
+  if (weeks < 1) throw std::invalid_argument("weeks must be >= 1, got " + value);
+  return static_cast<int>(weeks);
+}
+
+std::uint64_t ParseSeedValue(const std::string& value) {
+  const auto seed = ParseIntValue("seed", value);
+  if (seed < 0) throw std::invalid_argument("seed must be >= 0, got " + value);
+  return static_cast<std::uint64_t>(seed);
+}
+
+std::string Trimmed(const std::string& text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool IEqualsPrefix(const std::string& text, const char* prefix) {
+  std::size_t i = 0;
+  for (; prefix[i] != '\0'; ++i) {
+    if (i >= text.size()) return false;
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  return text.size() == i || text[i] == '/';
+}
+
+}  // namespace
+
+const std::vector<OverrideKey>& KnownOverrides() {
+  static const std::vector<OverrideKey>* keys = [] {
+    auto* k = new std::vector<OverrideKey>;
+    for (const OverrideEntry& entry : OverrideTable()) k->push_back(entry.info);
+    return k;
+  }();
+  return *keys;
+}
+
+std::string SimSpec::ToString() const {
+  std::string out = mechanism + "/" + policy + "/" + notice_mix;
+  if (preset != "paper") out += "/preset=" + preset;
+  if (weeks != 1) out += "/weeks=" + std::to_string(weeks);
+  if (seed != 1) out += "/seed=" + std::to_string(seed);
+  for (const auto& [key, value] : overrides) out += "/" + key + "=" + value;
+  return out;
+}
+
+SimSpec SimSpec::Parse(const std::string& text) {
+  const std::string trimmed = Trimmed(text);
+  if (trimmed.empty()) throw std::invalid_argument("empty spec");
+
+  std::vector<std::string> tokens;
+  std::string rest = trimmed;
+  // The baseline's display name "FCFS/EASY" contains the segment separator;
+  // accept it as the leading mechanism token.
+  if (IEqualsPrefix(trimmed, "FCFS/EASY")) {
+    tokens.push_back("baseline");
+    rest = trimmed.size() > 9 ? trimmed.substr(10) : "";
+    if (trimmed.size() > 9 && rest.empty()) {
+      throw std::invalid_argument("empty segment in spec '" + trimmed + "'");
+    }
+  }
+  std::size_t start = 0;
+  while (start <= rest.size() && !rest.empty()) {
+    const std::size_t slash = rest.find('/', start);
+    const std::string token =
+        rest.substr(start, slash == std::string::npos ? std::string::npos : slash - start);
+    tokens.push_back(token);
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+
+  SimSpec spec;
+  std::size_t positional = 0;
+  bool saw_key_value = false;
+  for (const std::string& token : tokens) {
+    if (token.empty()) {
+      throw std::invalid_argument("empty segment in spec '" + trimmed + "'");
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (saw_key_value) {
+        throw std::invalid_argument("positional segment '" + token +
+                                    "' after key=value segments in '" + trimmed + "'");
+      }
+      switch (positional++) {
+        case 0: spec.mechanism = CanonicalMechanismName(token); break;
+        case 1: spec.policy = PolicyRegistry().Canonical(token); break;
+        case 2: spec.notice_mix = CanonicalMixName(token); break;
+        default:
+          throw std::invalid_argument("too many positional segments in spec '" +
+                                      trimmed + "' (expected mechanism/policy/mix)");
+      }
+      continue;
+    }
+    saw_key_value = true;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "preset") {
+      spec.preset = ScenarioRegistry().Canonical(value);
+    } else if (key == "weeks") {
+      spec.weeks = ParseWeeksValue(value);
+    } else if (key == "seed") {
+      spec.seed = ParseSeedValue(value);
+    } else {
+      spec.SetOverride(key, value);
+    }
+  }
+  return spec;
+}
+
+SimSpec SimSpec::FromCli(const CliArgs& args) {
+  SimSpec spec;
+  if (args.Has("spec")) spec = Parse(args.GetString("spec", ""));
+  if (args.Has("mechanism")) {
+    spec.mechanism = CanonicalMechanismName(args.GetString("mechanism", spec.mechanism));
+  }
+  if (args.Has("policy")) {
+    spec.policy = PolicyRegistry().Canonical(args.GetString("policy", spec.policy));
+  }
+  if (args.Has("mix")) {
+    spec.notice_mix = CanonicalMixName(args.GetString("mix", spec.notice_mix));
+  }
+  if (args.Has("preset")) {
+    spec.preset = ScenarioRegistry().Canonical(args.GetString("preset", spec.preset));
+  }
+  if (args.Has("weeks")) spec.weeks = ParseWeeksValue(args.GetString("weeks", "1"));
+  if (args.Has("seed")) spec.seed = ParseSeedValue(args.GetString("seed", "1"));
+  for (const OverrideKey& key : KnownOverrides()) {
+    if (args.Has(key.key)) spec.SetOverride(key.key, args.GetString(key.key, ""));
+  }
+  return spec;
+}
+
+void SimSpec::SetOverride(const std::string& key, const std::string& value) {
+  const OverrideEntry& entry = FindOverride(key);
+  // Validate the value eagerly against scratch targets so bad specs fail at
+  // parse time, not mid-experiment.
+  ScenarioConfig scratch_scenario;
+  HybridConfig scratch_config;
+  entry.apply(value, &scratch_scenario, &scratch_config);
+  overrides[key] = value;
+}
+
+std::string SimSpec::Validate() const {
+  try {
+    if (weeks < 1) return "weeks must be >= 1";
+    (void)MechanismRegistry().Get(mechanism);
+    (void)PolicyRegistry().Get(policy);
+    (void)ScenarioRegistry().Get(preset);
+    (void)CanonicalMixName(notice_mix);
+    (void)BuildScenario();
+    const HybridConfig config = BuildConfig();
+    const std::string error = config.Validate();
+    if (!error.empty()) return error;
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return {};
+}
+
+ScenarioConfig SimSpec::BuildScenario() const {
+  ScenarioConfig scenario = MakeScenario(preset, weeks, CanonicalMixName(notice_mix));
+  for (const auto& [key, value] : overrides) {
+    const OverrideEntry& entry = FindOverride(key);
+    if (entry.info.scenario) entry.apply(value, &scenario, nullptr);
+  }
+  return scenario;
+}
+
+HybridConfig SimSpec::BuildConfig() const {
+  HybridConfig config = MakePaperConfig(ParseMechanism(mechanism));
+  config.engine.policy = PolicyRegistry().Canonical(policy);
+  for (const auto& [key, value] : overrides) {
+    const OverrideEntry& entry = FindOverride(key);
+    if (!entry.info.scenario) entry.apply(value, nullptr, &config);
+  }
+  return config;
+}
+
+Trace SimSpec::BuildTrace() const { return BuildScenarioTrace(BuildScenario(), seed); }
+
+std::string SimSpec::ScenarioKey() const {
+  std::string key = preset + "|" + notice_mix + "|w" + std::to_string(weeks) + "|s" +
+                    std::to_string(seed);
+  for (const auto& [name, value] : overrides) {
+    if (FindOverride(name).info.scenario) key += "|" + name + "=" + value;
+  }
+  return key;
+}
+
+}  // namespace hs

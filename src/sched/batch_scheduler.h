@@ -31,7 +31,9 @@
 namespace hs {
 
 struct EngineConfig {
-  PolicyKind policy = PolicyKind::kFcfs;
+  /// Ordering-policy name, resolved through PolicyRegistry() at engine
+  /// construction (custom policies registered there are usable here).
+  std::string policy = "FCFS";
   CheckpointConfig checkpoint;
   /// When false, malleable jobs are treated as rigid at their maximum size
   /// (the Table II baseline behaviour).

@@ -72,18 +72,40 @@ class Wfp3Policy final : public OrderingPolicy {
   }
 };
 
+template <typename P>
+PolicyFactory Factory() {
+  return [] { return std::make_unique<P>(); };
+}
+
 }  // namespace
 
+NamedRegistry<PolicyFactory>& PolicyRegistry() {
+  static NamedRegistry<PolicyFactory>* registry = [] {
+    auto* r = new NamedRegistry<PolicyFactory>("policy");
+    r->Register("FCFS", Factory<FcfsPolicy>());
+    r->Register("SJF", Factory<SjfPolicy>());
+    r->Register("LJF", Factory<LjfPolicy>());
+    r->Register("SmallestFirst", Factory<SmallestFirstPolicy>());
+    r->Register("LargestFirst", Factory<LargestFirstPolicy>());
+    r->Register("WFP3", Factory<Wfp3Policy>());
+    return r;
+  }();
+  return *registry;
+}
+
+void RegisterPolicy(const std::string& name, PolicyFactory factory,
+                    const std::vector<std::string>& aliases) {
+  PolicyRegistry().Register(name, std::move(factory), aliases);
+}
+
+std::unique_ptr<OrderingPolicy> MakePolicy(const std::string& name) {
+  return PolicyRegistry().Get(name)();
+}
+
+std::vector<std::string> PolicyNames() { return PolicyRegistry().Names(); }
+
 std::unique_ptr<OrderingPolicy> MakePolicy(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::kFcfs: return std::make_unique<FcfsPolicy>();
-    case PolicyKind::kSjf: return std::make_unique<SjfPolicy>();
-    case PolicyKind::kLjf: return std::make_unique<LjfPolicy>();
-    case PolicyKind::kSmallestFirst: return std::make_unique<SmallestFirstPolicy>();
-    case PolicyKind::kLargestFirst: return std::make_unique<LargestFirstPolicy>();
-    case PolicyKind::kWfp3: return std::make_unique<Wfp3Policy>();
-  }
-  throw std::invalid_argument("MakePolicy: unknown kind");
+  return MakePolicy(std::string(ToString(kind)));
 }
 
 }  // namespace hs

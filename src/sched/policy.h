@@ -6,9 +6,12 @@
 // classic policies are provided so the composition claim is exercisable.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "util/registry.h"
 #include "util/time.h"
 #include "workload/job.h"
 
@@ -50,6 +53,26 @@ class OrderingPolicy {
   virtual double Key(const WaitingJob& job, SimTime now) const = 0;
 };
 
+/// Creates one ordering-policy instance; registered in PolicyRegistry().
+using PolicyFactory = std::function<std::unique_ptr<OrderingPolicy>()>;
+
+/// The global policy registry. The six classic policies are pre-registered;
+/// plugins add their own via RegisterPolicy and are then addressable from
+/// EngineConfig::policy, SimSpec strings and the CLI.
+NamedRegistry<PolicyFactory>& PolicyRegistry();
+
+/// Registers a custom policy under `name` (plus optional aliases).
+void RegisterPolicy(const std::string& name, PolicyFactory factory,
+                    const std::vector<std::string>& aliases = {});
+
+/// Instantiates a registered policy by (case-insensitive) name; throws
+/// std::invalid_argument naming the token and the known policies.
+std::unique_ptr<OrderingPolicy> MakePolicy(const std::string& name);
+
+/// Canonical names of every registered policy, in registration order.
+std::vector<std::string> PolicyNames();
+
+/// Compatibility shim for the classic enum-addressed policies.
 std::unique_ptr<OrderingPolicy> MakePolicy(PolicyKind kind);
 
 }  // namespace hs

@@ -22,29 +22,52 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
   }
 }
 
-bool CliArgs::Has(const std::string& key) const { return flags_.count(key) > 0; }
+bool CliArgs::Has(const std::string& key) const {
+  recognized_.insert(key);
+  return flags_.count(key) > 0;
+}
 
 std::string CliArgs::GetString(const std::string& key, const std::string& def) const {
+  recognized_.insert(key);
   const auto it = flags_.find(key);
   return it == flags_.end() ? def : it->second;
 }
 
 std::int64_t CliArgs::GetInt(const std::string& key, std::int64_t def) const {
+  recognized_.insert(key);
   const auto it = flags_.find(key);
   if (it == flags_.end()) return def;
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double CliArgs::GetDouble(const std::string& key, double def) const {
+  recognized_.insert(key);
   const auto it = flags_.find(key);
   if (it == flags_.end()) return def;
   return std::strtod(it->second.c_str(), nullptr);
 }
 
 bool CliArgs::GetBool(const std::string& key, bool def) const {
+  recognized_.insert(key);
   const auto it = flags_.find(key);
   if (it == flags_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CliArgs::UnknownFlags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : flags_) {
+    if (recognized_.count(key) == 0) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+void CliArgs::RejectUnknown() const {
+  const std::vector<std::string> unknown = UnknownFlags();
+  if (unknown.empty()) return;
+  std::string message = "unknown flag(s):";
+  for (const std::string& key : unknown) message += " --" + key;
+  throw std::invalid_argument(message);
 }
 
 }  // namespace hs

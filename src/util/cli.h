@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,10 @@ namespace hs {
 
 /// Parses argv of the form: prog --alpha=3 --name=foo --verbose positional.
 /// Flags must use the --key=value or --key (boolean true) forms.
+///
+/// Every Get*/Has call records its key as recognized; call RejectUnknown()
+/// once all flags have been read to fail loudly on typo'd flags instead of
+/// silently falling through to defaults.
 class CliArgs {
  public:
   CliArgs(int argc, const char* const* argv);
@@ -21,6 +26,13 @@ class CliArgs {
   double GetDouble(const std::string& key, double def) const;
   bool GetBool(const std::string& key, bool def) const;
 
+  /// Throws std::invalid_argument listing every --flag that was passed but
+  /// never read through Has/Get* (i.e. flags no code path recognizes).
+  void RejectUnknown() const;
+
+  /// The flags RejectUnknown would complain about right now.
+  std::vector<std::string> UnknownFlags() const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
@@ -28,6 +40,7 @@ class CliArgs {
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  mutable std::set<std::string> recognized_;
 };
 
 }  // namespace hs

@@ -1,0 +1,107 @@
+// A small thread-safe name -> value registry with canonical names and
+// case-insensitive alias lookup. The plugin point behind the policy,
+// mechanism and scenario-preset registries: new variants register once and
+// every spec-driven entry point (SimSpec, CLI, benches) can name them.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+template <typename Value>
+class NamedRegistry {
+ public:
+  /// `what` names the registry in error messages ("policy", "mechanism").
+  explicit NamedRegistry(std::string what) : what_(std::move(what)) {}
+
+  NamedRegistry(const NamedRegistry&) = delete;
+  NamedRegistry& operator=(const NamedRegistry&) = delete;
+
+  /// Registers `value` under `canonical` (plus optional aliases). Lookup is
+  /// case-insensitive; the canonical spelling is preserved for display and
+  /// round-tripping. Re-registering an existing name throws.
+  void Register(const std::string& canonical, Value value,
+                const std::vector<std::string>& aliases = {}) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string key = Fold(canonical);
+    if (index_.count(key) > 0) {
+      throw std::invalid_argument(what_ + " '" + canonical + "' already registered");
+    }
+    entries_.push_back(Entry{canonical, std::move(value)});
+    index_[key] = entries_.size() - 1;
+    for (const std::string& alias : aliases) {
+      const std::string akey = Fold(alias);
+      if (index_.count(akey) > 0) {
+        throw std::invalid_argument(what_ + " alias '" + alias + "' already registered");
+      }
+      index_[akey] = entries_.size() - 1;
+    }
+  }
+
+  bool Contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.count(Fold(name)) > 0;
+  }
+
+  /// Looks `name` up (canonical or alias, any case); throws
+  /// std::invalid_argument naming the offending token and the known names.
+  const Value& Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_[MustFind(name)].value;
+  }
+
+  /// The canonical spelling behind `name` (resolves aliases and case).
+  std::string Canonical(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_[MustFind(name)].canonical;
+  }
+
+  /// Canonical names in registration order.
+  std::vector<std::string> Names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const Entry& e : entries_) names.push_back(e.canonical);
+    return names;
+  }
+
+ private:
+  struct Entry {
+    std::string canonical;
+    Value value;
+  };
+
+  static std::string Fold(const std::string& name) {
+    std::string key = name;
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return key;
+  }
+
+  std::size_t MustFind(const std::string& name) const {
+    const auto it = index_.find(Fold(name));
+    if (it == index_.end()) {
+      std::string known;
+      for (const Entry& e : entries_) {
+        if (!known.empty()) known += ", ";
+        known += e.canonical;
+      }
+      throw std::invalid_argument("unknown " + what_ + " '" + name +
+                                  "' (known: " + known + ")");
+    }
+    return it->second;
+  }
+
+  const std::string what_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::map<std::string, std::size_t> index_;  // folded name/alias -> entry
+};
+
+}  // namespace hs

@@ -1,0 +1,122 @@
+// Registry behaviour: built-in lookups, alias/case canonicalization, and
+// registration of custom policies / mechanisms / scenario presets that then
+// become addressable from SimSpec strings.
+#include <gtest/gtest.h>
+
+#include "core/mechanism.h"
+#include "exp/session.h"
+#include "exp/sim_spec.h"
+#include "sched/policy.h"
+
+namespace hs {
+namespace {
+
+TEST(RegistryTest, BuiltInPoliciesAreRegistered) {
+  const auto names = PolicyNames();
+  ASSERT_GE(names.size(), 6u);
+  EXPECT_EQ(names[0], "FCFS");
+  for (const std::string& name : names) {
+    const auto policy = MakePolicy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_STRNE(policy->name(), "");
+  }
+}
+
+TEST(RegistryTest, LookupIsCaseInsensitiveAndCanonicalizing) {
+  EXPECT_NE(MakePolicy("fcfs"), nullptr);
+  EXPECT_EQ(PolicyRegistry().Canonical("wfp3"), "WFP3");
+  EXPECT_EQ(CanonicalMechanismName("fcfs/easy"), "baseline");
+  EXPECT_EQ(CanonicalMechanismName("cua&spaa"), "CUA&SPAA");
+  EXPECT_EQ(ScenarioRegistry().Canonical("TINY"), "tiny");
+}
+
+TEST(RegistryTest, UnknownNamesThrowWithKnownList) {
+  try {
+    MakePolicy("NOPOLICY");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NOPOLICY"), std::string::npos);
+    EXPECT_NE(what.find("FCFS"), std::string::npos);
+  }
+}
+
+TEST(RegistryTest, ParseMechanismNamesTheOffendingToken) {
+  try {
+    ParseMechanism("XXX&PAA");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'XXX'"), std::string::npos);
+  }
+  try {
+    ParseMechanism("CUA&XXX");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'XXX'"), std::string::npos);
+  }
+  try {
+    // Lowercase notice token is valid spelling; the arrival token is the
+    // offending one and must be the one named.
+    ParseMechanism("cua&XXX");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'XXX'"), std::string::npos);
+  }
+}
+
+/// A custom ordering policy: most restarts first (a "victim compensation"
+/// rule no built-in provides).
+class MostRestartsFirst final : public OrderingPolicy {
+ public:
+  const char* name() const override { return "MostRestartsFirst"; }
+  double Key(const WaitingJob& job, SimTime) const override {
+    return -static_cast<double>(job.restarts);
+  }
+};
+
+TEST(RegistryTest, CustomPolicyRegistersAndRunsThroughASpec) {
+  if (!PolicyRegistry().Contains("MostRestartsFirst")) {
+    RegisterPolicy("MostRestartsFirst",
+                   [] { return std::make_unique<MostRestartsFirst>(); },
+                   {"mrf"});
+  }
+  EXPECT_EQ(PolicyRegistry().Canonical("mrf"), "MostRestartsFirst");
+
+  // Addressable from a spec string, end to end.
+  const SimSpec spec = SimSpec::Parse("CUA&SPAA/mrf/W5/preset=tiny/seed=3");
+  EXPECT_EQ(spec.policy, "MostRestartsFirst");
+  const SimResult result = SimulationSession(spec).Run();
+  EXPECT_GT(result.jobs_completed, 0u);
+}
+
+TEST(RegistryTest, CustomMechanismAliasRegisters) {
+  if (!MechanismRegistry().Contains("notice-only")) {
+    RegisterMechanism("notice-only",
+                      Mechanism{NoticePolicy::kCua, ArrivalPolicy::kQueue});
+  }
+  const Mechanism m = ParseMechanism("notice-only");
+  EXPECT_EQ(m.notice, NoticePolicy::kCua);
+  EXPECT_EQ(m.arrival, ArrivalPolicy::kQueue);
+}
+
+TEST(RegistryTest, CustomScenarioPresetRegisters) {
+  if (!ScenarioRegistry().Contains("micro")) {
+    RegisterScenarioPreset("micro", [](int weeks, const std::string& mix) {
+      ScenarioConfig config = MakePaperScenario(weeks, mix);
+      config.theta.num_nodes = 256;
+      config.theta.projects.max_job_size = 256;
+      config.theta.projects.num_projects = 8;
+      return config;
+    });
+  }
+  const SimSpec spec = SimSpec::Parse("baseline/FCFS/W5/preset=micro");
+  EXPECT_EQ(spec.BuildScenario().theta.num_nodes, 256);
+}
+
+TEST(RegistryTest, DuplicateRegistrationThrows) {
+  EXPECT_THROW(RegisterPolicy("FCFS", [] { return MakePolicy("SJF"); }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hs

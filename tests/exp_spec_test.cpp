@@ -1,0 +1,167 @@
+// SimSpec: parse/print round-trips, canonicalization, strict rejection of
+// malformed specs, CLI construction, and materialization into configs.
+#include "exp/sim_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mechanism.h"
+#include "sched/policy.h"
+
+namespace hs {
+namespace {
+
+TEST(SimSpecTest, DefaultsRoundTrip) {
+  const SimSpec spec;
+  EXPECT_EQ(spec.ToString(), "baseline/FCFS/W5");
+  EXPECT_EQ(SimSpec::Parse(spec.ToString()), spec);
+  EXPECT_EQ(spec.Validate(), "");
+}
+
+TEST(SimSpecTest, ParsesTheReadmeExample) {
+  const SimSpec spec = SimSpec::Parse("CUP&SPAA/fcfs/W5/seed=7");
+  EXPECT_EQ(spec.mechanism, "CUP&SPAA");
+  EXPECT_EQ(spec.policy, "FCFS");  // canonicalized
+  EXPECT_EQ(spec.notice_mix, "W5");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.preset, "paper");
+  EXPECT_EQ(SimSpec::Parse(spec.ToString()), spec);
+}
+
+TEST(SimSpecTest, RoundTripsEveryMechanismPolicyPresetCombination) {
+  for (const std::string& mechanism : MechanismNames()) {
+    for (const std::string& policy : PolicyNames()) {
+      for (const std::string& preset : ScenarioPresetNames()) {
+        for (const NoticeMix& mix : PaperNoticeMixes()) {
+          SimSpec spec;
+          spec.mechanism = mechanism;
+          spec.policy = policy;
+          spec.preset = preset;
+          spec.notice_mix = mix.name;
+          spec.weeks = 3;
+          spec.seed = 11;
+          spec.overrides["ckpt_scale"] = "0.5";
+          EXPECT_EQ(SimSpec::Parse(spec.ToString()), spec)
+              << "spec: " << spec.ToString();
+          EXPECT_EQ(spec.Validate(), "") << "spec: " << spec.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(SimSpecTest, AcceptsTheBaselineDisplayName) {
+  const SimSpec spec = SimSpec::Parse("FCFS/EASY/SJF/W2");
+  EXPECT_EQ(spec.mechanism, "baseline");
+  EXPECT_EQ(spec.policy, "SJF");
+  EXPECT_EQ(spec.notice_mix, "W2");
+}
+
+TEST(SimSpecTest, PartialSpecsUseDefaults) {
+  const SimSpec spec = SimSpec::Parse("CUA&SPAA");
+  EXPECT_EQ(spec.policy, "FCFS");
+  EXPECT_EQ(spec.notice_mix, "W5");
+  EXPECT_EQ(spec.weeks, 1);
+  const SimSpec with_kv = SimSpec::Parse("CUA&SPAA/weeks=4");
+  EXPECT_EQ(with_kv.weeks, 4);
+  EXPECT_EQ(with_kv.policy, "FCFS");
+}
+
+TEST(SimSpecTest, RejectsInvalidSpecs) {
+  EXPECT_THROW(SimSpec::Parse(""), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("NOPE&PAA/FCFS/W5"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&NOPE/FCFS/W5"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/NOPOLICY/W5"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/FCFS/W9"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/FCFS/W5/preset=unknown"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/FCFS/W5/typo_key=3"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/FCFS/W5/weeks=zero"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/FCFS/W5/weeks=0"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/FCFS/W5/ckpt_scale=-1"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/FCFS/W5/backfill=maybe"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/FCFS/W5/W2"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA//W5"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/seed=1/W2"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("CUA&SPAA/"), std::invalid_argument);
+  EXPECT_THROW(SimSpec::Parse("FCFS/EASY/"), std::invalid_argument);
+}
+
+TEST(SimSpecTest, ErrorsNameTheOffendingToken) {
+  try {
+    SimSpec::Parse("CUX&PAA/FCFS/W5");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("CUX"), std::string::npos);
+  }
+  try {
+    SimSpec::Parse("CUA&SPAA/FCFS/W5/ckpt_scal=0.5");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ckpt_scal"), std::string::npos);
+  }
+}
+
+TEST(SimSpecTest, OverridesMaterializeIntoConfigs) {
+  const SimSpec spec = SimSpec::Parse(
+      "CUA&SPAA/SJF/W2/preset=tiny/weeks=2/seed=9/"
+      "ckpt_scale=0.5/partition=64/backfill=0/od_share=0.2/nodes=256");
+  const HybridConfig config = spec.BuildConfig();
+  EXPECT_EQ(config.mechanism, ParseMechanism("CUA&SPAA"));
+  EXPECT_EQ(config.engine.policy, "SJF");
+  EXPECT_DOUBLE_EQ(config.engine.checkpoint.interval_scale, 0.5);
+  EXPECT_EQ(config.static_od_partition, 64);
+  EXPECT_FALSE(config.backfill_on_reserved);
+
+  const ScenarioConfig scenario = spec.BuildScenario();
+  EXPECT_EQ(scenario.theta.num_nodes, 256);
+  EXPECT_EQ(scenario.theta.projects.max_job_size, 256);
+  EXPECT_DOUBLE_EQ(scenario.types.on_demand_project_share, 0.2);
+  EXPECT_EQ(scenario.notice_mix, "W2");
+  EXPECT_EQ(scenario.theta.weeks, 2);
+}
+
+TEST(SimSpecTest, ScenarioKeyIgnoresSchedulerOverrides) {
+  const SimSpec a = SimSpec::Parse("baseline/FCFS/W5/preset=tiny/seed=3/ckpt_scale=0.5");
+  const SimSpec b = SimSpec::Parse("CUA&SPAA/SJF/W5/preset=tiny/seed=3/backfill=0");
+  EXPECT_EQ(a.ScenarioKey(), b.ScenarioKey());
+  const SimSpec c = SimSpec::Parse("baseline/FCFS/W5/preset=tiny/seed=3/nodes=256");
+  EXPECT_NE(a.ScenarioKey(), c.ScenarioKey());
+}
+
+TEST(SimSpecTest, FromCliRefinesSpecFlag) {
+  const char* argv[] = {"prog", "--spec=CUA&SPAA/FCFS/W5", "--seed=9",
+                        "--policy=sjf", "--ckpt_scale=0.5"};
+  const CliArgs args(5, argv);
+  const SimSpec spec = SimSpec::FromCli(args);
+  EXPECT_EQ(spec.mechanism, "CUA&SPAA");
+  EXPECT_EQ(spec.policy, "SJF");
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.overrides.at("ckpt_scale"), "0.5");
+  EXPECT_NO_THROW(args.RejectUnknown());
+}
+
+TEST(SimSpecTest, FromCliLeavesTypoFlagsForRejectUnknown) {
+  const char* argv[] = {"prog", "--mechanizm=CUA&SPAA"};
+  const CliArgs args(2, argv);
+  (void)SimSpec::FromCli(args);
+  EXPECT_THROW(args.RejectUnknown(), std::invalid_argument);
+}
+
+TEST(SimSpecTest, SetOverrideRejectsBadKeysAndValues) {
+  SimSpec spec;
+  spec.SetOverride("od_share", "0.2");
+  EXPECT_EQ(spec.overrides.at("od_share"), "0.2");
+  EXPECT_THROW(spec.SetOverride("od_share", "1.5"), std::invalid_argument);
+  EXPECT_THROW(spec.SetOverride("bogus", "1"), std::invalid_argument);
+  EXPECT_THROW(spec.SetOverride("partition", "-4"), std::invalid_argument);
+}
+
+TEST(SimSpecTest, KnownOverridesHaveHelpText) {
+  ASSERT_FALSE(KnownOverrides().empty());
+  for (const OverrideKey& key : KnownOverrides()) {
+    EXPECT_FALSE(key.key.empty());
+    EXPECT_FALSE(key.help.empty());
+  }
+}
+
+}  // namespace
+}  // namespace hs

@@ -2,7 +2,7 @@
 // aggregation, and the metric plumbing used by the benches.
 #include <gtest/gtest.h>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "exp/paper_tables.h"
 
 namespace hs {
@@ -47,27 +47,68 @@ TEST(ScenarioTest, NameEncodesMix) {
   EXPECT_NE(trace.name.find("W5"), std::string::npos);
 }
 
-TEST(ExperimentTest, BuildTracesUsesDistinctSeeds) {
-  ThreadPool pool(2);
-  const auto traces = BuildTraces(TinyScenario(), 3, 100, pool);
-  ASSERT_EQ(traces.size(), 3u);
-  EXPECT_NE(traces[0].jobs.size(), traces[1].jobs.size());
+TEST(ExperimentTest, SeedSweepUsesDistinctSeeds) {
+  SimSpec base = SimSpec::Parse("baseline/FCFS/W5/preset=tiny");
+  const auto specs = SeedSweep(base, 3, 100);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].seed, 100u);
+  EXPECT_EQ(specs[2].seed, 102u);
+  // Distinct seeds produce distinct traces.
+  EXPECT_NE(specs[0].BuildTrace().jobs.size(), specs[1].BuildTrace().jobs.size());
 }
 
-TEST(ExperimentTest, RunGridShape) {
+TEST(ExperimentTest, RunnerReturnsRowsInSpecOrder) {
   ThreadPool pool(4);
-  const auto traces = BuildTraces(TinyScenario(), 2, 200, pool);
-  const std::vector<HybridConfig> configs = {
-      MakePaperConfig(BaselineMechanism()),
-      MakePaperConfig(PaperMechanisms()[1]),
-      MakePaperConfig(PaperMechanisms()[3]),
-  };
-  const auto grid = RunGrid(traces, configs, pool);
-  ASSERT_EQ(grid.size(), 3u);
-  for (const auto& row : grid) {
-    ASSERT_EQ(row.size(), 2u);
-    for (const auto& r : row) EXPECT_GT(r.jobs_completed, 0u);
+  ExperimentRunner runner(pool);
+  std::vector<SimSpec> specs;
+  for (const char* mechanism : {"baseline", "N&SPAA", "CUA&SPAA"}) {
+    SimSpec spec = SimSpec::Parse(std::string(mechanism) + "/FCFS/W5/preset=tiny");
+    for (SimSpec& seeded : SeedSweep(spec, 2, 200)) specs.push_back(seeded);
   }
+  const auto rows = runner.Run(specs);
+  ASSERT_EQ(rows.size(), 6u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].spec, specs[i]);
+    EXPECT_GT(rows[i].result.jobs_completed, 0u);
+    EXPECT_FALSE(rows[i].trace_name.empty());
+  }
+  // Config-major layout reduces with GroupMeans.
+  const auto means = GroupMeans(rows, 2);
+  ASSERT_EQ(means.size(), 3u);
+  for (const SimResult& mean : means) EXPECT_GT(mean.jobs_completed, 0u);
+}
+
+TEST(ExperimentTest, RunnerSharesTracesAndStreamsRows) {
+  ThreadPool pool(2);
+  ExperimentRunner runner(pool);
+  // Two mechanisms on the same (preset, mix, weeks, seed) cell: one trace.
+  std::vector<SimSpec> specs = {SimSpec::Parse("baseline/FCFS/W5/preset=tiny/seed=7"),
+                                SimSpec::Parse("CUA&SPAA/FCFS/W5/preset=tiny/seed=7")};
+  EXPECT_EQ(specs[0].ScenarioKey(), specs[1].ScenarioKey());
+
+  class CountingSink final : public ResultSink {
+   public:
+    void OnResult(const SpecResult& row) override {
+      ++rows;
+      last_trace = row.trace_name;
+    }
+    int rows = 0;
+    std::string last_trace;
+  } sink;
+  const auto rows = runner.Run(specs, &sink);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(sink.rows, 2);
+  EXPECT_EQ(rows[0].trace_name, rows[1].trace_name);
+  // Same trace, same baseline-vs-mechanism contract as the old grid.
+  EXPECT_GT(rows[0].result.jobs_completed, 0u);
+}
+
+TEST(ExperimentTest, RunnerRejectsInvalidSpecs) {
+  ThreadPool pool(1);
+  ExperimentRunner runner(pool);
+  SimSpec bad;
+  bad.mechanism = "NOPE&PAA";
+  EXPECT_THROW(runner.Run({bad}), std::invalid_argument);
 }
 
 TEST(ExperimentTest, MeanResultAveragesAndAccumulates) {

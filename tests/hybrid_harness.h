@@ -1,12 +1,13 @@
 // Shared test harness for HybridScheduler behaviour tests: a fluent trace
-// builder for small hand-crafted scenarios plus an owning wrapper that
-// exposes the simulator and scheduler internals mid-run.
+// builder for small hand-crafted scenarios plus a thin view over
+// SimulationSession that exposes the simulator and scheduler internals
+// mid-run.
 #pragma once
 
 #include <cassert>
 #include <utility>
 
-#include "core/hybrid_scheduler.h"
+#include "exp/session.h"
 
 namespace hs::test {
 
@@ -78,32 +79,28 @@ class TraceBuilder {
   Trace trace_;
 };
 
-/// Owns the full simulation stack and exposes it for inspection.
-class HybridHarness : public EventHandler {
+/// A SimulationSession (which owns the full stack — trace, collector,
+/// simulator, scheduler) plus direct references into its internals so
+/// behaviour tests can inspect and poke the machinery mid-run.
+class HybridHarness {
  public:
   HybridHarness(Trace trace, HybridConfig config)
-      : trace_(std::move(trace)),
-        collector_(config.instant_threshold),
-        sim_(*this),
-        sched_(trace_, config, collector_, sim_) {
-    sched_.Prime();
-  }
-
-  void HandleEvent(const Event& e, Simulator& s) override { sched_.HandleEvent(e, s); }
-  void OnQuiescent(SimTime now, Simulator& s) override { sched_.OnQuiescent(now, s); }
+      : session_(std::move(trace), config),
+        trace_(session_.trace()),
+        collector_(session_.collector()),
+        sim_(session_.simulator()),
+        sched_(session_.scheduler()) {}
 
   /// Runs to completion (or to `until`).
-  void Run(SimTime until = kNever) { sim_.Run(until); }
+  void Run(SimTime until = kNever) { session_.Run(until); }
 
-  SimResult Finalize() const {
-    return collector_.Finalize(trace_.num_nodes,
-                               sched_.engine().cluster().busy_node_seconds());
-  }
+  SimResult Finalize() const { return session_.Finalize(); }
 
-  Trace trace_;
-  Collector collector_;
-  Simulator sim_;
-  HybridScheduler sched_;
+  SimulationSession session_;
+  const Trace& trace_;
+  Collector& collector_;
+  Simulator& sim_;
+  HybridScheduler& sched_;
 };
 
 /// Paper-default config for a mechanism with checkpointing effectively

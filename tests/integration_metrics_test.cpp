@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "exp/fixtures.h"
 #include "metrics/collector.h"
 #include "metrics/report.h"
 #include "metrics/timeseries.h"
@@ -20,7 +21,8 @@ JobRecord MakeJob(JobId id, JobClass klass, int size, SimTime compute) {
 }
 
 TEST(CollectorTest, TurnaroundPerClass) {
-  Collector c;
+  test::CollectorSandbox sandbox;
+  Collector& c = sandbox.collector;
   const auto rigid = MakeJob(0, JobClass::kRigid, 10, 100);
   const auto od = MakeJob(1, JobClass::kOnDemand, 10, 100);
   c.OnSubmit(rigid, 0);
@@ -37,7 +39,8 @@ TEST(CollectorTest, TurnaroundPerClass) {
 }
 
 TEST(CollectorTest, InstantStartThresholds) {
-  Collector c(300);
+  test::CollectorSandbox sandbox(300);
+  Collector& c = sandbox.collector;
   for (int i = 0; i < 4; ++i) {
     const auto od = MakeJob(i, JobClass::kOnDemand, 10, 100);
     c.OnSubmit(od, 0);
@@ -53,7 +56,8 @@ TEST(CollectorTest, InstantStartThresholds) {
 }
 
 TEST(CollectorTest, PreemptionRatiosCountDistinctJobs) {
-  Collector c;
+  test::CollectorSandbox sandbox;
+  Collector& c = sandbox.collector;
   const auto r1 = MakeJob(0, JobClass::kRigid, 10, 100);
   const auto r2 = MakeJob(1, JobClass::kRigid, 10, 100);
   c.OnSubmit(r1, 0);
@@ -70,7 +74,8 @@ TEST(CollectorTest, PreemptionRatiosCountDistinctJobs) {
 }
 
 TEST(CollectorTest, UtilizationExcludesOverheads) {
-  Collector c;
+  test::CollectorSandbox sandbox;
+  Collector& c = sandbox.collector;
   const auto job = MakeJob(0, JobClass::kRigid, 10, 1000);
   c.OnSubmit(job, 0);
   c.OnStart(job, 0, 10, false);
@@ -87,7 +92,8 @@ TEST(CollectorTest, UtilizationExcludesOverheads) {
 }
 
 TEST(CollectorTest, KilledJobsNotCountedCompleted) {
-  Collector c;
+  test::CollectorSandbox sandbox;
+  Collector& c = sandbox.collector;
   const auto job = MakeJob(0, JobClass::kRigid, 10, 1000);
   c.OnSubmit(job, 0);
   c.OnStart(job, 0, 10, false);
@@ -99,7 +105,8 @@ TEST(CollectorTest, KilledJobsNotCountedCompleted) {
 }
 
 TEST(CollectorTest, ResubmissionKeepsFirstTimes) {
-  Collector c;
+  test::CollectorSandbox sandbox;
+  Collector& c = sandbox.collector;
   const auto job = MakeJob(0, JobClass::kRigid, 10, 1000);
   c.OnSubmit(job, 100);
   c.OnStart(job, 200, 10, false);

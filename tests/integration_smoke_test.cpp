@@ -2,7 +2,7 @@
 // baseline and all six mechanisms, with sane aggregate metrics.
 #include <gtest/gtest.h>
 
-#include "exp/experiment.h"
+#include "exp/runner.h"
 #include "exp/scenario.h"
 
 namespace hs {
@@ -62,18 +62,29 @@ INSTANTIATE_TEST_SUITE_P(AllMechanisms, MechanismSmoke,
                          });
 
 TEST(SmokeTest, GridRunnerAggregates) {
+  // The smoke scenario as a registered preset, addressable from specs.
+  if (!ScenarioRegistry().Contains("smoke1024")) {
+    RegisterScenarioPreset("smoke1024", [](int weeks, const std::string& mix) {
+      ScenarioConfig config = MakePaperScenario(weeks, mix);
+      config.theta.num_nodes = 1024;
+      config.theta.projects.max_job_size = 1024;
+      config.theta.projects.num_projects = 60;
+      return config;
+    });
+  }
   ThreadPool pool(4);
-  const auto traces = BuildTraces(SmokeScenario(), 2, 100, pool);
-  ASSERT_EQ(traces.size(), 2u);
-  const std::vector<HybridConfig> configs = {
-      MakePaperConfig(BaselineMechanism()),
-      MakePaperConfig(PaperMechanisms()[3]),  // CUA&SPAA
-  };
-  const auto results = RunGrid(traces, configs, pool);
-  ASSERT_EQ(results.size(), 2u);
-  ASSERT_EQ(results[0].size(), 2u);
-  const SimResult baseline = MeanResult(results[0]);
-  const SimResult cua_spaa = MeanResult(results[1]);
+  ExperimentRunner runner(pool);
+  std::vector<SimSpec> specs;
+  for (const char* mechanism : {"baseline", "CUA&SPAA"}) {
+    const SimSpec base = SimSpec::Parse(std::string(mechanism) +
+                                        "/FCFS/W5/preset=smoke1024/weeks=4");
+    for (const SimSpec& seeded : SeedSweep(base, 2, 100)) specs.push_back(seeded);
+  }
+  const auto rows = runner.Run(specs);
+  ASSERT_EQ(rows.size(), 4u);
+  const auto means = GroupMeans(rows, 2);
+  const SimResult& baseline = means[0];
+  const SimResult& cua_spaa = means[1];
   // The headline claim of the paper: mechanisms lift the instant-start rate
   // dramatically over the baseline.
   EXPECT_GT(cua_spaa.od_instant_rate, baseline.od_instant_rate);

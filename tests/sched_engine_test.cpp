@@ -2,48 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/fixtures.h"
+
 namespace hs {
 namespace {
 
-/// Minimal harness: a hand-built trace, a pass-through handler that applies
-/// engine operations on finish/kill events, and helpers to drive time.
-class EngineHarness : public EventHandler {
- public:
-  explicit EngineHarness(Trace trace, EngineConfig config = {})
-      : trace_(std::move(trace)),
-        sim_(*this),
-        collector_(5 * kMinute),
-        engine_(trace_, config, collector_, sim_) {}
-
-  void HandleEvent(const Event& event, Simulator&) override {
-    engine_.cluster().Touch(event.time);
-    switch (event.kind) {
-      case EventKind::kJobFinish:
-        engine_.FinishRunning(event.job, event.time);
-        break;
-      case EventKind::kJobKill:
-        engine_.KillAtEstimate(event.job, event.time);
-        break;
-      case EventKind::kWarningExpire:
-        engine_.CompleteDrain(event.job, event.time);
-        break;
-      case EventKind::kJobSubmit:
-        engine_.EnqueueFresh(event.job, event.time);
-        break;
-      default:
-        break;
-    }
-  }
-  void OnQuiescent(SimTime now, Simulator&) override {
-    if (auto_schedule) engine_.RunSchedulingPass(now);
-  }
-
-  Trace trace_;
-  Simulator sim_;
-  Collector collector_;
-  ExecutionEngine engine_;
-  bool auto_schedule = false;
-};
+/// The engine fixture lives in exp/fixtures.h: a hand-built trace, a
+/// pass-through handler that applies engine operations on finish/kill
+/// events, and an optional auto scheduling pass.
+using EngineHarness = test::EngineSandbox;
 
 JobRecord Rigid(JobId id, SimTime submit, int size, SimTime compute, SimTime setup,
                 SimTime estimate) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/fixtures.h"
+
 #include <vector>
 
 namespace hs {
@@ -18,8 +20,9 @@ class RecordingHandler : public EventHandler {
 };
 
 TEST(SimulatorTest, ProcessesEventsInOrder) {
-  RecordingHandler handler;
-  Simulator sim(handler);
+  test::SimSandbox<RecordingHandler> sandbox;
+  RecordingHandler& handler = sandbox.handler;
+  Simulator& sim = sandbox.sim;
   sim.Schedule(300, EventKind::kJobSubmit, 3);
   sim.Schedule(100, EventKind::kJobSubmit, 1);
   sim.Run();
@@ -30,8 +33,9 @@ TEST(SimulatorTest, ProcessesEventsInOrder) {
 }
 
 TEST(SimulatorTest, QuiescentOncePerTimestampBatch) {
-  RecordingHandler handler;
-  Simulator sim(handler);
+  test::SimSandbox<RecordingHandler> sandbox;
+  RecordingHandler& handler = sandbox.handler;
+  Simulator& sim = sandbox.sim;
   sim.Schedule(100, EventKind::kJobSubmit, 1);
   sim.Schedule(100, EventKind::kJobSubmit, 2);
   sim.Schedule(200, EventKind::kJobSubmit, 3);
@@ -42,16 +46,18 @@ TEST(SimulatorTest, QuiescentOncePerTimestampBatch) {
 }
 
 TEST(SimulatorTest, SchedulingInPastThrows) {
-  RecordingHandler handler;
-  Simulator sim(handler);
+  test::SimSandbox<RecordingHandler> sandbox;
+  RecordingHandler& handler = sandbox.handler;
+  Simulator& sim = sandbox.sim;
   sim.Schedule(100, EventKind::kJobSubmit, 1);
   sim.Run();
   EXPECT_THROW(sim.Schedule(50, EventKind::kJobSubmit, 2), std::runtime_error);
 }
 
 TEST(SimulatorTest, RunUntilStopsEarly) {
-  RecordingHandler handler;
-  Simulator sim(handler);
+  test::SimSandbox<RecordingHandler> sandbox;
+  RecordingHandler& handler = sandbox.handler;
+  Simulator& sim = sandbox.sim;
   sim.Schedule(100, EventKind::kJobSubmit, 1);
   sim.Schedule(500, EventKind::kJobSubmit, 2);
   sim.Run(300);
@@ -73,8 +79,9 @@ class ChainingHandler : public EventHandler {
 };
 
 TEST(SimulatorTest, SameTimeFollowUpJoinsBatch) {
-  ChainingHandler handler;
-  Simulator sim(handler);
+  test::SimSandbox<ChainingHandler> sandbox;
+  ChainingHandler& handler = sandbox.handler;
+  Simulator& sim = sandbox.sim;
   sim.Schedule(100, EventKind::kJobSubmit, 1);
   sim.Run();
   ASSERT_EQ(handler.order.size(), 2u);
@@ -100,8 +107,9 @@ class QuiescentChainHandler : public EventHandler {
 };
 
 TEST(SimulatorTest, QuiescentFollowUpsDrainAtSameTime) {
-  QuiescentChainHandler handler;
-  Simulator sim(handler);
+  test::SimSandbox<QuiescentChainHandler> sandbox;
+  QuiescentChainHandler& handler = sandbox.handler;
+  Simulator& sim = sandbox.sim;
   sim.Schedule(100, EventKind::kJobSubmit, 1);
   sim.Run();
   ASSERT_EQ(handler.handled.size(), 2u);
@@ -111,8 +119,9 @@ TEST(SimulatorTest, QuiescentFollowUpsDrainAtSameTime) {
 }
 
 TEST(SimulatorTest, CancelPreventsDelivery) {
-  RecordingHandler handler;
-  Simulator sim(handler);
+  test::SimSandbox<RecordingHandler> sandbox;
+  RecordingHandler& handler = sandbox.handler;
+  Simulator& sim = sandbox.sim;
   const EventId id = sim.Schedule(100, EventKind::kJobSubmit, 1);
   sim.Schedule(200, EventKind::kJobSubmit, 2);
   sim.Cancel(id);
@@ -122,8 +131,9 @@ TEST(SimulatorTest, CancelPreventsDelivery) {
 }
 
 TEST(SimulatorTest, EventsProcessedCounter) {
-  RecordingHandler handler;
-  Simulator sim(handler);
+  test::SimSandbox<RecordingHandler> sandbox;
+  RecordingHandler& handler = sandbox.handler;
+  Simulator& sim = sandbox.sim;
   for (int i = 0; i < 10; ++i) sim.Schedule(i * 10, EventKind::kJobSubmit, i);
   sim.Run();
   EXPECT_EQ(sim.events_processed(), 10u);

@@ -52,5 +52,32 @@ TEST(CliTest, ProgramName) {
   EXPECT_EQ(Make({"prog"}).program(), "prog");
 }
 
+TEST(CliTest, RejectUnknownPassesWhenAllFlagsWereRead) {
+  const auto args = Make({"prog", "--weeks=4", "--verbose"});
+  (void)args.GetInt("weeks", 0);
+  (void)args.GetBool("verbose", false);
+  EXPECT_NO_THROW(args.RejectUnknown());
+  EXPECT_TRUE(args.UnknownFlags().empty());
+}
+
+TEST(CliTest, RejectUnknownThrowsOnTypoFlags) {
+  const auto args = Make({"prog", "--weeks=4", "--seeed=3"});
+  (void)args.GetInt("weeks", 0);
+  (void)args.GetInt("seed", 1);  // the intended flag, never passed
+  EXPECT_EQ(args.UnknownFlags(), std::vector<std::string>{"seeed"});
+  try {
+    args.RejectUnknown();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--seeed"), std::string::npos);
+  }
+}
+
+TEST(CliTest, ProbingAbsentFlagsDoesNotMaskUnknownOnes) {
+  const auto args = Make({"prog", "--mystery=1"});
+  (void)args.Has("known");
+  EXPECT_THROW(args.RejectUnknown(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hs
