@@ -1,0 +1,102 @@
+// Mechanisms are behavioral plugins: a mechanism couples a NoticeStrategy
+// (advance-notice handling) with an ArrivalStrategy (deficit resolution at
+// the actual arrival), both acting through the narrow MechanismContext
+// facade. This example registers a *custom* mechanism in the
+// MechanismRegistry — "CUA&PATIENT", CUA collection plus an arrival
+// strategy that drains malleable jobs (warned, progress-preserving) but
+// never kills a rigid job — and sweeps it against the paper's mechanisms
+// plus the built-in CUP-DEFER plugin, every cell addressed by a SimSpec
+// string. Registering the strategy pair is the only step: no scheduler,
+// bench or CLI edits.
+//
+//   ./custom_mechanism [--weeks=2] [--seed=3]
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+#include "core/advance_notice.h"
+#include "core/arrival.h"
+#include "core/mechanism_context.h"
+#include "exp/runner.h"
+#include "metrics/report.h"
+#include "util/cli.h"
+
+using namespace hs;
+
+namespace {
+
+/// Drains malleable jobs toward the deficit (2-minute warning, progress
+/// kept) and otherwise waits for releases: rigid work is never killed at an
+/// arrival. The (NoticePolicy, ArrivalPolicy) enum pair cannot express
+/// this; a strategy object can.
+class PatientArrival final : public ArrivalStrategy {
+ public:
+  const char* name() const override { return "PATIENT"; }
+
+  void OnArrival(MechanismContext& ctx, JobId od, SimTime now) override {
+    DecisionTimer timer(ctx.collector());
+    int deficit = ctx.ReservationDeficit(od) - ctx.PendingDrainNodes(od);
+    if (deficit <= 0) return;
+    // Warn the malleable jobs with the most headroom first; their nodes
+    // arrive when the warning expires. Whatever they cannot cover waits at
+    // the head of the queue for natural releases.
+    std::vector<std::pair<JobId, int>> shrinkable = ListShrinkable(ctx);
+    std::sort(shrinkable.begin(), shrinkable.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (const auto& [id, cap] : shrinkable) {
+      if (deficit <= 0) break;
+      ctx.BeginDrain(id, od, now);
+      deficit -= ctx.Running(id)->alloc;
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const CliArgs args(argc, argv);
+  const int weeks = static_cast<int>(args.GetInt("weeks", 2));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 3));
+  args.RejectUnknown();
+
+  // Step 1 (and the only step): register the strategy pair. The handle's
+  // enum fields describe the closest built-in behavior; the factories
+  // define the real one. make_notice is omitted, so the CUA collection
+  // strategy is derived from the handle.
+  MechanismDef def;
+  def.handle = Mechanism{NoticePolicy::kCua, ArrivalPolicy::kPaa};
+  def.uses_notices = true;
+  def.summary = "CUA collection; arrivals drain malleable jobs, never kill rigid";
+  def.make_arrival = [] { return std::make_unique<PatientArrival>(); };
+  RegisterMechanism("CUA&PATIENT", def, {"patient"});
+
+  // Step 2: it is now addressable from any spec string, like any built-in.
+  ThreadPool pool;
+  ExperimentRunner runner(pool);
+  const std::vector<std::string> mechanisms = {"baseline", "CUA&PAA", "CUA&SPAA",
+                                               "CUP-DEFER", "CUA&PATIENT"};
+  std::vector<SimSpec> specs;
+  for (const std::string& mechanism : mechanisms) {
+    SimSpec spec = SimSpec::Parse(mechanism + "/FCFS/W5/preset=midsize");
+    spec.weeks = weeks;
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  const auto rows = runner.Run(specs);
+
+  std::printf("custom CUA&PATIENT vs built-ins (%d weeks, seed %llu)\n\n", weeks,
+              static_cast<unsigned long long>(seed));
+  std::vector<LabeledResult> table;
+  for (const SpecResult& row : rows) {
+    table.push_back({row.spec.mechanism, row.result});
+  }
+  std::printf("%s\n", RenderComparisonTable(table).c_str());
+  std::printf(
+      "PATIENT never kills rigid work (rigid preemption ratio 0) and pays for\n"
+      "it with a lower on-demand instant-start rate — the trade-off the\n"
+      "paper's PAA/SPAA mechanisms resolve the other way.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
+}

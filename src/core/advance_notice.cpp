@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 
-#include "core/hybrid_scheduler.h"
 #include "util/log.h"
 
 namespace hs {
@@ -18,27 +17,31 @@ DecisionTimer::~DecisionTimer() {
           .count());
 }
 
-int ExpectedReleaseNodes(const ExecutionEngine& engine, SimTime now, SimTime by) {
+int ExpectedReleaseNodes(const MechanismContext& ctx, SimTime now, SimTime by) {
   int total = 0;
-  for (const JobId id : engine.RunningIds()) {
-    const RunningJob* r = engine.Running(id);
+  for (const JobId id : ctx.RunningIds()) {
+    const RunningJob* r = ctx.Running(id);
     if (r->is_tenant) continue;   // those nodes snap back to their reservation
     if (r->draining) continue;    // already promised to another on-demand job
-    if (engine.EstimatedEnd(id, now) <= by) total += r->alloc;
+    if (ctx.EstimatedEnd(id, now) <= by) total += r->alloc;
   }
   return total;
 }
 
-std::vector<CupPlanStep> PlanCupPreemptions(const ExecutionEngine& engine, SimTime now,
+int ExpectedReleaseNodes(const ExecutionEngine& engine, SimTime now, SimTime by) {
+  return ExpectedReleaseNodes(EngineMechanismView(engine), now, by);
+}
+
+std::vector<CupPlanStep> PlanCupPreemptions(const MechanismContext& ctx, SimTime now,
                                             SimTime predicted_arrival, int deficit,
                                             SimTime drain_warning) {
   std::vector<CupPlanStep> options;
-  for (const JobId id : engine.RunningIds()) {
-    if (!engine.IsPreemptable(id)) continue;
-    const RunningJob* r = engine.Running(id);
+  for (const JobId id : ctx.RunningIds()) {
+    if (!ctx.IsPreemptable(id)) continue;
+    const RunningJob* r = ctx.Running(id);
     // Jobs ending before the predicted arrival release their nodes anyway;
     // CUA-style collection picks those up without any preemption.
-    if (engine.EstimatedEnd(id, now) <= predicted_arrival) continue;
+    if (ctx.EstimatedEnd(id, now) <= predicted_arrival) continue;
     CupPlanStep step;
     step.victim = id;
     step.alloc = r->alloc;
@@ -49,13 +52,13 @@ std::vector<CupPlanStep> PlanCupPreemptions(const ExecutionEngine& engine, SimTi
     } else {
       // "We try to preempt rigid jobs immediately after checkpointing":
       // firing right after the next dump completes wastes no computation.
-      const SimTime next_ckpt = engine.NextCheckpointCompletion(id, now);
+      const SimTime next_ckpt = ctx.NextCheckpointCompletion(id, now);
       if (next_ckpt != kNever && next_ckpt <= predicted_arrival) {
         step.fire_time = next_ckpt;
         step.cost = static_cast<double>(r->rec->setup_time) * r->alloc;
       } else {
         step.fire_time = predicted_arrival;
-        step.cost = engine.PreemptionCostNodeSec(id, predicted_arrival);
+        step.cost = ctx.PreemptionCostNodeSec(id, predicted_arrival);
       }
     }
     options.push_back(step);
@@ -74,50 +77,90 @@ std::vector<CupPlanStep> PlanCupPreemptions(const ExecutionEngine& engine, SimTi
   return plan;
 }
 
-void HybridScheduler::OnNoticeEvent(JobId od, SimTime now) {
-  if (config_.mechanism.notice == NoticePolicy::kNone) return;
-  if (reservations_.Has(od)) return;  // duplicate notice
-  const JobRecord& rec = engine_.record(od);
-  DecisionTimer timer(*collector_);
-  reservations_.Open(od, rec.size, now, rec.predicted_arrival);
-  sim_->Schedule(rec.predicted_arrival + config_.reservation_timeout,
-                 EventKind::kReservationTimeout, od);
-  if (config_.mechanism.notice == NoticePolicy::kCup) {
-    PlanCupPreparation(od, now);
-  }
+std::vector<CupPlanStep> PlanCupPreemptions(const ExecutionEngine& engine, SimTime now,
+                                            SimTime predicted_arrival, int deficit,
+                                            SimTime drain_warning) {
+  return PlanCupPreemptions(EngineMechanismView(engine), now, predicted_arrival,
+                            deficit, drain_warning);
 }
 
-void HybridScheduler::PlanCupPreparation(JobId od, SimTime now) {
-  const JobRecord& rec = engine_.record(od);
+void NoticeStrategy::OnPlannedPreempt(MechanismContext&, JobId, JobId, SimTime) {}
+
+void NoticeStrategy::OnWarningExpire(MechanismContext&, JobId, JobId, SimTime) {}
+
+void CollectNotices::OnNotice(MechanismContext& ctx, JobId od, SimTime now) {
+  if (ctx.HasReservation(od)) return;  // duplicate notice
+  const JobRecord& rec = ctx.record(od);
+  DecisionTimer timer(ctx.collector());
+  ctx.OpenReservation(od, rec.size, now, rec.predicted_arrival);
+  ctx.Schedule(rec.predicted_arrival + ctx.reservation_timeout(),
+               EventKind::kReservationTimeout, od);
+  PlanPreparation(ctx, od, now);
+}
+
+void PrepareNotices::PlanPreparation(MechanismContext& ctx, JobId od, SimTime now) {
+  const JobRecord& rec = ctx.record(od);
   const SimTime pa = rec.predicted_arrival;
-  const int reserved = engine_.cluster().ReservedCount(od);
-  const int expected = ExpectedReleaseNodes(engine_, now, pa);
+  const int reserved = ctx.ReservedCount(od);
+  const int expected = ExpectedReleaseNodes(ctx, now, pa);
   const int deficit = rec.size - reserved - expected;
   if (deficit <= 0) return;
-  const std::vector<CupPlanStep> plan = PlanCupPreemptions(
-      engine_, now, pa, deficit, config_.engine.drain_warning);
+  const std::vector<CupPlanStep> plan =
+      PlanCupPreemptions(ctx, now, pa, deficit, ctx.drain_warning());
   for (const CupPlanStep& step : plan) {
-    sim_->Schedule(std::max(now, step.fire_time), EventKind::kPlannedPreempt,
-                   step.victim, od);
+    ctx.Schedule(std::max(now, step.fire_time), EventKind::kPlannedPreempt, step.victim,
+                 od);
   }
 }
 
-void HybridScheduler::OnPlannedPreemptEvent(JobId job, JobId od, SimTime now) {
+void PrepareNotices::OnPlannedPreempt(MechanismContext& ctx, JobId victim, JobId od,
+                                      SimTime now) {
   // Validate: the preparation is only carried out if the on-demand job has
   // not arrived yet (early arrivals switch to the arrival policy, §III-B1),
   // the reservation is still short, and the victim is still preemptable.
-  const Reservation* r = reservations_.Find(od);
+  const Reservation* r = ctx.FindReservation(od);
   if (r == nullptr || r->arrived) return;
-  if (reservations_.Deficit(od) <= 0) return;
-  if (!engine_.IsPreemptable(job)) return;
-  const RunningJob* victim = engine_.Running(job);
-  if (victim->malleable_mode) {
-    engine_.BeginDrain(job, od, now);
+  if (ctx.ReservationDeficit(od) <= 0) return;
+  if (!ctx.IsPreemptable(victim)) return;
+  if (ShouldDefer(ctx, victim, od, now)) return;
+  const RunningJob* v = ctx.Running(victim);
+  if (v->malleable_mode) {
+    ctx.BeginDrain(victim, od, now);
     return;  // the lease is recorded when the warning expires
   }
-  const std::vector<int> freed = engine_.PreemptNow(job, now, PreemptKind::kPlanned);
-  ledger_.Record(od, job, static_cast<int>(freed.size()), LeaseKind::kPlanPreempted);
-  GiveTo(od);
+  const std::vector<int> freed = ctx.PreemptNow(victim, now, PreemptKind::kPlanned);
+  ctx.RecordLease(od, victim, static_cast<int>(freed.size()), LeaseKind::kPlanPreempted);
+  ctx.GiveTo(od);
+}
+
+bool DeferredPrepareNotices::ShouldDefer(MechanismContext& ctx, JobId victim, JobId od,
+                                         SimTime now) {
+  const Reservation* r = ctx.FindReservation(od);  // non-null: guarded by caller
+  const SimTime pa = r->predicted_arrival;
+  if (pa == kNever) return false;
+  // Inside the final drain-warning window there is no slack left to defer
+  // into: execute unconditionally.
+  if (now + ctx.drain_warning() >= pa) return false;
+  const int deficit = ctx.ReservationDeficit(od) - ctx.PendingDrainNodes(od);
+  const int expected = ExpectedReleaseNodes(ctx, now, pa);
+  if (expected < deficit) return false;
+  // Natural releases still cover the predicted deficit: let the backfilled
+  // work keep running and re-check halfway to the predicted arrival (the
+  // halving terminates in the warning window above).
+  const SimTime recheck = now + std::max<SimTime>(1, (pa - now) / 2);
+  ctx.Schedule(recheck, EventKind::kPlannedPreempt, victim, od);
+  HS_LOG(kDebug) << "CUP-DEFER: deferring planned preemption of job " << victim
+                 << " for on-demand job " << od << " until t=" << recheck;
+  return true;
+}
+
+std::unique_ptr<NoticeStrategy> MakeNoticeStrategy(NoticePolicy policy) {
+  switch (policy) {
+    case NoticePolicy::kNone: return std::make_unique<IgnoreNotices>();
+    case NoticePolicy::kCua: return std::make_unique<CollectNotices>();
+    case NoticePolicy::kCup: return std::make_unique<PrepareNotices>();
+  }
+  return std::make_unique<IgnoreNotices>();
 }
 
 }  // namespace hs

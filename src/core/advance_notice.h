@@ -1,19 +1,23 @@
-// Advance-notice handling (§III-B1): CUA collection and CUP preparation.
+// Advance-notice handling (§III-B1): the N / CUA / CUP notice strategies
+// plus the pure planning helpers they share.
 //
-// Helpers are exposed for unit testing; the event wiring lives in
-// HybridScheduler (advance_notice.cpp).
+// Planning helpers are exposed (in both MechanismContext and bare-engine
+// form) for unit tests and benches; the strategies act only through the
+// context facade.
 #pragma once
 
 #include <chrono>
 #include <vector>
 
-#include "sched/batch_scheduler.h"
+#include "core/mechanism_context.h"
+#include "core/mechanism_strategy.h"
 
 namespace hs {
 
 /// Nodes expected to be released by running jobs no later than `by`
 /// (estimate-based), excluding tenants (their nodes return to their
 /// reservation owner) and jobs draining for someone else.
+int ExpectedReleaseNodes(const MechanismContext& ctx, SimTime now, SimTime by);
 int ExpectedReleaseNodes(const ExecutionEngine& engine, SimTime now, SimTime by);
 
 /// One CUP preparation step: which job to preempt and when.
@@ -31,6 +35,9 @@ struct CupPlanStep {
 /// otherwise at the predicted arrival itself; malleable victims are drained
 /// so their warning expires at the predicted arrival. May cover less than
 /// `deficit` if candidates run out.
+std::vector<CupPlanStep> PlanCupPreemptions(const MechanismContext& ctx, SimTime now,
+                                            SimTime predicted_arrival, int deficit,
+                                            SimTime drain_warning);
 std::vector<CupPlanStep> PlanCupPreemptions(const ExecutionEngine& engine, SimTime now,
                                             SimTime predicted_arrival, int deficit,
                                             SimTime drain_warning);
@@ -47,6 +54,61 @@ class DecisionTimer {
  private:
   Collector* collector_;
   std::chrono::steady_clock::time_point start_;
+};
+
+// --- the built-in notice strategies -----------------------------------------
+
+/// "N": advance notices are ignored entirely.
+class IgnoreNotices : public NoticeStrategy {
+ public:
+  const char* name() const override { return "N"; }
+  void OnNotice(MechanismContext&, JobId, SimTime) override {}
+};
+
+/// "CUA": open an absorbing reservation at the notice and collect released
+/// nodes until the actual arrival (§III-B1).
+class CollectNotices : public NoticeStrategy {
+ public:
+  const char* name() const override { return "CUA"; }
+  void OnNotice(MechanismContext& ctx, JobId od, SimTime now) override;
+
+ protected:
+  /// Hook for preparation beyond collection, called inside OnNotice's
+  /// decision scope once the reservation is open. CUA: nothing.
+  virtual void PlanPreparation(MechanismContext&, JobId, SimTime) {}
+};
+
+/// "CUP": CUA collection plus planned preemptions so the request is covered
+/// by the predicted arrival (earmarked releases + scheduled preemptions).
+class PrepareNotices : public CollectNotices {
+ public:
+  const char* name() const override { return "CUP"; }
+  void OnPlannedPreempt(MechanismContext& ctx, JobId victim, JobId od,
+                        SimTime now) override;
+
+ protected:
+  void PlanPreparation(MechanismContext& ctx, JobId od, SimTime now) override;
+  /// Hook consulted right before a planned preemption executes (guards
+  /// already passed). Returning true skips the victim this time — the
+  /// strategy is responsible for rescheduling if it wants another look.
+  /// CUP: never defers.
+  virtual bool ShouldDefer(MechanismContext&, JobId /*victim*/, JobId /*od*/,
+                           SimTime /*now*/) {
+    return false;
+  }
+};
+
+/// "CUP-DEFER": CUP preparation that defers a planned preemption while the
+/// expected natural releases before the predicted arrival still cover the
+/// remaining deficit — backfilled work keeps running and the preemption
+/// only fires if the release forecast deteriorates. A behavior the
+/// (NoticePolicy, ArrivalPolicy) enum pair cannot express.
+class DeferredPrepareNotices final : public PrepareNotices {
+ public:
+  const char* name() const override { return "CUP-DEFER"; }
+
+ protected:
+  bool ShouldDefer(MechanismContext& ctx, JobId victim, JobId od, SimTime now) override;
 };
 
 }  // namespace hs

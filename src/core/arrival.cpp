@@ -3,80 +3,49 @@
 #include <algorithm>
 
 #include "core/advance_notice.h"
-#include "core/hybrid_scheduler.h"
 #include "core/preemption_cost.h"
 #include "core/shrink_expand.h"
 #include "util/log.h"
 
 namespace hs {
 
-std::vector<std::pair<JobId, int>> ListShrinkable(const ExecutionEngine& engine) {
+std::vector<std::pair<JobId, int>> ListShrinkable(const MechanismContext& ctx) {
   std::vector<std::pair<JobId, int>> out;
-  for (const JobId id : engine.RunningIds()) {
-    const int cap = engine.ShrinkableNodes(id);
+  for (const JobId id : ctx.RunningIds()) {
+    const int cap = ctx.ShrinkableNodes(id);
     if (cap > 0) out.emplace_back(id, cap);
   }
   return out;
 }
 
-int TotalShrinkSupply(const ExecutionEngine& engine) {
+std::vector<std::pair<JobId, int>> ListShrinkable(const ExecutionEngine& engine) {
+  return ListShrinkable(EngineMechanismView(engine));
+}
+
+int TotalShrinkSupply(const MechanismContext& ctx) {
   int total = 0;
-  for (const auto& [id, cap] : ListShrinkable(engine)) total += cap;
+  for (const auto& [id, cap] : ListShrinkable(ctx)) total += cap;
   return total;
 }
 
-void HybridScheduler::HandleOnDemandArrival(JobId od, SimTime now) {
-  const JobRecord& rec = engine_.record(od);
-  // The on-demand job joins the system at the head of the queue (boosted);
-  // it starts the moment its absorbing reservation covers the request.
-  engine_.EnqueueFresh(od, now, /*boosted=*/true);
-
-  if (!reservations_.Has(od)) {
-    // No notice (or the reservation timed out before a late arrival).
-    reservations_.Open(od, rec.size, now, kNever);
-  }
-  reservations_.MarkArrived(od);
-
-  // Backfilled tenants on this job's reserved nodes are preempted
-  // immediately (§III-B1).
-  for (const JobId tenant : engine_.cluster().TenantsOf(od)) {
-    engine_.PreemptNow(tenant, now, PreemptKind::kBackfillKill);
-  }
-  GiveTo(od);
-
-  if (reservations_.Deficit(od) > 0) {
-    ApplyArrivalPolicy(od, now);
-  }
+int TotalShrinkSupply(const ExecutionEngine& engine) {
+  return TotalShrinkSupply(EngineMechanismView(engine));
 }
 
-void HybridScheduler::ApplyArrivalPolicy(JobId od, SimTime now) {
-  DecisionTimer timer(*collector_);
-  int deficit = reservations_.Deficit(od) - PendingDrainNodes(od);
+void PreemptAtArrival::OnArrival(MechanismContext& ctx, JobId od, SimTime now) {
+  DecisionTimer timer(ctx.collector());
+  const int deficit = ctx.ReservationDeficit(od) - ctx.PendingDrainNodes(od);
   if (deficit <= 0) return;
+  ResolveDeficit(ctx, od, deficit, now);
+}
 
-  if (config_.mechanism.arrival == ArrivalPolicy::kSpaa) {
-    // SPAA: cover the whole deficit by shrinking running malleable jobs
-    // evenly; if their combined supply cannot cover it, fall back to PAA.
-    const std::vector<std::pair<JobId, int>> shrinkable = ListShrinkable(engine_);
-    int supply = 0;
-    for (const auto& [id, cap] : shrinkable) supply += cap;
-    if (supply >= deficit) {
-      for (const ShrinkShare& share : PlanEvenShrink(shrinkable, deficit)) {
-        if (share.amount <= 0) continue;
-        engine_.ShrinkBy(share.id, share.amount, now);
-        ledger_.Record(od, share.id, share.amount, LeaseKind::kShrunk);
-      }
-      GiveTo(od);
-      return;
-    }
-  }
-
+void PreemptAtArrival::ResolveDeficit(MechanismContext& ctx, JobId od, int deficit,
+                                      SimTime now) {
   // PAA (also the SPAA fallback): preempt running jobs in ascending order of
   // preemption overhead until the request is covered. If even preempting
   // everything cannot cover it, preempt nothing: the job waits at the head
   // of the queue for releases (§III-B2).
-  const std::vector<PreemptionCandidate> candidates =
-      ListPreemptionCandidates(engine_, now);
+  const std::vector<PreemptionCandidate> candidates = ListPreemptionCandidates(ctx, now);
   const std::vector<PreemptionCandidate> victims = SelectVictims(candidates, deficit);
   if (victims.empty()) {
     HS_LOG(kDebug) << "on-demand job " << od << " cannot start instantly (deficit "
@@ -87,15 +56,43 @@ void HybridScheduler::ApplyArrivalPolicy(JobId od, SimTime now) {
     if (victim.malleable) {
       // Malleable preemption honours the 2-minute warning; the nodes arrive
       // when it expires and the on-demand job starts then.
-      engine_.BeginDrain(victim.id, od, now);
+      ctx.BeginDrain(victim.id, od, now);
     } else {
       const std::vector<int> freed =
-          engine_.PreemptNow(victim.id, now, PreemptKind::kArrivalKill);
-      ledger_.Record(od, victim.id, static_cast<int>(freed.size()),
-                     LeaseKind::kPreempted);
-      GiveTo(od);
+          ctx.PreemptNow(victim.id, now, PreemptKind::kArrivalKill);
+      ctx.RecordLease(od, victim.id, static_cast<int>(freed.size()),
+                      LeaseKind::kPreempted);
+      ctx.GiveTo(od);
     }
   }
+}
+
+void ShrinkPreemptAtArrival::ResolveDeficit(MechanismContext& ctx, JobId od, int deficit,
+                                            SimTime now) {
+  // SPAA: cover the whole deficit by shrinking running malleable jobs
+  // evenly; if their combined supply cannot cover it, fall back to PAA.
+  const std::vector<std::pair<JobId, int>> shrinkable = ListShrinkable(ctx);
+  int supply = 0;
+  for (const auto& [id, cap] : shrinkable) supply += cap;
+  if (supply >= deficit) {
+    for (const ShrinkShare& share : PlanEvenShrink(shrinkable, deficit)) {
+      if (share.amount <= 0) continue;
+      ctx.ShrinkBy(share.id, share.amount, now);
+      ctx.RecordLease(od, share.id, share.amount, LeaseKind::kShrunk);
+    }
+    ctx.GiveTo(od);
+    return;
+  }
+  PreemptAtArrival::ResolveDeficit(ctx, od, deficit, now);
+}
+
+std::unique_ptr<ArrivalStrategy> MakeArrivalStrategy(ArrivalPolicy policy) {
+  switch (policy) {
+    case ArrivalPolicy::kQueue: return nullptr;
+    case ArrivalPolicy::kPaa: return std::make_unique<PreemptAtArrival>();
+    case ArrivalPolicy::kSpaa: return std::make_unique<ShrinkPreemptAtArrival>();
+  }
+  return nullptr;
 }
 
 }  // namespace hs

@@ -1,21 +1,51 @@
-// Arrival-time mechanisms (§III-B2): PAA and SPAA.
+// Arrival-time mechanisms (§III-B2): the PAA and SPAA arrival strategies
+// plus the pure planning helpers they share.
 //
-// Pure planning helpers for testability; the event wiring lives in
-// HybridScheduler (arrival.cpp).
+// Helpers come in MechanismContext and bare-engine form for testability;
+// the strategies act only through the context facade.
 #pragma once
 
 #include <utility>
 #include <vector>
 
-#include "sched/batch_scheduler.h"
+#include "core/mechanism_context.h"
+#include "core/mechanism_strategy.h"
 
 namespace hs {
 
 /// (job, nodes it can give by shrinking to its minimum) for every running,
 /// non-draining, non-tenant malleable job, in ascending job-id order.
+std::vector<std::pair<JobId, int>> ListShrinkable(const MechanismContext& ctx);
 std::vector<std::pair<JobId, int>> ListShrinkable(const ExecutionEngine& engine);
 
 /// Total shrink supply across ListShrinkable.
+int TotalShrinkSupply(const MechanismContext& ctx);
 int TotalShrinkSupply(const ExecutionEngine& engine);
+
+// --- the built-in arrival strategies ----------------------------------------
+
+/// "PAA": preempt running jobs in ascending order of preemption overhead
+/// until the request is covered; if even preempting everything cannot cover
+/// it, preempt nothing — the job waits at the head of the queue (§III-B2).
+class PreemptAtArrival : public ArrivalStrategy {
+ public:
+  const char* name() const override { return "PAA"; }
+  void OnArrival(MechanismContext& ctx, JobId od, SimTime now) override;
+
+ protected:
+  /// The deficit-resolution body (deficit > 0, drain deliveries already
+  /// netted out). PAA: overhead-ordered preemption.
+  virtual void ResolveDeficit(MechanismContext& ctx, JobId od, int deficit, SimTime now);
+};
+
+/// "SPAA": cover the whole deficit by shrinking running malleable jobs
+/// evenly; if their combined supply cannot cover it, fall back to PAA.
+class ShrinkPreemptAtArrival final : public PreemptAtArrival {
+ public:
+  const char* name() const override { return "SPAA"; }
+
+ protected:
+  void ResolveDeficit(MechanismContext& ctx, JobId od, int deficit, SimTime now) override;
+};
 
 }  // namespace hs

@@ -11,9 +11,8 @@ std::string HybridConfig::Validate() const {
   if (engine.drain_warning < 0) return "drain_warning must be >= 0";
   if (engine.checkpoint.interval_scale <= 0.0) return "interval_scale must be > 0";
   if (engine.checkpoint.node_mtbf <= 0) return "node_mtbf must be > 0";
-  if (mechanism.is_baseline() && mechanism.notice != NoticePolicy::kNone) {
-    return "baseline must use NoticePolicy::kNone";
-  }
+  const std::string mechanism_error = ValidateMechanism(mechanism);
+  if (!mechanism_error.empty()) return mechanism_error;
   if (static_od_partition < 0) return "static_od_partition must be >= 0";
   return {};
 }

@@ -4,9 +4,76 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/mechanism_context.h"
 #include "util/log.h"
 
 namespace hs {
+
+/// The scheduler-backed MechanismContext: exposes exactly the state
+/// strategies may touch, each call forwarding to the owning scheduler's
+/// internals.
+class HybridScheduler::Context final : public MechanismContext {
+ public:
+  explicit Context(HybridScheduler& sched) : s_(&sched) {}
+
+  const JobRecord& record(JobId id) const override { return s_->engine_.record(id); }
+  std::vector<JobId> RunningIds() const override { return s_->engine_.RunningIds(); }
+  const RunningJob* Running(JobId id) const override { return s_->engine_.Running(id); }
+  bool IsPreemptable(JobId id) const override { return s_->engine_.IsPreemptable(id); }
+  SimTime EstimatedEnd(JobId id, SimTime now) const override {
+    return s_->engine_.EstimatedEnd(id, now);
+  }
+  double PreemptionCostNodeSec(JobId id, SimTime now) const override {
+    return s_->engine_.PreemptionCostNodeSec(id, now);
+  }
+  SimTime NextCheckpointCompletion(JobId id, SimTime now) const override {
+    return s_->engine_.NextCheckpointCompletion(id, now);
+  }
+  int ShrinkableNodes(JobId id) const override {
+    return s_->engine_.ShrinkableNodes(id);
+  }
+
+  int FreeCount() const override { return s_->engine_.cluster().free_count(); }
+  int ReservedCount(JobId od) const override {
+    return s_->engine_.cluster().ReservedCount(od);
+  }
+  bool HasReservation(JobId od) const override { return s_->reservations_.Has(od); }
+  const Reservation* FindReservation(JobId od) const override {
+    return s_->reservations_.Find(od);
+  }
+  int ReservationDeficit(JobId od) const override {
+    return s_->reservations_.Deficit(od);
+  }
+  int PendingDrainNodes(JobId od) const override { return s_->PendingDrainNodes(od); }
+
+  SimTime drain_warning() const override { return s_->config_.engine.drain_warning; }
+  SimTime reservation_timeout() const override { return s_->config_.reservation_timeout; }
+  Collector& collector() override { return *s_->collector_; }
+
+  void OpenReservation(JobId od, int target, SimTime notice_time,
+                       SimTime predicted_arrival) override {
+    s_->reservations_.Open(od, target, notice_time, predicted_arrival);
+  }
+  EventId Schedule(SimTime time, EventKind kind, JobId job, std::int64_t aux) override {
+    return s_->sim_->Schedule(time, kind, job, aux);
+  }
+  std::vector<int> PreemptNow(JobId victim, SimTime now, PreemptKind kind) override {
+    return s_->engine_.PreemptNow(victim, now, kind);
+  }
+  void BeginDrain(JobId victim, JobId od, SimTime now) override {
+    s_->engine_.BeginDrain(victim, od, now);
+  }
+  std::vector<int> ShrinkBy(JobId victim, int nodes, SimTime now) override {
+    return s_->engine_.ShrinkBy(victim, nodes, now);
+  }
+  void RecordLease(JobId od, JobId lender, int nodes, LeaseKind kind) override {
+    s_->ledger_.Record(od, lender, nodes, kind);
+  }
+  void GiveTo(JobId od) override { s_->GiveTo(od); }
+
+ private:
+  HybridScheduler* s_;
+};
 
 HybridScheduler::HybridScheduler(const Trace& trace, const HybridConfig& config,
                                  Collector& collector, Simulator& sim)
@@ -25,6 +92,8 @@ HybridScheduler::HybridScheduler(const Trace& trace, const HybridConfig& config,
   if (!trace_error.empty()) {
     throw std::invalid_argument("Trace: " + trace_error);
   }
+  mech_ = MakeMechanismRuntime(config_.mechanism);
+  ctx_ = std::make_unique<Context>(*this);
   if (config_.static_od_partition > 0) {
     if (config_.static_od_partition >= trace.num_nodes) {
       throw std::invalid_argument("static_od_partition must leave batch nodes");
@@ -38,12 +107,12 @@ HybridScheduler::HybridScheduler(const Trace& trace, const HybridConfig& config,
   }
 }
 
+HybridScheduler::~HybridScheduler() = default;
+
 void HybridScheduler::Prime() {
-  const bool use_notices =
-      !config_.mechanism.is_baseline() && config_.mechanism.notice != NoticePolicy::kNone;
   for (const JobRecord& job : trace_->jobs) {
     sim_->Schedule(job.submit_time, EventKind::kJobSubmit, job.id);
-    if (use_notices && job.is_on_demand() && job.has_notice()) {
+    if (mech_.uses_notices && job.is_on_demand() && job.has_notice()) {
       sim_->Schedule(job.notice_time, EventKind::kAdvanceNotice, job.id);
     }
   }
@@ -100,17 +169,51 @@ void HybridScheduler::OnSubmitEvent(JobId id, SimTime now) {
     }
     return;
   }
-  if (rec.is_on_demand() && !config_.mechanism.is_baseline()) {
+  if (rec.is_on_demand() && !mech_.baseline) {
     HandleOnDemandArrival(id, now);
   } else {
     engine_.EnqueueFresh(id, now, /*boosted=*/false);
   }
 }
 
+void HybridScheduler::OnNoticeEvent(JobId od, SimTime now) {
+  if (!mech_.uses_notices || mech_.notice == nullptr) return;
+  mech_.notice->OnNotice(*ctx_, od, now);
+}
+
+void HybridScheduler::OnPlannedPreemptEvent(JobId job, JobId od, SimTime now) {
+  if (mech_.notice == nullptr) return;
+  mech_.notice->OnPlannedPreempt(*ctx_, job, od, now);
+}
+
+void HybridScheduler::HandleOnDemandArrival(JobId od, SimTime now) {
+  const JobRecord& rec = engine_.record(od);
+  // The on-demand job joins the system at the head of the queue (boosted);
+  // it starts the moment its absorbing reservation covers the request.
+  engine_.EnqueueFresh(od, now, /*boosted=*/true);
+
+  if (!reservations_.Has(od)) {
+    // No notice (or the reservation timed out before a late arrival).
+    reservations_.Open(od, rec.size, now, kNever);
+  }
+  reservations_.MarkArrived(od);
+
+  // Backfilled tenants on this job's reserved nodes are preempted
+  // immediately (§III-B1).
+  for (const JobId tenant : engine_.cluster().TenantsOf(od)) {
+    engine_.PreemptNow(tenant, now, PreemptKind::kBackfillKill);
+  }
+  GiveTo(od);
+
+  if (reservations_.Deficit(od) > 0 && mech_.arrival != nullptr) {
+    mech_.arrival->OnArrival(*ctx_, od, now);
+  }
+}
+
 void HybridScheduler::OnFinishEvent(JobId id, SimTime now) {
   const JobRecord& rec = engine_.record(id);
   const std::vector<int> freed = engine_.FinishRunning(id, now);
-  if (rec.is_on_demand() && !config_.mechanism.is_baseline()) {
+  if (rec.is_on_demand() && !mech_.baseline) {
     SettleLeases(id, static_cast<int>(freed.size()), now);
   }
   Absorb();
@@ -120,7 +223,7 @@ void HybridScheduler::OnKillEvent(JobId id, SimTime now) {
   const JobRecord& rec = engine_.record(id);
   HS_LOG(kWarn) << "job " << id << " killed at its runtime estimate (t=" << now << ")";
   const std::vector<int> freed = engine_.KillAtEstimate(id, now);
-  if (rec.is_on_demand() && !config_.mechanism.is_baseline()) {
+  if (rec.is_on_demand() && !mech_.baseline) {
     SettleLeases(id, static_cast<int>(freed.size()), now);
   }
   Absorb();
@@ -138,6 +241,7 @@ void HybridScheduler::OnWarningExpireEvent(JobId job, JobId od, SimTime now) {
   const std::vector<int> freed = engine_.CompleteDrain(job, now);
   ledger_.Record(od, job, static_cast<int>(freed.size()), LeaseKind::kPreempted);
   GiveTo(od);
+  if (mech_.notice != nullptr) mech_.notice->OnWarningExpire(*ctx_, job, od, now);
 }
 
 void HybridScheduler::OnReservationTimeoutEvent(JobId od, SimTime now) {

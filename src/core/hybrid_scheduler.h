@@ -1,22 +1,29 @@
 // HybridScheduler: the paper's contribution, wired together.
 //
 // Implements the event-driven co-scheduling of on-demand, rigid, and
-// malleable jobs on one machine:
-//   * advance notice   -> N / CUA / CUP (core/advance_notice.cpp)
-//   * actual arrival   -> PAA / SPAA    (core/arrival.cpp)
+// malleable jobs on one machine. Mechanism behavior is fully delegated to
+// the strategy pair resolved from the configured mechanism
+// (core/mechanism_strategy.h):
+//   * advance notice   -> NoticeStrategy  (N / CUA / CUP / plugins)
+//   * actual arrival   -> ArrivalStrategy (PAA / SPAA / plugins)
 //   * completion       -> lease settlement: return nodes to lenders
 //   * predicted+10min  -> reservation timeout
-// On-demand jobs never enter the batch queue unboosted (except in the
-// baseline): an arrived on-demand job holds an absorbing reservation that
-// collects freed nodes with highest priority, sits at the head of the queue
-// (boosted), and starts the moment its request is covered.
+// Strategies act through a MechanismContext facade the scheduler implements
+// over its internals — they never touch scheduler privates. On-demand jobs
+// never enter the batch queue unboosted (except in the baseline): an
+// arrived on-demand job holds an absorbing reservation that collects freed
+// nodes with highest priority, sits at the head of the queue (boosted), and
+// starts the moment its request is covered.
 //
 // The ordering policy (FCFS by default) plus EASY backfilling run as one
 // quiescent scheduling pass after every batch of same-timestamp events.
 #pragma once
 
+#include <memory>
+
 #include "core/config.h"
 #include "core/mechanism.h"
+#include "core/mechanism_strategy.h"
 #include "metrics/collector.h"
 #include "metrics/utilization.h"
 #include "platform/lease_ledger.h"
@@ -35,6 +42,7 @@ class HybridScheduler : public EventHandler {
   /// `trace`, `collector` and `sim` must outlive the scheduler.
   HybridScheduler(const Trace& trace, const HybridConfig& config,
                   Collector& collector, Simulator& sim);
+  ~HybridScheduler() override;
 
   /// Schedules every submit (and, when the mechanism uses notices, every
   /// advance-notice) event from the trace. Call once before Simulator::Run.
@@ -49,12 +57,16 @@ class HybridScheduler : public EventHandler {
   ReservationManager& reservations() { return reservations_; }
   const LeaseLedger& ledger() const { return ledger_; }
   const HybridConfig& config() const { return config_; }
+  /// The resolved strategy pair + metadata this scheduler dispatches to.
+  const MechanismRuntime& mechanism_runtime() const { return mech_; }
   /// Time-resolved busy-node profile (sampled at every event).
   const UtilizationTracker& utilization_tracker() const { return util_track_; }
 
  private:
-  // Event handlers (implemented across hybrid_scheduler.cpp,
-  // advance_notice.cpp and arrival.cpp).
+  /// The MechanismContext the strategies act through (hybrid_scheduler.cpp).
+  class Context;
+
+  // Event handlers.
   void OnSubmitEvent(JobId id, SimTime now);
   void OnNoticeEvent(JobId od, SimTime now);
   void OnFinishEvent(JobId id, SimTime now);
@@ -63,14 +75,10 @@ class HybridScheduler : public EventHandler {
   void OnPlannedPreemptEvent(JobId job, JobId od, SimTime now);
   void OnReservationTimeoutEvent(JobId od, SimTime now);
 
-  /// §III-B1, CUP: plan preparation so the request is covered by the
-  /// predicted arrival (earmarked releases + scheduled preemptions).
-  void PlanCupPreparation(JobId od, SimTime now);
-
-  /// §III-B2: the arrival-time mechanism (PAA or SPAA) for the remaining
-  /// deficit of an arrived on-demand job.
+  /// §III-B2: the generic arrival machinery (boosted enqueue, reservation,
+  /// tenant eviction, collection) before the ArrivalStrategy resolves any
+  /// remaining deficit.
   void HandleOnDemandArrival(JobId od, SimTime now);
-  void ApplyArrivalPolicy(JobId od, SimTime now);
 
   /// §III-B3: return completed on-demand nodes to lenders. `credit` is the
   /// number of nodes the completed job released into the free pool.
@@ -105,6 +113,8 @@ class HybridScheduler : public EventHandler {
   ReservationManager reservations_;
   LeaseLedger ledger_;
   UtilizationTracker util_track_;
+  MechanismRuntime mech_;
+  std::unique_ptr<Context> ctx_;
 };
 
 // NOTE: RunSimulation moved to exp/session.h, where it is a thin wrapper

@@ -2,8 +2,27 @@
 
 #include <cctype>
 #include <stdexcept>
+#include <utility>
+
+#include "core/advance_notice.h"
+#include "core/arrival.h"
 
 namespace hs {
+
+bool Mechanism::is_baseline() const {
+  if (!custom.empty() && MechanismRegistry().Contains(custom)) {
+    return MechanismRegistry().Get(custom).baseline;
+  }
+  // One derivation for every enum-pair fallback (MechanismDefFromPair).
+  return MechanismDefFromPair(*this).baseline;
+}
+
+bool Mechanism::uses_notices() const {
+  if (!custom.empty() && MechanismRegistry().Contains(custom)) {
+    return MechanismRegistry().Get(custom).uses_notices;
+  }
+  return MechanismDefFromPair(*this).uses_notices;
+}
 
 const char* ToString(NoticePolicy policy) {
   switch (policy) {
@@ -24,15 +43,45 @@ const char* ToString(ArrivalPolicy policy) {
 }
 
 std::string ToString(const Mechanism& mechanism) {
+  if (!mechanism.custom.empty()) return mechanism.custom;
   if (mechanism.is_baseline()) return "FCFS/EASY";
   return std::string(ToString(mechanism.notice)) + "&" + ToString(mechanism.arrival);
 }
 
-NamedRegistry<Mechanism>& MechanismRegistry() {
-  static NamedRegistry<Mechanism>* registry = [] {
-    auto* r = new NamedRegistry<Mechanism>("mechanism");
-    r->Register("baseline", BaselineMechanism(), {"FCFS/EASY", "fcfs-easy"});
-    for (const Mechanism& m : PaperMechanisms()) r->Register(ToString(m), m);
+MechanismDef MechanismDefFromPair(const Mechanism& pair, std::string summary) {
+  MechanismDef def;
+  def.handle = pair;
+  def.handle.custom.clear();
+  def.baseline = pair.arrival == ArrivalPolicy::kQueue;
+  def.uses_notices = !def.baseline && pair.notice != NoticePolicy::kNone;
+  def.summary = std::move(summary);
+  return def;
+}
+
+NamedRegistry<MechanismDef>& MechanismRegistry() {
+  static NamedRegistry<MechanismDef>* registry = [] {
+    auto* r = new NamedRegistry<MechanismDef>("mechanism");
+    r->Register(
+        "baseline",
+        MechanismDefFromPair(BaselineMechanism(),
+                             "FCFS/EASY with no special on-demand treatment (Table II)"),
+        {"FCFS/EASY", "fcfs-easy"});
+    for (const Mechanism& m : PaperMechanisms()) {
+      r->Register(ToString(m), MechanismDefFromPair(m, "paper mechanism (§III-B)"));
+    }
+    // The behavioral plugin proving the strategy seam: CUP preparation whose
+    // planned preemptions defer while the release forecast still covers the
+    // predicted deficit. Not expressible as a (notice, arrival) enum pair.
+    MechanismDef defer;
+    defer.handle = Mechanism{NoticePolicy::kCup, ArrivalPolicy::kPaa, "CUP-DEFER"};
+    defer.baseline = false;
+    defer.uses_notices = true;
+    defer.summary =
+        "CUP&PAA with planned preemptions deferred while expected releases "
+        "cover the predicted deficit";
+    defer.make_notice = [] { return std::make_unique<DeferredPrepareNotices>(); };
+    defer.make_arrival = [] { return std::make_unique<PreemptAtArrival>(); };
+    r->Register("CUP-DEFER", std::move(defer));
     return r;
   }();
   return *registry;
@@ -40,13 +89,37 @@ NamedRegistry<Mechanism>& MechanismRegistry() {
 
 void RegisterMechanism(const std::string& name, const Mechanism& mechanism,
                        const std::vector<std::string>& aliases) {
-  MechanismRegistry().Register(name, mechanism, aliases);
+  MechanismDef def = MechanismDefFromPair(mechanism);
+  def.handle.custom = name;
+  MechanismRegistry().Register(name, std::move(def), aliases);
+}
+
+void RegisterMechanism(const std::string& name, MechanismDef def,
+                       const std::vector<std::string>& aliases) {
+  def.handle.custom = name;
+  MechanismRegistry().Register(name, std::move(def), aliases);
 }
 
 std::vector<std::string> MechanismNames() { return MechanismRegistry().Names(); }
 
+MechanismDef FindMechanismDef(const Mechanism& mechanism) {
+  if (!mechanism.custom.empty()) {
+    return MechanismRegistry().Get(mechanism.custom);  // throws when unknown
+  }
+  const std::string name = ToString(mechanism);
+  if (MechanismRegistry().Contains(name)) {
+    const MechanismDef def = MechanismRegistry().Get(name);
+    // Only reuse the registered def when it actually describes this pair
+    // (ToString folds every kQueue pair onto the baseline name).
+    if (def.handle.notice == mechanism.notice && def.handle.arrival == mechanism.arrival) {
+      return def;
+    }
+  }
+  return MechanismDefFromPair(mechanism);
+}
+
 Mechanism ParseMechanism(const std::string& name) {
-  if (MechanismRegistry().Contains(name)) return MechanismRegistry().Get(name);
+  if (MechanismRegistry().Contains(name)) return MechanismRegistry().Get(name).handle;
   // Not registered: diagnose which token of a "NOTICE&ARRIVAL" pair is bad
   // so typos are reported precisely.
   const auto amp = name.find('&');
@@ -71,6 +144,22 @@ std::string CanonicalMechanismName(const std::string& name) {
   if (MechanismRegistry().Contains(name)) return MechanismRegistry().Canonical(name);
   ParseMechanism(name);  // throws the precise diagnostic
   return name;
+}
+
+std::string ValidateMechanism(const Mechanism& mechanism) {
+  if (!mechanism.custom.empty()) {
+    if (!MechanismRegistry().Contains(mechanism.custom)) {
+      return "mechanism '" + mechanism.custom + "' is not registered";
+    }
+    return {};
+  }
+  if (mechanism.arrival == ArrivalPolicy::kQueue &&
+      mechanism.notice != NoticePolicy::kNone) {
+    return std::string("baseline mechanism cannot use notice policy '") +
+           ToString(mechanism.notice) +
+           "' (notice handling requires a PAA or SPAA arrival policy)";
+  }
+  return {};
 }
 
 const std::array<Mechanism, 6>& PaperMechanisms() {

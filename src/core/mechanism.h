@@ -1,13 +1,27 @@
-// The paper's six hybrid-workload scheduling mechanisms (§III-B).
+// The hybrid-workload scheduling mechanisms (§III-B), as pluggable strategy
+// pairs.
 //
-// A mechanism is a pair: how advance notices are handled (N / CUA / CUP)
-// and how actual arrivals are handled (PAA / SPAA). The Table II baseline
-// is represented by ArrivalPolicy::kQueue — on-demand jobs receive no
-// special treatment and simply join the batch queue.
+// A mechanism couples how advance notices are handled (a NoticeStrategy:
+// N / CUA / CUP for the paper's grid) with how actual arrivals are handled
+// (an ArrivalStrategy: PAA / SPAA). The Table II baseline has neither —
+// on-demand jobs receive no special treatment and simply join the batch
+// queue.
+//
+// `Mechanism` is the configuration-side *handle*: for the paper's 2×3 grid
+// it is still the (NoticePolicy, ArrivalPolicy) enum pair, so existing
+// configs and tests keep working; behavioral plugins that the enum pair
+// cannot express carry the canonical registry name of their MechanismDef in
+// `custom` instead. MechanismRegistry() maps names to MechanismDefs —
+// metadata plus strategy *factories* — so registering a def is the only
+// step needed to make a brand-new behavior addressable from every SimSpec
+// string, CLI flag, bench and test (see examples/custom_mechanism.cpp).
 #pragma once
 
 #include <array>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/registry.h"
@@ -29,28 +43,79 @@ enum class ArrivalPolicy : std::uint8_t {
 struct Mechanism {
   NoticePolicy notice = NoticePolicy::kNone;
   ArrivalPolicy arrival = ArrivalPolicy::kQueue;
+  /// Canonical registry name of a behavioral plugin mechanism; empty for
+  /// plain enum-pair mechanisms. When set, behavior and metadata come from
+  /// the registered MechanismDef and the enum pair above is only the
+  /// closest built-in description.
+  std::string custom;
 
-  bool is_baseline() const { return arrival == ArrivalPolicy::kQueue; }
+  Mechanism() = default;
+  Mechanism(NoticePolicy notice_policy, ArrivalPolicy arrival_policy,
+            std::string custom_name = {})
+      : notice(notice_policy), arrival(arrival_policy), custom(std::move(custom_name)) {}
+
+  /// On-demand jobs get no special treatment (registry metadata for plugin
+  /// mechanisms; arrival == kQueue otherwise).
+  bool is_baseline() const;
+  /// Advance-notice events are scheduled and handled.
+  bool uses_notices() const;
   bool operator==(const Mechanism&) const = default;
 };
 
+class NoticeStrategy;
+class ArrivalStrategy;
+
+using NoticeStrategyFactory = std::function<std::unique_ptr<NoticeStrategy>()>;
+using ArrivalStrategyFactory = std::function<std::unique_ptr<ArrivalStrategy>()>;
+
+/// One registered mechanism: the handle ParseMechanism returns, behavior
+/// metadata, and the strategy factories. Factories may be left null, in
+/// which case the built-in strategies for `handle`'s enum pair are used —
+/// that is how the paper's seven mechanisms are registered.
+struct MechanismDef {
+  Mechanism handle;
+  bool baseline = false;
+  bool uses_notices = false;
+  /// One-line description for docs and CLI help.
+  std::string summary;
+  NoticeStrategyFactory make_notice;
+  ArrivalStrategyFactory make_arrival;
+};
+
+/// Builds the def of a plain enum-pair mechanism (metadata derived from the
+/// pair, factories null).
+MechanismDef MechanismDefFromPair(const Mechanism& pair, std::string summary = {});
+
 const char* ToString(NoticePolicy policy);
 const char* ToString(ArrivalPolicy policy);
-/// "N&PAA", "CUA&SPAA", ... or "FCFS/EASY" for the baseline.
+/// "N&PAA", "CUA&SPAA", ... or "FCFS/EASY" for the baseline; the canonical
+/// registry name for plugin mechanisms.
 std::string ToString(const Mechanism& mechanism);
 
-/// The global mechanism registry: canonical name -> Mechanism. The paper's
-/// six mechanisms plus the baseline are pre-registered ("baseline", with
-/// aliases "FCFS/EASY" and "fcfs-easy"); new named variants register here
-/// and become addressable from SimSpec strings and the CLI.
-NamedRegistry<Mechanism>& MechanismRegistry();
+/// The global mechanism registry: canonical name -> MechanismDef. The
+/// paper's six mechanisms plus the baseline are pre-registered ("baseline",
+/// with aliases "FCFS/EASY" and "fcfs-easy"), as is the CUP-DEFER plugin
+/// (deferred CUP preparation — a behavior the enum pair cannot express).
+/// New variants register here and become addressable from SimSpec strings
+/// and the CLI.
+NamedRegistry<MechanismDef>& MechanismRegistry();
 
-/// Registers a named mechanism variant (plus optional aliases).
+/// Registers a named enum-pair mechanism variant (plus optional aliases).
 void RegisterMechanism(const std::string& name, const Mechanism& mechanism,
+                       const std::vector<std::string>& aliases = {});
+
+/// Registers a behavioral plugin mechanism. `def.handle.custom` is forced
+/// to `name` so the handle round-trips through ToString/ParseMechanism.
+void RegisterMechanism(const std::string& name, MechanismDef def,
                        const std::vector<std::string>& aliases = {});
 
 /// Canonical names of every registered mechanism, in registration order.
 std::vector<std::string> MechanismNames();
+
+/// The registered def behind a mechanism handle (by `custom` name for
+/// plugins, by ToString for enum pairs; unregistered enum pairs get a
+/// synthesized def). Throws std::invalid_argument for unregistered customs.
+MechanismDef FindMechanismDef(const Mechanism& mechanism);
 
 /// Parses the names produced by ToString plus anything registered in
 /// MechanismRegistry (case-insensitive). Throws std::invalid_argument
@@ -59,6 +124,11 @@ Mechanism ParseMechanism(const std::string& name);
 
 /// The canonical registry spelling of `name` ("fcfs/easy" -> "baseline").
 std::string CanonicalMechanismName(const std::string& name);
+
+/// Empty when `mechanism` is consistent (registered when custom; notice
+/// policy compatible with the arrival policy otherwise); otherwise an error
+/// naming the offending token.
+std::string ValidateMechanism(const Mechanism& mechanism);
 
 /// The six mechanisms evaluated in the paper, in its presentation order:
 /// N&PAA, N&SPAA, CUA&PAA, CUA&SPAA, CUP&PAA, CUP&SPAA.

@@ -1,0 +1,93 @@
+#include "core/mechanism_context.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace hs {
+
+EngineMechanismView::EngineMechanismView(const ExecutionEngine& engine,
+                                         SimTime reservation_timeout)
+    : engine_(&engine), reservation_timeout_(reservation_timeout) {}
+
+const JobRecord& EngineMechanismView::record(JobId id) const {
+  return engine_->record(id);
+}
+
+std::vector<JobId> EngineMechanismView::RunningIds() const {
+  return engine_->RunningIds();
+}
+
+const RunningJob* EngineMechanismView::Running(JobId id) const {
+  return engine_->Running(id);
+}
+
+bool EngineMechanismView::IsPreemptable(JobId id) const {
+  return engine_->IsPreemptable(id);
+}
+
+SimTime EngineMechanismView::EstimatedEnd(JobId id, SimTime now) const {
+  return engine_->EstimatedEnd(id, now);
+}
+
+double EngineMechanismView::PreemptionCostNodeSec(JobId id, SimTime now) const {
+  return engine_->PreemptionCostNodeSec(id, now);
+}
+
+SimTime EngineMechanismView::NextCheckpointCompletion(JobId id, SimTime now) const {
+  return engine_->NextCheckpointCompletion(id, now);
+}
+
+int EngineMechanismView::ShrinkableNodes(JobId id) const {
+  return engine_->ShrinkableNodes(id);
+}
+
+int EngineMechanismView::FreeCount() const { return engine_->cluster().free_count(); }
+
+int EngineMechanismView::ReservedCount(JobId od) const {
+  return engine_->cluster().ReservedCount(od);
+}
+
+int EngineMechanismView::PendingDrainNodes(JobId od) const {
+  int total = 0;
+  for (const JobId id : engine_->RunningIds()) {
+    const RunningJob* r = engine_->Running(id);
+    if (r->draining && r->drain_for == od) total += r->alloc;
+  }
+  return total;
+}
+
+SimTime EngineMechanismView::drain_warning() const {
+  return engine_->config().drain_warning;
+}
+
+Collector& EngineMechanismView::collector() { ReadOnly("collector"); }
+
+void EngineMechanismView::OpenReservation(JobId, int, SimTime, SimTime) {
+  ReadOnly("OpenReservation");
+}
+
+EventId EngineMechanismView::Schedule(SimTime, EventKind, JobId, std::int64_t) {
+  ReadOnly("Schedule");
+}
+
+std::vector<int> EngineMechanismView::PreemptNow(JobId, SimTime, PreemptKind) {
+  ReadOnly("PreemptNow");
+}
+
+void EngineMechanismView::BeginDrain(JobId, JobId, SimTime) { ReadOnly("BeginDrain"); }
+
+std::vector<int> EngineMechanismView::ShrinkBy(JobId, int, SimTime) {
+  ReadOnly("ShrinkBy");
+}
+
+void EngineMechanismView::RecordLease(JobId, JobId, int, LeaseKind) {
+  ReadOnly("RecordLease");
+}
+
+void EngineMechanismView::GiveTo(JobId) { ReadOnly("GiveTo"); }
+
+void EngineMechanismView::ReadOnly(const char* what) const {
+  throw std::logic_error(std::string("EngineMechanismView is read-only: ") + what);
+}
+
+}  // namespace hs

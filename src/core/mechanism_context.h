@@ -1,0 +1,126 @@
+// MechanismContext: the narrow scheduler facade behavioral mechanism
+// strategies (NoticeStrategy / ArrivalStrategy) are allowed to touch.
+//
+// Strategies never see HybridScheduler itself — only this interface, which
+// exposes exactly the state the paper's mechanisms need: execution queries,
+// the free pool, reservations, the lease ledger, event scheduling, and the
+// preemption/drain/shrink primitives. The scheduler implements it over its
+// internals; tests implement it as a fake to unit-test each hook; the
+// read-only EngineMechanismView below adapts a bare ExecutionEngine so the
+// pure planning helpers (ExpectedReleaseNodes, PlanCupPreemptions, ...)
+// keep working outside a full scheduler.
+#pragma once
+
+#include <vector>
+
+#include "metrics/collector.h"
+#include "platform/lease_ledger.h"
+#include "platform/reservation.h"
+#include "sched/batch_scheduler.h"
+#include "sim/event.h"
+
+namespace hs {
+
+class MechanismContext {
+ public:
+  virtual ~MechanismContext() = default;
+
+  // --- queries: jobs and executions ---------------------------------------
+
+  virtual const JobRecord& record(JobId id) const = 0;
+  /// Running executions in ascending id order.
+  virtual std::vector<JobId> RunningIds() const = 0;
+  virtual const RunningJob* Running(JobId id) const = 0;
+  virtual bool IsPreemptable(JobId id) const = 0;
+  virtual SimTime EstimatedEnd(JobId id, SimTime now) const = 0;
+  virtual double PreemptionCostNodeSec(JobId id, SimTime now) const = 0;
+  virtual SimTime NextCheckpointCompletion(JobId id, SimTime now) const = 0;
+  virtual int ShrinkableNodes(JobId id) const = 0;
+
+  // --- queries: free pool and reservations --------------------------------
+
+  virtual int FreeCount() const = 0;
+  /// Nodes the cluster currently holds for `od`'s reservation.
+  virtual int ReservedCount(JobId od) const = 0;
+  virtual bool HasReservation(JobId od) const = 0;
+  virtual const Reservation* FindReservation(JobId od) const = 0;
+  /// Nodes still missing (target - held); 0 when satisfied or absent.
+  virtual int ReservationDeficit(JobId od) const = 0;
+  /// Nodes that pending drains will deliver to `od` when their warnings
+  /// expire.
+  virtual int PendingDrainNodes(JobId od) const = 0;
+
+  // --- configuration and metrics ------------------------------------------
+
+  virtual SimTime drain_warning() const = 0;
+  virtual SimTime reservation_timeout() const = 0;
+  /// For DecisionTimer scopes around mechanism decisions (Observation 10).
+  virtual Collector& collector() = 0;
+
+  // --- mutations -----------------------------------------------------------
+
+  /// Opens an absorbing reservation that collects freed nodes for `od`.
+  virtual void OpenReservation(JobId od, int target, SimTime notice_time,
+                               SimTime predicted_arrival) = 0;
+  virtual EventId Schedule(SimTime time, EventKind kind, JobId job,
+                           std::int64_t aux = 0) = 0;
+  /// Immediate preemption; returns the freed nodes (see ExecutionEngine).
+  virtual std::vector<int> PreemptNow(JobId victim, SimTime now, PreemptKind kind) = 0;
+  /// Starts the drain warning on a running malleable job for `od`.
+  virtual void BeginDrain(JobId victim, JobId od, SimTime now) = 0;
+  /// Shrinks a running malleable job; returns the released nodes.
+  virtual std::vector<int> ShrinkBy(JobId victim, int nodes, SimTime now) = 0;
+  /// Records that `lender` gave `nodes` nodes to `od` (settled at `od`'s
+  /// completion).
+  virtual void RecordLease(JobId od, JobId lender, int nodes, LeaseKind kind) = 0;
+  /// Tops up `od`'s reservation from the free pool, then lets every other
+  /// absorbing reservation take its share (notice order).
+  virtual void GiveTo(JobId od) = 0;
+};
+
+/// Read-only MechanismContext over a bare ExecutionEngine: answers every
+/// execution/free-pool query, reports "no reservations", and throws
+/// std::logic_error on any mutation (and on collector()). Backs the
+/// engine-signature overloads of the planning helpers so benches and tests
+/// can plan against an engine without a full scheduler.
+class EngineMechanismView final : public MechanismContext {
+ public:
+  explicit EngineMechanismView(const ExecutionEngine& engine,
+                               SimTime reservation_timeout = 10 * kMinute);
+
+  const JobRecord& record(JobId id) const override;
+  std::vector<JobId> RunningIds() const override;
+  const RunningJob* Running(JobId id) const override;
+  bool IsPreemptable(JobId id) const override;
+  SimTime EstimatedEnd(JobId id, SimTime now) const override;
+  double PreemptionCostNodeSec(JobId id, SimTime now) const override;
+  SimTime NextCheckpointCompletion(JobId id, SimTime now) const override;
+  int ShrinkableNodes(JobId id) const override;
+
+  int FreeCount() const override;
+  int ReservedCount(JobId od) const override;
+  bool HasReservation(JobId) const override { return false; }
+  const Reservation* FindReservation(JobId) const override { return nullptr; }
+  int ReservationDeficit(JobId) const override { return 0; }
+  int PendingDrainNodes(JobId od) const override;
+
+  SimTime drain_warning() const override;
+  SimTime reservation_timeout() const override { return reservation_timeout_; }
+  Collector& collector() override;
+
+  void OpenReservation(JobId, int, SimTime, SimTime) override;
+  EventId Schedule(SimTime, EventKind, JobId, std::int64_t) override;
+  std::vector<int> PreemptNow(JobId, SimTime, PreemptKind) override;
+  void BeginDrain(JobId, JobId, SimTime) override;
+  std::vector<int> ShrinkBy(JobId, int, SimTime) override;
+  void RecordLease(JobId, JobId, int, LeaseKind) override;
+  void GiveTo(JobId) override;
+
+ private:
+  [[noreturn]] void ReadOnly(const char* what) const;
+
+  const ExecutionEngine* engine_;
+  SimTime reservation_timeout_;
+};
+
+}  // namespace hs

@@ -1,0 +1,22 @@
+#include "core/mechanism_strategy.h"
+
+#include "core/advance_notice.h"
+#include "core/arrival.h"
+
+namespace hs {
+
+MechanismRuntime MakeMechanismRuntime(const Mechanism& mechanism) {
+  // Throws std::invalid_argument (listing the known names) when `custom`
+  // names an unregistered plugin; enum pairs get a synthesized def.
+  const MechanismDef def = FindMechanismDef(mechanism);
+  MechanismRuntime runtime;
+  runtime.baseline = def.baseline;
+  runtime.uses_notices = def.uses_notices;
+  runtime.notice =
+      def.make_notice ? def.make_notice() : MakeNoticeStrategy(def.handle.notice);
+  runtime.arrival =
+      def.make_arrival ? def.make_arrival() : MakeArrivalStrategy(def.handle.arrival);
+  return runtime;
+}
+
+}  // namespace hs

@@ -1,0 +1,74 @@
+// Behavioral mechanism plugin interfaces (§III-B as strategy objects).
+//
+// A NoticeStrategy owns the advance-notice side of a mechanism (§III-B1):
+// what happens when a notice arrives, how preparation is planned, and how
+// planned preemption points fire. An ArrivalStrategy owns the actual-
+// arrival side (§III-B2): how the remaining deficit of an arrived on-demand
+// job is resolved against the running jobs. Both act exclusively through
+// the MechanismContext facade — they never touch HybridScheduler directly,
+// which is what makes them unit-testable against a fake and swappable at
+// registration time (core/mechanism.h).
+#pragma once
+
+#include <memory>
+
+#include "core/mechanism.h"
+#include "util/time.h"
+#include "workload/job.h"
+
+namespace hs {
+
+class MechanismContext;
+
+class NoticeStrategy {
+ public:
+  virtual ~NoticeStrategy() = default;
+  virtual const char* name() const = 0;
+
+  /// An advance notice for on-demand job `od` arrived (§III-B1). Only
+  /// called when the mechanism's `uses_notices` metadata is true.
+  virtual void OnNotice(MechanismContext& ctx, JobId od, SimTime now) = 0;
+
+  /// A planned preemption point scheduled by this strategy fired: `victim`
+  /// was earmarked for `od`. Default: nothing to do (strategies that never
+  /// schedule kPlannedPreempt events never see this).
+  virtual void OnPlannedPreempt(MechanismContext& ctx, JobId victim, JobId od,
+                                SimTime now);
+
+  /// A drain warning initiated on `job` for `od` expired and the nodes were
+  /// handed over (after the scheduler's generic bookkeeping). Default: no-op.
+  virtual void OnWarningExpire(MechanismContext& ctx, JobId job, JobId od, SimTime now);
+};
+
+class ArrivalStrategy {
+ public:
+  virtual ~ArrivalStrategy() = default;
+  virtual const char* name() const = 0;
+
+  /// An arrived on-demand job's reservation is still short after collection
+  /// (§III-B2): resolve the deficit against the running jobs.
+  virtual void OnArrival(MechanismContext& ctx, JobId od, SimTime now) = 0;
+};
+
+/// The built-in strategy for a notice policy (kNone included).
+std::unique_ptr<NoticeStrategy> MakeNoticeStrategy(NoticePolicy policy);
+
+/// The built-in strategy for an arrival policy; null for kQueue (the
+/// baseline never resolves deficits).
+std::unique_ptr<ArrivalStrategy> MakeArrivalStrategy(ArrivalPolicy policy);
+
+/// A mechanism instantiated for one scheduler: the strategy pair plus the
+/// dispatch metadata HybridScheduler consults on every event.
+struct MechanismRuntime {
+  std::unique_ptr<NoticeStrategy> notice;
+  std::unique_ptr<ArrivalStrategy> arrival;  // null for baseline mechanisms
+  bool baseline = false;
+  bool uses_notices = false;
+};
+
+/// Instantiates the strategies behind a mechanism handle: registered
+/// factories for plugin mechanisms (throws std::invalid_argument when
+/// `custom` names nothing), built-in strategies for enum pairs.
+MechanismRuntime MakeMechanismRuntime(const Mechanism& mechanism);
+
+}  // namespace hs

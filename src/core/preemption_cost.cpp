@@ -4,16 +4,16 @@
 
 namespace hs {
 
-std::vector<PreemptionCandidate> ListPreemptionCandidates(const ExecutionEngine& engine,
+std::vector<PreemptionCandidate> ListPreemptionCandidates(const MechanismContext& ctx,
                                                           SimTime now) {
   std::vector<PreemptionCandidate> candidates;
-  for (const JobId id : engine.RunningIds()) {
-    if (!engine.IsPreemptable(id)) continue;
-    const RunningJob* r = engine.Running(id);
+  for (const JobId id : ctx.RunningIds()) {
+    if (!ctx.IsPreemptable(id)) continue;
+    const RunningJob* r = ctx.Running(id);
     PreemptionCandidate c;
     c.id = id;
     c.alloc = r->alloc;
-    c.cost = engine.PreemptionCostNodeSec(id, now);
+    c.cost = ctx.PreemptionCostNodeSec(id, now);
     c.malleable = r->malleable_mode;
     candidates.push_back(c);
   }
@@ -23,6 +23,11 @@ std::vector<PreemptionCandidate> ListPreemptionCandidates(const ExecutionEngine&
               return a.id < b.id;
             });
   return candidates;
+}
+
+std::vector<PreemptionCandidate> ListPreemptionCandidates(const ExecutionEngine& engine,
+                                                          SimTime now) {
+  return ListPreemptionCandidates(EngineMechanismView(engine), now);
 }
 
 std::vector<PreemptionCandidate> SelectVictims(

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "core/mechanism_context.h"
 #include "sched/batch_scheduler.h"
 
 namespace hs {
@@ -21,6 +22,8 @@ struct PreemptionCandidate {
 };
 
 /// All preemptable running jobs, ascending by (cost, id).
+std::vector<PreemptionCandidate> ListPreemptionCandidates(const MechanismContext& ctx,
+                                                          SimTime now);
 std::vector<PreemptionCandidate> ListPreemptionCandidates(const ExecutionEngine& engine,
                                                           SimTime now);
 

@@ -1,9 +1,68 @@
 #include "exp/scenario.h"
 
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "workload/swf.h"
+
 namespace hs {
 
+namespace {
+
+/// Imports config.swf_path, truncates to the configured horizon, and
+/// normalizes ids so they stay dense (JobRecord ids index the trace).
+Trace LoadSwfTrace(const ScenarioConfig& config) {
+  std::ifstream in(config.swf_path);
+  if (!in) {
+    throw std::invalid_argument("cannot open SWF trace '" + config.swf_path + "'");
+  }
+  Trace trace = ImportSwf(in, config.theta.num_nodes);
+  std::stable_sort(trace.jobs.begin(), trace.jobs.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  if (!trace.jobs.empty() && config.theta.weeks > 0) {
+    const SimTime horizon =
+        trace.jobs.front().submit_time +
+        static_cast<SimTime>(config.theta.weeks) * kWeek;
+    trace.jobs.erase(std::remove_if(trace.jobs.begin(), trace.jobs.end(),
+                                    [horizon](const JobRecord& j) {
+                                      return j.submit_time >= horizon;
+                                    }),
+                     trace.jobs.end());
+  }
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    trace.jobs[i].id = static_cast<JobId>(i);
+  }
+  std::string stem = config.swf_path;
+  const auto slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  trace.name = "swf-" + stem;
+  return trace;
+}
+
+}  // namespace
+
+std::string ValidateScenario(const ScenarioConfig& config) {
+  if (config.swf_required && config.swf_path.empty()) {
+    return "scenario preset 'swf' requires the swf=<path> override";
+  }
+  if (!config.swf_path.empty()) {
+    std::ifstream in(config.swf_path);
+    if (!in) return "cannot open SWF trace '" + config.swf_path + "'";
+  }
+  return {};
+}
+
 Trace BuildScenarioTrace(const ScenarioConfig& config, std::uint64_t seed) {
-  Trace trace = GenerateThetaTrace(config.theta, seed);
+  // Only the cheap structural check here; LoadSwfTrace reports unreadable
+  // files itself, so the trace file is opened exactly once per build.
+  if (config.swf_required && config.swf_path.empty()) {
+    throw std::invalid_argument("scenario preset 'swf' requires the swf=<path> override");
+  }
+  Trace trace = config.swf_path.empty() ? GenerateThetaTrace(config.theta, seed)
+                                        : LoadSwfTrace(config);
   Rng rng(seed ^ 0x5CE7A110C0FFEE11ULL);
   AssignJobTypes(trace, config.types, rng);
   AssignNotices(trace, NoticeMixByName(config.notice_mix), config.notice, rng);
@@ -42,6 +101,14 @@ NamedRegistry<ScenarioPreset>& ScenarioRegistry() {
     });
     r->Register("tiny", [](int weeks, const std::string& mix) {
       return ScaledScenario(weeks, mix, 512, 20);
+    });
+    // Real-trace replay: the file arrives through the `swf=` override; the
+    // machine size comes from the SWF header unless `nodes=` overrides it.
+    r->Register("swf", [](int weeks, const std::string& mix) {
+      ScenarioConfig config = MakePaperScenario(weeks, mix);
+      config.theta.num_nodes = 0;  // 0: take MaxNodes from the file header
+      config.swf_required = true;
+      return config;
     });
     return r;
   }();

@@ -19,9 +19,25 @@ struct ScenarioConfig {
   TypeAssignConfig types;
   NoticeModelConfig notice;
   std::string notice_mix = "W5";  // Table III preset name
+
+  /// SWF replay (the "swf" preset): when non-empty, BuildScenarioTrace
+  /// imports this Standard-Workload-Format file (workload/swf.h) instead of
+  /// synthesizing a Theta-like trace, truncates it to `theta.weeks` weeks
+  /// from its first submit, and applies the same per-project type
+  /// assignment and notice mix on top. Set via the `swf=` SimSpec override
+  /// (CLI: --swf=path; inside one-string specs '/' is escaped as %2F).
+  std::string swf_path;
+  /// Set by presets that cannot run without swf_path (so a bare
+  /// "preset=swf" spec fails at validation, not mid-experiment).
+  bool swf_required = false;
 };
 
-/// Deterministic in (config, seed).
+/// Empty when the scenario is runnable; otherwise the violated constraint
+/// (missing/unreadable SWF file, missing required swf_path).
+std::string ValidateScenario(const ScenarioConfig& config);
+
+/// Deterministic in (config, seed). Throws std::invalid_argument when
+/// ValidateScenario fails.
 Trace BuildScenarioTrace(const ScenarioConfig& config, std::uint64_t seed);
 
 /// Paper-default scenario with the given horizon.
@@ -35,6 +51,8 @@ using ScenarioPreset = std::function<ScenarioConfig(int weeks, const std::string
 ///   "paper"   - Theta-scale machine (4,392 nodes, 211 projects; Table I)
 ///   "midsize" - 2,048-node machine (the examples' quick-turnaround scale)
 ///   "tiny"    - 512 nodes / 20 projects (test-sized traces)
+///   "swf"     - replay of a real trace supplied via the `swf=` override
+///               (machine size from the file header unless `nodes=` is set)
 /// New workload families register here and become addressable from SimSpec
 /// strings and the CLI.
 NamedRegistry<ScenarioPreset>& ScenarioRegistry();

@@ -161,6 +161,11 @@ const std::vector<OverrideEntry>& OverrideTable() {
              Require(seconds >= 0, "instant", "must be >= 0");
              c.instant_threshold = seconds;
            });
+    scenario("swf", "SWF trace file to replay (preset=swf; '/' written as %2F in specs)",
+             [](const std::string& v, ScenarioConfig& s) {
+               Require(!v.empty(), "swf", "must be a file path");
+               s.swf_path = v;
+             });
     config("failures", "inject hardware failures (bool)",
            [](const std::string& v, HybridConfig& c) {
              c.engine.inject_failures = ParseBoolValue("failures", v);
@@ -219,6 +224,47 @@ std::uint64_t ParseSeedValue(const std::string& value) {
   return static_cast<std::uint64_t>(seed);
 }
 
+// Override values live inside '/'-separated spec strings, so a literal '/'
+// (file paths) is written %2F and a literal '%' as %25. Encoding is the
+// identity for every value without those characters, keeping existing specs
+// byte-stable.
+std::string EncodeOverrideValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '%') {
+      out += "%25";
+    } else if (c == '/') {
+      out += "%2F";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string DecodeOverrideValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '%' && i + 2 < value.size()) {
+      const std::string code = value.substr(i + 1, 2);
+      if (code == "2F" || code == "2f") {
+        out += '/';
+        i += 2;
+        continue;
+      }
+      if (code == "25") {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += value[i];
+  }
+  return out;
+}
+
 std::string Trimmed(const std::string& text) {
   std::size_t begin = 0, end = text.size();
   while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
@@ -254,7 +300,9 @@ std::string SimSpec::ToString() const {
   if (preset != "paper") out += "/preset=" + preset;
   if (weeks != 1) out += "/weeks=" + std::to_string(weeks);
   if (seed != 1) out += "/seed=" + std::to_string(seed);
-  for (const auto& [key, value] : overrides) out += "/" + key + "=" + value;
+  for (const auto& [key, value] : overrides) {
+    out += "/" + key + "=" + EncodeOverrideValue(value);
+  }
   return out;
 }
 
@@ -316,7 +364,10 @@ SimSpec SimSpec::Parse(const std::string& text) {
     } else if (key == "seed") {
       spec.seed = ParseSeedValue(value);
     } else {
-      spec.SetOverride(key, value);
+      // Spec strings carry '/'-escaped values ('%2F'); CLI flags and direct
+      // SetOverride calls stay verbatim. Values are stored decoded and
+      // ToString re-encodes, so Parse(ToString()) round-trips.
+      spec.SetOverride(key, DecodeOverrideValue(value));
     }
   }
   return spec;
@@ -378,6 +429,8 @@ ScenarioConfig SimSpec::BuildScenario() const {
     const OverrideEntry& entry = FindOverride(key);
     if (entry.info.scenario) entry.apply(value, &scenario, nullptr);
   }
+  const std::string error = ValidateScenario(scenario);
+  if (!error.empty()) throw std::invalid_argument(error);
   return scenario;
 }
 

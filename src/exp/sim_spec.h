@@ -13,12 +13,16 @@
 //
 //   CUP&SPAA/FCFS/W5/seed=7
 //   baseline/SJF/W2/preset=midsize/weeks=4/ckpt_scale=0.5
+//   N&PAA/FCFS/W5/preset=swf/swf=%2Fdata%2Ftheta.swf
 //
 // The first three segments are positional (later ones may be omitted and
 // default); every 'key=value' segment is either a field (preset, weeks,
-// seed) or a registered config override (see KnownOverrides()). Parsing is
-// strict: unknown mechanisms/policies/presets/mixes/keys and malformed
-// values throw std::invalid_argument, and Parse(spec.ToString()) == spec.
+// seed) or a registered config override (see KnownOverrides()). Override
+// values containing '/' (file paths) are written %2F ('%' as %25) inside
+// spec strings; CLI flags and SetOverride also accept them verbatim.
+// Parsing is strict: unknown mechanisms/policies/presets/mixes/keys and
+// malformed values throw std::invalid_argument, and
+// Parse(spec.ToString()) == spec.
 #pragma once
 
 #include <cstdint>

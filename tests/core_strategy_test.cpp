@@ -1,0 +1,554 @@
+// The behavioral mechanism plugin layer: every NoticeStrategy /
+// ArrivalStrategy hook unit-tested against a MechanismContext fake, the
+// registry's factory round-trips (including the CUP-DEFER plugin), and the
+// CUP-DEFER deferral behavior end-to-end through the scheduler.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/advance_notice.h"
+#include "core/arrival.h"
+#include "core/mechanism.h"
+#include "core/mechanism_context.h"
+#include "core/mechanism_strategy.h"
+#include "hybrid_harness.h"
+
+namespace hs {
+namespace {
+
+using test::HybridHarness;
+using test::TestConfig;
+using test::TraceBuilder;
+
+/// Scripted MechanismContext: state is plain maps the test sets up; every
+/// mutation is recorded instead of applied to a real scheduler.
+class FakeMechanismContext final : public MechanismContext {
+ public:
+  // --- scripted state ---
+  std::map<JobId, JobRecord> records;
+  std::map<JobId, RunningJob> running;
+  std::map<JobId, Reservation> open_reservations;
+  std::map<JobId, int> deficits;
+  std::map<JobId, int> drain_pending;
+  std::map<JobId, SimTime> estimated_ends;
+  std::map<JobId, double> preempt_costs;
+  std::map<JobId, SimTime> next_checkpoints;
+  std::map<JobId, int> shrinkable_nodes;
+  std::map<JobId, int> reserved_counts;
+  int free_count = 0;
+
+  // --- recorded mutations ---
+  struct ScheduledEvent {
+    SimTime time;
+    EventKind kind;
+    JobId job;
+    std::int64_t aux;
+  };
+  struct LeaseRecord {
+    JobId od;
+    JobId lender;
+    int nodes;
+    LeaseKind kind;
+  };
+  std::vector<ScheduledEvent> scheduled;
+  std::vector<JobId> preempted;
+  std::vector<std::pair<JobId, JobId>> drained;  // (victim, od)
+  std::vector<std::pair<JobId, int>> shrunk;
+  std::vector<LeaseRecord> leases;
+  std::vector<JobId> gave_to;
+
+  JobRecord& AddRecord(JobId id, JobClass klass, int size,
+                       SimTime predicted = kNever) {
+    JobRecord& rec = records[id];
+    rec.id = id;
+    rec.klass = klass;
+    rec.size = size;
+    rec.min_size = size;
+    rec.predicted_arrival = predicted;
+    rec.setup_time = 10;
+    return rec;
+  }
+
+  RunningJob& AddRunning(JobId id, int alloc, bool malleable, SimTime est_end,
+                         double cost) {
+    RunningJob& r = running[id];
+    r.id = id;
+    r.rec = &records.at(id);
+    r.alloc = alloc;
+    r.malleable_mode = malleable;
+    estimated_ends[id] = est_end;
+    preempt_costs[id] = cost;
+    return r;
+  }
+
+  // --- queries ---
+  const JobRecord& record(JobId id) const override { return records.at(id); }
+  std::vector<JobId> RunningIds() const override {
+    std::vector<JobId> ids;
+    for (const auto& [id, r] : running) ids.push_back(id);
+    return ids;
+  }
+  const RunningJob* Running(JobId id) const override {
+    const auto it = running.find(id);
+    return it == running.end() ? nullptr : &it->second;
+  }
+  bool IsPreemptable(JobId id) const override {
+    const RunningJob* r = Running(id);
+    return r != nullptr && !r->draining && !records.at(id).is_on_demand();
+  }
+  SimTime EstimatedEnd(JobId id, SimTime) const override {
+    const auto it = estimated_ends.find(id);
+    return it == estimated_ends.end() ? kNever : it->second;
+  }
+  double PreemptionCostNodeSec(JobId id, SimTime) const override {
+    const auto it = preempt_costs.find(id);
+    return it == preempt_costs.end() ? 0.0 : it->second;
+  }
+  SimTime NextCheckpointCompletion(JobId id, SimTime) const override {
+    const auto it = next_checkpoints.find(id);
+    return it == next_checkpoints.end() ? kNever : it->second;
+  }
+  int ShrinkableNodes(JobId id) const override {
+    const auto it = shrinkable_nodes.find(id);
+    return it == shrinkable_nodes.end() ? 0 : it->second;
+  }
+  int FreeCount() const override { return free_count; }
+  int ReservedCount(JobId od) const override {
+    const auto it = reserved_counts.find(od);
+    return it == reserved_counts.end() ? 0 : it->second;
+  }
+  bool HasReservation(JobId od) const override {
+    return open_reservations.count(od) > 0;
+  }
+  const Reservation* FindReservation(JobId od) const override {
+    const auto it = open_reservations.find(od);
+    return it == open_reservations.end() ? nullptr : &it->second;
+  }
+  int ReservationDeficit(JobId od) const override {
+    const auto it = deficits.find(od);
+    return it == deficits.end() ? 0 : it->second;
+  }
+  int PendingDrainNodes(JobId od) const override {
+    const auto it = drain_pending.find(od);
+    return it == drain_pending.end() ? 0 : it->second;
+  }
+  SimTime drain_warning() const override { return 2 * kMinute; }
+  SimTime reservation_timeout() const override { return 10 * kMinute; }
+  Collector& collector() override { return collector_; }
+
+  // --- recorded mutations ---
+  void OpenReservation(JobId od, int target, SimTime notice_time,
+                       SimTime predicted_arrival) override {
+    Reservation r;
+    r.od = od;
+    r.target = target;
+    r.notice_time = notice_time;
+    r.predicted_arrival = predicted_arrival;
+    open_reservations[od] = r;
+    deficits[od] = target - ReservedCount(od);
+  }
+  EventId Schedule(SimTime time, EventKind kind, JobId job, std::int64_t aux) override {
+    scheduled.push_back({time, kind, job, aux});
+    return static_cast<EventId>(scheduled.size());
+  }
+  std::vector<int> PreemptNow(JobId victim, SimTime, PreemptKind) override {
+    preempted.push_back(victim);
+    return std::vector<int>(static_cast<std::size_t>(running.at(victim).alloc), 0);
+  }
+  void BeginDrain(JobId victim, JobId od, SimTime) override {
+    drained.emplace_back(victim, od);
+    running.at(victim).draining = true;
+    running.at(victim).drain_for = od;
+  }
+  std::vector<int> ShrinkBy(JobId victim, int nodes, SimTime) override {
+    shrunk.emplace_back(victim, nodes);
+    return std::vector<int>(static_cast<std::size_t>(nodes), 0);
+  }
+  void RecordLease(JobId od, JobId lender, int nodes, LeaseKind kind) override {
+    leases.push_back({od, lender, nodes, kind});
+  }
+  void GiveTo(JobId od) override { gave_to.push_back(od); }
+
+ private:
+  Collector collector_{5 * kMinute};
+};
+
+// --- CollectNotices (CUA) ---------------------------------------------------
+
+TEST(CollectNoticesTest, OpensReservationAndSchedulesTimeout) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, /*predicted=*/5000);
+  CollectNotices cua;
+  cua.OnNotice(ctx, 7, 1000);
+  ASSERT_TRUE(ctx.HasReservation(7));
+  EXPECT_EQ(ctx.FindReservation(7)->target, 32);
+  EXPECT_EQ(ctx.FindReservation(7)->notice_time, 1000);
+  ASSERT_EQ(ctx.scheduled.size(), 1u);
+  EXPECT_EQ(ctx.scheduled[0].kind, EventKind::kReservationTimeout);
+  EXPECT_EQ(ctx.scheduled[0].time, 5000 + 10 * kMinute);
+  EXPECT_EQ(ctx.scheduled[0].job, 7);
+  EXPECT_TRUE(ctx.preempted.empty());  // CUA never preempts
+}
+
+TEST(CollectNoticesTest, DuplicateNoticeIsIgnored) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  CollectNotices cua;
+  cua.OnNotice(ctx, 7, 1000);
+  cua.OnNotice(ctx, 7, 1100);
+  EXPECT_EQ(ctx.scheduled.size(), 1u);  // no second timeout
+}
+
+// --- PrepareNotices (CUP) ---------------------------------------------------
+
+TEST(PrepareNoticesTest, PlansPreemptionForTheDeficit) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  ctx.AddRecord(0, JobClass::kRigid, 64);
+  ctx.AddRunning(0, 64, /*malleable=*/false, /*est_end=*/50000, /*cost=*/10.0);
+  PrepareNotices cup;
+  cup.OnNotice(ctx, 7, 1000);
+  // Timeout + one planned preemption (no checkpoint: fires at the predicted
+  // arrival itself).
+  ASSERT_EQ(ctx.scheduled.size(), 2u);
+  EXPECT_EQ(ctx.scheduled[1].kind, EventKind::kPlannedPreempt);
+  EXPECT_EQ(ctx.scheduled[1].job, 0);
+  EXPECT_EQ(ctx.scheduled[1].aux, 7);
+  EXPECT_EQ(ctx.scheduled[1].time, 5000);
+}
+
+TEST(PrepareNoticesTest, SkipsPlanningWhenReleasesCover) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  ctx.AddRecord(0, JobClass::kRigid, 64);
+  // Ends before the predicted arrival: counted as an upcoming release.
+  ctx.AddRunning(0, 64, false, /*est_end=*/4000, 10.0);
+  PrepareNotices cup;
+  cup.OnNotice(ctx, 7, 1000);
+  ASSERT_EQ(ctx.scheduled.size(), 1u);  // only the timeout
+  EXPECT_EQ(ctx.scheduled[0].kind, EventKind::kReservationTimeout);
+}
+
+TEST(PrepareNoticesTest, PlannedPreemptExecutesOnRigidVictim) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  ctx.AddRecord(0, JobClass::kRigid, 64);
+  ctx.AddRunning(0, 64, false, 50000, 10.0);
+  ctx.OpenReservation(7, 32, 1000, 5000);  // deficit 32
+  PrepareNotices cup;
+  cup.OnPlannedPreempt(ctx, 0, 7, 5000);
+  ASSERT_EQ(ctx.preempted.size(), 1u);
+  EXPECT_EQ(ctx.preempted[0], 0);
+  ASSERT_EQ(ctx.leases.size(), 1u);
+  EXPECT_EQ(ctx.leases[0].kind, LeaseKind::kPlanPreempted);
+  EXPECT_EQ(ctx.leases[0].lender, 0);
+  EXPECT_EQ(ctx.leases[0].nodes, 64);
+  EXPECT_EQ(ctx.gave_to, std::vector<JobId>{7});
+}
+
+TEST(PrepareNoticesTest, PlannedPreemptDrainsMalleableVictim) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  ctx.AddRecord(0, JobClass::kMalleable, 64);
+  ctx.AddRunning(0, 64, /*malleable=*/true, 50000, 10.0);
+  ctx.OpenReservation(7, 32, 1000, 5000);
+  PrepareNotices cup;
+  cup.OnPlannedPreempt(ctx, 0, 7, 4880);
+  EXPECT_TRUE(ctx.preempted.empty());
+  ASSERT_EQ(ctx.drained.size(), 1u);
+  EXPECT_EQ(ctx.drained[0], (std::pair<JobId, JobId>{0, 7}));
+  EXPECT_TRUE(ctx.leases.empty());  // recorded when the warning expires
+}
+
+TEST(PrepareNoticesTest, PlannedPreemptValidatesStaleness) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  ctx.AddRecord(0, JobClass::kRigid, 64);
+  ctx.AddRunning(0, 64, false, 50000, 10.0);
+  PrepareNotices cup;
+  // No reservation at all: stale event.
+  cup.OnPlannedPreempt(ctx, 0, 7, 5000);
+  EXPECT_TRUE(ctx.preempted.empty());
+  // Arrived already: the arrival policy owns the deficit now.
+  ctx.OpenReservation(7, 32, 1000, 5000);
+  ctx.open_reservations[7].arrived = true;
+  cup.OnPlannedPreempt(ctx, 0, 7, 5000);
+  EXPECT_TRUE(ctx.preempted.empty());
+  // Covered: nothing to do.
+  ctx.open_reservations[7].arrived = false;
+  ctx.deficits[7] = 0;
+  cup.OnPlannedPreempt(ctx, 0, 7, 5000);
+  EXPECT_TRUE(ctx.preempted.empty());
+}
+
+// --- DeferredPrepareNotices (CUP-DEFER) -------------------------------------
+
+TEST(DeferredPrepareNoticesTest, DefersWhileExpectedReleasesCover) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  ctx.AddRecord(0, JobClass::kRigid, 64);   // the planned victim
+  ctx.AddRecord(1, JobClass::kRigid, 32);   // releases before the arrival
+  ctx.AddRunning(0, 64, false, 50000, 10.0);
+  ctx.AddRunning(1, 32, false, /*est_end=*/4500, 99.0);
+  ctx.OpenReservation(7, 32, 1000, 5000);   // deficit 32 == expected release
+  DeferredPrepareNotices defer;
+  defer.OnPlannedPreempt(ctx, 0, 7, 2000);
+  EXPECT_TRUE(ctx.preempted.empty());
+  // A re-check was scheduled halfway to the predicted arrival instead.
+  ASSERT_EQ(ctx.scheduled.size(), 1u);
+  EXPECT_EQ(ctx.scheduled[0].kind, EventKind::kPlannedPreempt);
+  EXPECT_EQ(ctx.scheduled[0].time, 2000 + (5000 - 2000) / 2);
+  EXPECT_EQ(ctx.scheduled[0].job, 0);
+  EXPECT_EQ(ctx.scheduled[0].aux, 7);
+}
+
+TEST(DeferredPrepareNoticesTest, ExecutesWhenForecastFallsShort) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  ctx.AddRecord(0, JobClass::kRigid, 64);
+  ctx.AddRunning(0, 64, false, 50000, 10.0);  // nothing else releases in time
+  ctx.OpenReservation(7, 32, 1000, 5000);
+  DeferredPrepareNotices defer;
+  defer.OnPlannedPreempt(ctx, 0, 7, 2000);
+  ASSERT_EQ(ctx.preempted.size(), 1u);
+  EXPECT_EQ(ctx.preempted[0], 0);
+  EXPECT_TRUE(ctx.scheduled.empty());  // no re-check: it acted
+}
+
+TEST(DeferredPrepareNoticesTest, StopsDeferringInsideTheWarningWindow) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32, 5000);
+  ctx.AddRecord(0, JobClass::kRigid, 64);
+  ctx.AddRecord(1, JobClass::kRigid, 32);
+  ctx.AddRunning(0, 64, false, 50000, 10.0);
+  ctx.AddRunning(1, 32, false, 4990, 99.0);
+  ctx.OpenReservation(7, 32, 1000, 5000);
+  DeferredPrepareNotices defer;
+  // 4900 + 120s warning >= 5000: no slack left, must act even though the
+  // forecast still covers.
+  defer.OnPlannedPreempt(ctx, 0, 7, 4900);
+  ASSERT_EQ(ctx.preempted.size(), 1u);
+  EXPECT_EQ(ctx.preempted[0], 0);
+}
+
+// --- PreemptAtArrival (PAA) -------------------------------------------------
+
+TEST(PreemptAtArrivalTest, PreemptsCheapestVictimsFirst) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 24);
+  ctx.AddRecord(0, JobClass::kRigid, 16);
+  ctx.AddRecord(1, JobClass::kRigid, 16);
+  ctx.AddRecord(2, JobClass::kRigid, 16);
+  ctx.AddRunning(0, 16, false, 50000, /*cost=*/30.0);
+  ctx.AddRunning(1, 16, false, 50000, /*cost=*/10.0);
+  ctx.AddRunning(2, 16, false, 50000, /*cost=*/20.0);
+  ctx.deficits[7] = 24;
+  PreemptAtArrival paa;
+  paa.OnArrival(ctx, 7, 1000);
+  // 24 needed: the two cheapest (1 then 2) cover it; 0 survives.
+  EXPECT_EQ(ctx.preempted, (std::vector<JobId>{1, 2}));
+  ASSERT_EQ(ctx.leases.size(), 2u);
+  EXPECT_EQ(ctx.leases[0].kind, LeaseKind::kPreempted);
+}
+
+TEST(PreemptAtArrivalTest, InsufficientSupplyPreemptsNothing) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 64);
+  ctx.AddRecord(0, JobClass::kRigid, 16);
+  ctx.AddRunning(0, 16, false, 50000, 10.0);
+  ctx.deficits[7] = 64;
+  PreemptAtArrival paa;
+  paa.OnArrival(ctx, 7, 1000);
+  EXPECT_TRUE(ctx.preempted.empty());  // §III-B2: wait for releases instead
+  EXPECT_TRUE(ctx.drained.empty());
+}
+
+TEST(PreemptAtArrivalTest, MalleableVictimsAreDrainedNotKilled) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 16);
+  ctx.AddRecord(0, JobClass::kMalleable, 32);
+  ctx.AddRunning(0, 32, /*malleable=*/true, 50000, 10.0);
+  ctx.deficits[7] = 16;
+  PreemptAtArrival paa;
+  paa.OnArrival(ctx, 7, 1000);
+  EXPECT_TRUE(ctx.preempted.empty());
+  EXPECT_EQ(ctx.drained, (std::vector<std::pair<JobId, JobId>>{{0, 7}}));
+}
+
+TEST(PreemptAtArrivalTest, PendingDrainsNetOutOfTheDeficit) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 16);
+  ctx.AddRecord(0, JobClass::kRigid, 16);
+  ctx.AddRunning(0, 16, false, 50000, 10.0);
+  ctx.deficits[7] = 16;
+  ctx.drain_pending[7] = 16;  // a warned drain already covers the request
+  PreemptAtArrival paa;
+  paa.OnArrival(ctx, 7, 1000);
+  EXPECT_TRUE(ctx.preempted.empty());
+}
+
+// --- ShrinkPreemptAtArrival (SPAA) ------------------------------------------
+
+TEST(ShrinkPreemptAtArrivalTest, ShrinksEvenlyWhenSupplyCovers) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 20);
+  ctx.AddRecord(0, JobClass::kMalleable, 64);
+  ctx.AddRecord(1, JobClass::kMalleable, 64);
+  ctx.AddRunning(0, 64, true, 50000, 10.0);
+  ctx.AddRunning(1, 64, true, 50000, 10.0);
+  ctx.shrinkable_nodes[0] = 30;
+  ctx.shrinkable_nodes[1] = 10;
+  ctx.deficits[7] = 20;
+  ShrinkPreemptAtArrival spaa;
+  spaa.OnArrival(ctx, 7, 1000);
+  EXPECT_TRUE(ctx.preempted.empty());
+  ASSERT_EQ(ctx.shrunk.size(), 2u);
+  int total = 0;
+  for (const auto& [id, amount] : ctx.shrunk) total += amount;
+  EXPECT_EQ(total, 20);
+  ASSERT_EQ(ctx.leases.size(), 2u);
+  EXPECT_EQ(ctx.leases[0].kind, LeaseKind::kShrunk);
+  EXPECT_EQ(ctx.gave_to, std::vector<JobId>{7});
+}
+
+TEST(ShrinkPreemptAtArrivalTest, FallsBackToPreemptionWhenSupplyShort) {
+  FakeMechanismContext ctx;
+  ctx.AddRecord(7, JobClass::kOnDemand, 32);
+  ctx.AddRecord(0, JobClass::kMalleable, 64);
+  ctx.AddRecord(1, JobClass::kRigid, 32);
+  ctx.AddRunning(0, 64, true, 50000, 20.0);
+  ctx.AddRunning(1, 32, false, 50000, 10.0);
+  ctx.shrinkable_nodes[0] = 8;  // cannot cover 32
+  ctx.deficits[7] = 32;
+  ShrinkPreemptAtArrival spaa;
+  spaa.OnArrival(ctx, 7, 1000);
+  EXPECT_TRUE(ctx.shrunk.empty());
+  // PAA fallback picked the cheapest cover (job 1, 32 nodes).
+  EXPECT_EQ(ctx.preempted, std::vector<JobId>{1});
+}
+
+// --- runtime resolution and registry ----------------------------------------
+
+TEST(MechanismRuntimeTest, BaselineHasNoArrivalStrategy) {
+  const MechanismRuntime rt = MakeMechanismRuntime(BaselineMechanism());
+  EXPECT_TRUE(rt.baseline);
+  EXPECT_FALSE(rt.uses_notices);
+  EXPECT_EQ(rt.arrival, nullptr);
+}
+
+TEST(MechanismRuntimeTest, EnumPairsResolveToBuiltInStrategies) {
+  const MechanismRuntime rt =
+      MakeMechanismRuntime({NoticePolicy::kCup, ArrivalPolicy::kSpaa});
+  EXPECT_FALSE(rt.baseline);
+  EXPECT_TRUE(rt.uses_notices);
+  ASSERT_NE(rt.notice, nullptr);
+  ASSERT_NE(rt.arrival, nullptr);
+  EXPECT_STREQ(rt.notice->name(), "CUP");
+  EXPECT_STREQ(rt.arrival->name(), "SPAA");
+}
+
+TEST(MechanismRuntimeTest, RegisteredFactoriesWinForPlugins) {
+  const MechanismRuntime rt = MakeMechanismRuntime(ParseMechanism("CUP-DEFER"));
+  EXPECT_FALSE(rt.baseline);
+  EXPECT_TRUE(rt.uses_notices);
+  ASSERT_NE(rt.notice, nullptr);
+  EXPECT_STREQ(rt.notice->name(), "CUP-DEFER");
+  ASSERT_NE(rt.arrival, nullptr);
+  EXPECT_STREQ(rt.arrival->name(), "PAA");
+}
+
+TEST(MechanismRuntimeTest, UnregisteredCustomNameThrows) {
+  Mechanism bogus;
+  bogus.custom = "no-such-mechanism";
+  EXPECT_THROW(MakeMechanismRuntime(bogus), std::invalid_argument);
+}
+
+TEST(MechanismRegistryTest, EveryRegisteredMechanismRoundTrips) {
+  for (const std::string& name : MechanismNames()) {
+    const Mechanism m = ParseMechanism(name);
+    EXPECT_EQ(CanonicalMechanismName(ToString(m)), name) << name;
+    EXPECT_EQ(ParseMechanism(ToString(m)), m) << name;
+  }
+}
+
+TEST(MechanismRegistryTest, CupDeferIsRegisteredWithMetadata) {
+  ASSERT_TRUE(MechanismRegistry().Contains("CUP-DEFER"));
+  const Mechanism m = ParseMechanism("cup-defer");
+  EXPECT_EQ(m.custom, "CUP-DEFER");
+  EXPECT_FALSE(m.is_baseline());
+  EXPECT_TRUE(m.uses_notices());
+  EXPECT_EQ(ToString(m), "CUP-DEFER");
+  EXPECT_EQ(ValidateMechanism(m), "");
+}
+
+TEST(MechanismValidationTest, ErrorsNameTheOffendingToken) {
+  const std::string queue_with_notice =
+      ValidateMechanism({NoticePolicy::kCua, ArrivalPolicy::kQueue});
+  EXPECT_NE(queue_with_notice.find("CUA"), std::string::npos);
+  Mechanism bogus;
+  bogus.custom = "no-such-mechanism";
+  EXPECT_NE(ValidateMechanism(bogus).find("no-such-mechanism"), std::string::npos);
+  EXPECT_EQ(ValidateMechanism(BaselineMechanism()), "");
+  EXPECT_EQ(ValidateMechanism({NoticePolicy::kCup, ArrivalPolicy::kPaa}), "");
+}
+
+// --- CUP-DEFER through the full scheduler -----------------------------------
+
+/// A machine where CUP's plan turns stale: at the notice nothing is
+/// expected to release in time, so a preemption is planned — but an
+/// unexpectedly early completion (job D, estimate far beyond the predicted
+/// arrival) plus a forecast release (job B) cover the request before the
+/// plan fires. CUP preempts anyway; CUP-DEFER sees the covered forecast and
+/// lets the victim run.
+Trace DeferScenario() {
+  TraceBuilder builder(128);
+  builder.AddRigid(0, 64, 10 * kHour, 100, 20 * kHour);  // A: the planned victim
+  builder.AddRigid(0, 32, 8400, 0, 8800);                // B: forecast release
+  builder.AddOnDemand(0, 32, 7210, 0, 20000);            // D: early completion
+  const SimTime notice = 2 * kHour;
+  const SimTime predicted = notice + 30 * kMinute;
+  builder.AddOnDemand(predicted, 64, 500, 0, 600, NoticeClass::kAccurate, notice,
+                      predicted);
+  return std::move(builder).Build();
+}
+
+HybridConfig DeferConfig(const std::string& mechanism) {
+  HybridConfig config = TestConfig(ParseMechanism(mechanism));
+  // Short checkpoint cadence so the planned preemption fires well before
+  // the predicted arrival (as in the CUP tests).
+  config.engine.checkpoint.node_mtbf = 30 * kDay;
+  config.engine.checkpoint.min_interval = 10 * kMinute;
+  return config;
+}
+
+TEST(CupDeferTest, AvoidsThePreemptionCupMakes) {
+  HybridHarness cup(DeferScenario(), DeferConfig("CUP&PAA"));
+  cup.Run();
+  const SimResult cup_result = cup.Finalize();
+
+  HybridHarness defer(DeferScenario(), DeferConfig("CUP-DEFER"));
+  defer.Run();
+  const SimResult defer_result = defer.Finalize();
+
+  // Both serve the on-demand job instantly...
+  EXPECT_DOUBLE_EQ(cup_result.od_instant_rate_strict, 1.0);
+  EXPECT_DOUBLE_EQ(defer_result.od_instant_rate_strict, 1.0);
+  EXPECT_EQ(cup_result.jobs_completed, 4u);
+  EXPECT_EQ(defer_result.jobs_completed, 4u);
+  // ...but CUP executes its stale plan while CUP-DEFER lets the victim run.
+  EXPECT_GE(cup_result.preemptions, 1u);
+  EXPECT_EQ(defer_result.preemptions, 0u);
+  EXPECT_LT(defer_result.lost_node_hours, cup_result.lost_node_hours + 1e-9);
+}
+
+TEST(CupDeferTest, RunsEndToEndFromASpecString) {
+  const SimResult r = RunSpec("CUP-DEFER/FCFS/W5/preset=tiny/weeks=1/seed=3");
+  EXPECT_GT(r.jobs_completed, 0u);
+  // Deferral trades a little instant-start for fewer preemptions; it must
+  // still serve a solid share of on-demand jobs immediately.
+  EXPECT_GT(r.od_instant_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace hs

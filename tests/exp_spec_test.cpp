@@ -4,11 +4,32 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "core/mechanism.h"
 #include "sched/policy.h"
 
 namespace hs {
 namespace {
+
+/// A tiny valid SWF file on disk (removed at destruction) so specs using
+/// the "swf" replay preset validate.
+class TempSwfFile {
+ public:
+  TempSwfFile() : path_(::testing::TempDir() + "simspec_test_trace.swf") {
+    std::ofstream out(path_);
+    out << "; MaxNodes: 64\n";
+    // job submit wait run used_procs avg_cpu mem req_procs req_time ...
+    out << "1 0 0 600 16 -1 -1 16 900 -1 1 1 1 -1 -1 -1 -1 -1\n";
+    out << "2 100 0 300 8 -1 -1 8 400 -1 1 1 1 -1 -1 -1 -1 -1\n";
+  }
+  ~TempSwfFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 TEST(SimSpecTest, DefaultsRoundTrip) {
   const SimSpec spec;
@@ -28,6 +49,7 @@ TEST(SimSpecTest, ParsesTheReadmeExample) {
 }
 
 TEST(SimSpecTest, RoundTripsEveryMechanismPolicyPresetCombination) {
+  const TempSwfFile swf;
   for (const std::string& mechanism : MechanismNames()) {
     for (const std::string& policy : PolicyNames()) {
       for (const std::string& preset : ScenarioPresetNames()) {
@@ -40,6 +62,8 @@ TEST(SimSpecTest, RoundTripsEveryMechanismPolicyPresetCombination) {
           spec.weeks = 3;
           spec.seed = 11;
           spec.overrides["ckpt_scale"] = "0.5";
+          // The replay preset needs its trace file to validate.
+          if (preset == "swf") spec.SetOverride("swf", swf.path());
           EXPECT_EQ(SimSpec::Parse(spec.ToString()), spec)
               << "spec: " << spec.ToString();
           EXPECT_EQ(spec.Validate(), "") << "spec: " << spec.ToString();

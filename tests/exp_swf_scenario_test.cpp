@@ -1,0 +1,129 @@
+// The "swf" scenario preset: replaying a real-trace SWF file from a
+// SimSpec, with the path carried by the `swf=` override (escaped %2F inside
+// one-string specs), horizon truncation, and strict validation when the
+// file is missing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "exp/session.h"
+#include "exp/sim_spec.h"
+
+namespace hs {
+namespace {
+
+class SwfScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "swf_scenario_test.swf";
+    std::ofstream out(path_);
+    out << "; MaxNodes: 96\n";
+    // job submit wait run used avg_cpu mem req_procs req_time mem_req
+    // status uid gid app queue partition preceding think
+    out << "1 0 0 3600 32 -1 -1 32 4000 -1 1 1 1 -1 -1 -1 -1 -1\n";
+    out << "2 600 0 1800 16 -1 -1 16 2000 -1 1 1 2 -1 -1 -1 -1 -1\n";
+    out << "3 1200 0 7200 48 -1 -1 48 8000 -1 1 1 2 -1 -1 -1 -1 -1\n";
+    out << "4 2000 0 900 8 -1 -1 8 1000 -1 1 1 3 -1 -1 -1 -1 -1\n";
+    // Beyond a 1-week horizon from the first submit: truncated away.
+    out << "5 700000 0 900 8 -1 -1 8 1000 -1 1 1 3 -1 -1 -1 -1 -1\n";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(SwfScenarioTest, PresetWithoutPathFailsValidation) {
+  SimSpec spec;
+  spec.preset = "swf";
+  const std::string error = spec.Validate();
+  EXPECT_NE(error.find("swf"), std::string::npos) << error;
+  EXPECT_THROW(spec.BuildScenario(), std::invalid_argument);
+}
+
+TEST_F(SwfScenarioTest, MissingFileFailsValidation) {
+  SimSpec spec;
+  spec.preset = "swf";
+  spec.SetOverride("swf", "/no/such/file.swf");
+  EXPECT_NE(spec.Validate().find("/no/such/file.swf"), std::string::npos);
+}
+
+TEST_F(SwfScenarioTest, ReplaysTheFileWithTypesAndNotices) {
+  SimSpec spec;
+  spec.preset = "swf";
+  spec.SetOverride("swf", path_);
+  ASSERT_EQ(spec.Validate(), "");
+  const Trace trace = spec.BuildTrace();
+  EXPECT_EQ(trace.num_nodes, 96);       // from the file header
+  ASSERT_EQ(trace.jobs.size(), 4u);     // job 5 is beyond the 1-week horizon
+  EXPECT_EQ(trace.Validate(), "");
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(trace.jobs[i].id, static_cast<JobId>(i));  // ids stay dense
+  }
+  EXPECT_NE(trace.name.find("swf"), std::string::npos);
+  // Deterministic in the seed.
+  const Trace again = spec.BuildTrace();
+  ASSERT_EQ(again.jobs.size(), trace.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(again.jobs[i].klass, trace.jobs[i].klass);
+    EXPECT_EQ(again.jobs[i].submit_time, trace.jobs[i].submit_time);
+  }
+}
+
+TEST_F(SwfScenarioTest, NodesOverrideBeatsTheHeader) {
+  SimSpec spec;
+  spec.preset = "swf";
+  spec.SetOverride("swf", path_);
+  spec.SetOverride("nodes", "128");
+  EXPECT_EQ(spec.BuildTrace().num_nodes, 128);
+}
+
+TEST_F(SwfScenarioTest, SpecStringRoundTripsWithEscapedPath) {
+  SimSpec spec;
+  spec.preset = "swf";
+  spec.seed = 5;
+  spec.SetOverride("swf", path_);
+  const std::string text = spec.ToString();
+  // The path's slashes are escaped so the spec stays '/'-separated.
+  EXPECT_EQ(text.find(path_), std::string::npos);
+  EXPECT_NE(text.find("%2F"), std::string::npos);
+  const SimSpec reparsed = SimSpec::Parse(text);
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_EQ(reparsed.overrides.at("swf"), path_);  // stored decoded
+}
+
+TEST_F(SwfScenarioTest, CliFlagsCarryThePathVerbatim) {
+  const std::string flag = "--swf=" + path_;
+  const char* argv[] = {"prog", "--spec=baseline/FCFS/W5/preset=swf", flag.c_str()};
+  const CliArgs args(3, argv);
+  const SimSpec spec = SimSpec::FromCli(args);
+  EXPECT_EQ(spec.preset, "swf");
+  EXPECT_EQ(spec.overrides.at("swf"), path_);
+  EXPECT_EQ(spec.Validate(), "");
+}
+
+TEST_F(SwfScenarioTest, RunsEndToEndUnderBaselineAndMechanism) {
+  for (const char* mechanism : {"baseline", "CUA&SPAA"}) {
+    SimSpec spec;
+    spec.mechanism = mechanism;
+    spec.preset = "swf";
+    spec.SetOverride("swf", path_);
+    SimulationSession session(spec);
+    const SimResult r = session.Run();
+    EXPECT_EQ(r.jobs_completed + r.jobs_killed, 4u) << mechanism;
+  }
+}
+
+TEST_F(SwfScenarioTest, SharesTheTraceCacheKeyByPath) {
+  SimSpec a = SimSpec::Parse("baseline/FCFS/W5/preset=swf");
+  a.SetOverride("swf", path_);
+  SimSpec b = SimSpec::Parse("CUA&SPAA/SJF/W5/preset=swf");
+  b.SetOverride("swf", path_);
+  EXPECT_EQ(a.ScenarioKey(), b.ScenarioKey());  // scheduler knobs don't split it
+  SimSpec c = a;
+  c.SetOverride("nodes", "128");
+  EXPECT_NE(a.ScenarioKey(), c.ScenarioKey());
+}
+
+}  // namespace
+}  // namespace hs
