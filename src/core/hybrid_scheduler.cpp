@@ -256,10 +256,9 @@ void HybridScheduler::OnReservationTimeoutEvent(JobId od, SimTime now) {
 }
 
 int HybridScheduler::PendingDrainNodes(JobId od) const {
-  int total = 0;
-  for (const JobId id : engine_.RunningIds()) {
-    const RunningJob* r = engine_.Running(id);
-    if (r->draining && r->drain_for == od) total += r->alloc;
+  int total = 0;  // a sum — map order is irrelevant
+  for (const auto& [id, r] : engine_.running_jobs()) {
+    if (r.draining && r.drain_for == od) total += r.alloc;
   }
   return total;
 }
@@ -337,7 +336,10 @@ void HybridScheduler::TryStartPartitionJobs(SimTime now) {
 }
 
 void HybridScheduler::CleanupReservations() {
-  for (const Reservation& r : reservations_.Snapshot()) {
+  // Collect first, close after: Close() edits the open-reservation vector,
+  // so the ids are gathered over the copy-free view and closed separately.
+  std::vector<JobId> stale;
+  for (const Reservation& r : reservations_.OpenView()) {
     if (r.od < 0) continue;  // the static partition is permanent
     const bool owner_running = engine_.IsRunning(r.od);
     const bool owner_waiting = engine_.IsWaiting(r.od);
@@ -346,14 +348,17 @@ void HybridScheduler::CleanupReservations() {
     // even though the owner is neither queued nor running.
     const bool pre_arrival = rec.is_on_demand() && !r.arrived;
     if (owner_running || (!owner_waiting && !pre_arrival)) {
-      reservations_.Close(r.od);
+      stale.push_back(r.od);
     }
   }
+  for (const JobId od : stale) reservations_.Close(od);
 }
 
 void HybridScheduler::BackfillOnReserved(SimTime now) {
   if (!config_.backfill_on_reserved) return;
-  for (const Reservation& r : reservations_.Snapshot()) {
+  // StartTenant never opens or closes reservations, so the copy-free view
+  // stays valid across the loop.
+  for (const Reservation& r : reservations_.OpenView()) {
     if (r.arrived || r.predicted_arrival == kNever || r.predicted_arrival <= now) {
       continue;
     }
@@ -361,9 +366,10 @@ void HybridScheduler::BackfillOnReserved(SimTime now) {
     if (idle.empty()) continue;
     const SimTime window = r.predicted_arrival - now;
     // Scan the queue in policy order; place jobs that provably finish before
-    // the owner's predicted arrival.
-    const auto policy = MakePolicy(config_.engine.policy);
-    for (const WaitingJob* w : engine_.queue().Ordered(*policy, now)) {
+    // the owner's predicted arrival. Reusing the engine's policy instance
+    // means this view comes straight from the queue's ordered cache when the
+    // scheduling pass above already built it.
+    for (const WaitingJob* w : engine_.queue().Ordered(engine_.policy(), now)) {
       if (idle.empty()) break;
       if (w->boosted) continue;  // never divert a waiting on-demand job
       if (engine_.cluster().ReservedIdleCount(w->id) > 0) continue;  // lender hold
@@ -397,14 +403,12 @@ void HybridScheduler::OnQuiescent(SimTime now, Simulator&) {
   // never accumulate its allocation — with nothing running and no events
   // pending, that is a permanent wedge. Break the holds and retry.
   if (engine_.cluster().busy_count() == 0 && !engine_.queue().empty()) {
-    bool released = false;
-    for (const Reservation& r : reservations_.Snapshot()) {
-      if (!r.absorbing && r.od >= 0) {  // never break the static partition
-        reservations_.Close(r.od);
-        released = true;
-      }
+    std::vector<JobId> holds;
+    for (const Reservation& r : reservations_.OpenView()) {
+      if (!r.absorbing && r.od >= 0) holds.push_back(r.od);  // never break the static partition
     }
-    if (released) {
+    for (const JobId od : holds) reservations_.Close(od);
+    if (!holds.empty()) {
       Absorb();
       engine_.RunSchedulingPass(now);
       CleanupReservations();

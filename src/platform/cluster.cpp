@@ -3,16 +3,23 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace hs {
+
+namespace {
+constexpr int kNotOnFreeList = -1;
+constexpr int kFreeTombstone = -1;
+}  // namespace
 
 Cluster::Cluster(int num_nodes) {
   if (num_nodes <= 0) throw std::invalid_argument("Cluster: num_nodes must be positive");
   running_.assign(num_nodes, kNoJob);
   reserved_.assign(num_nodes, kNoJob);
   free_.reserve(num_nodes);
+  free_pos_.assign(num_nodes, kNotOnFreeList);
   // Push in reverse so PopFree hands out low node ids first (stable tests).
-  for (int n = num_nodes - 1; n >= 0; --n) free_.push_back(n);
+  for (int n = num_nodes - 1; n >= 0; --n) MakeFree(n);
 }
 
 void Cluster::Touch(SimTime now) {
@@ -25,14 +32,44 @@ void Cluster::Touch(SimTime now) {
 
 void Cluster::MakeFree(int node) {
   assert(running_[node] == kNoJob && reserved_[node] == kNoJob);
+  assert(free_pos_[node] == kNotOnFreeList);
+  free_pos_[node] = static_cast<int>(free_.size());
   free_.push_back(node);
+  ++free_live_;
 }
 
 int Cluster::PopFree() {
-  assert(!free_.empty());
+  assert(free_live_ > 0);
+  while (free_.back() == kFreeTombstone) {
+    free_.pop_back();
+    --free_dead_;
+  }
   const int node = free_.back();
   free_.pop_back();
+  free_pos_[node] = kNotOnFreeList;
+  --free_live_;
   return node;
+}
+
+void Cluster::RemoveFromFree(int node) {
+  const int pos = free_pos_[node];
+  assert(pos >= 0 && free_[pos] == node);
+  free_[pos] = kFreeTombstone;
+  free_pos_[node] = kNotOnFreeList;
+  --free_live_;
+  ++free_dead_;
+  if (free_dead_ > free_live_ && free_dead_ > 16) CompactFreeList();
+}
+
+void Cluster::CompactFreeList() {
+  std::size_t write = 0;
+  for (const int node : free_) {
+    if (node == kFreeTombstone) continue;
+    free_pos_[node] = static_cast<int>(write);
+    free_[write++] = node;
+  }
+  free_.resize(write);
+  free_dead_ = 0;
 }
 
 std::vector<int> Cluster::StartFromFree(JobId job, int count) {
@@ -58,11 +95,9 @@ void Cluster::StartOn(JobId job, const std::vector<int>& nodes) {
   for (const int node : nodes) {
     if (reserved_[node] != kNoJob) {
       --reserved_idle_count_;  // reserved-idle -> reserved tenant
+      --reserved_idle_by_od_[reserved_[node]];
     } else {
-      // Node must come off the free list.
-      const auto it = std::find(free_.begin(), free_.end(), node);
-      assert(it != free_.end());
-      free_.erase(it);
+      RemoveFromFree(node);
     }
     running_[node] = job;
     ++busy_count_;
@@ -81,6 +116,7 @@ std::vector<int> Cluster::Finish(JobId job) {
     --busy_count_;
     if (reserved_[node] != kNoJob) {
       ++reserved_idle_count_;  // back to reserved-idle
+      ++reserved_idle_by_od_[reserved_[node]];
     } else {
       MakeFree(node);
     }
@@ -108,6 +144,7 @@ std::vector<int> Cluster::ReleaseSome(JobId job, int count) {
     --busy_count_;
     if (reserved_[node] != kNoJob) {
       ++reserved_idle_count_;
+      ++reserved_idle_by_od_[reserved_[node]];
     } else {
       MakeFree(node);
     }
@@ -126,10 +163,9 @@ void Cluster::AddNodes(JobId job, const std::vector<int>& nodes) {
   for (const int node : nodes) {
     if (reserved_[node] != kNoJob) {
       --reserved_idle_count_;
+      --reserved_idle_by_od_[reserved_[node]];
     } else {
-      const auto fit = std::find(free_.begin(), free_.end(), node);
-      assert(fit != free_.end());
-      free_.erase(fit);
+      RemoveFromFree(node);
     }
     running_[node] = job;
     ++busy_count_;
@@ -162,7 +198,11 @@ int Cluster::ReserveFromFree(JobId od, int count) {
     res.push_back(node);
   }
   reserved_idle_count_ += take;
-  if (res.empty()) reservation_.erase(od);
+  if (res.empty()) {
+    reservation_.erase(od);
+  } else {
+    reserved_idle_by_od_[od] += take;
+  }
   return take;
 }
 
@@ -174,11 +214,10 @@ void Cluster::ReserveSpecific(JobId od, const std::vector<int>& nodes) {
   }
   auto& res = reservation_[od];
   for (const int node : nodes) {
-    const auto it = std::find(free_.begin(), free_.end(), node);
-    assert(it != free_.end());
-    free_.erase(it);
+    RemoveFromFree(node);
     reserved_[node] = od;
     ++reserved_idle_count_;
+    ++reserved_idle_by_od_[od];
     res.push_back(node);
   }
 }
@@ -198,6 +237,7 @@ std::vector<int> Cluster::Unreserve(JobId od) {
     // Tenant nodes simply lose the mark; they free normally at job finish.
   }
   reservation_.erase(it);
+  reserved_idle_by_od_.erase(od);
   return freed;
 }
 
@@ -214,6 +254,7 @@ std::vector<int> Cluster::StartOnReservation(JobId job, int extra_from_free) {
       if (running_[node] == kNoJob) {
         reserved_[node] = kNoJob;
         --reserved_idle_count_;
+        --reserved_idle_by_od_[job];
         running_[node] = job;
         ++busy_count_;
         nodes.push_back(node);
@@ -223,6 +264,7 @@ std::vector<int> Cluster::StartOnReservation(JobId job, int extra_from_free) {
     }
     if (still_reserved.empty()) {
       reservation_.erase(it);
+      reserved_idle_by_od_.erase(job);
     } else {
       it->second = std::move(still_reserved);
     }
@@ -242,6 +284,12 @@ std::vector<int> Cluster::NodesOf(JobId job) const {
   return it == alloc_.end() ? std::vector<int>{} : it->second;
 }
 
+const std::vector<int>& Cluster::NodesViewOf(JobId job) const {
+  static const std::vector<int> kEmpty;
+  const auto it = alloc_.find(job);
+  return it == alloc_.end() ? kEmpty : it->second;
+}
+
 int Cluster::AllocCount(JobId job) const {
   const auto it = alloc_.find(job);
   return it == alloc_.end() ? 0 : static_cast<int>(it->second.size());
@@ -253,11 +301,8 @@ int Cluster::ReservedCount(JobId od) const {
 }
 
 int Cluster::ReservedIdleCount(JobId od) const {
-  const auto it = reservation_.find(od);
-  if (it == reservation_.end()) return 0;
-  int idle = 0;
-  for (const int node : it->second) idle += (running_[node] == kNoJob) ? 1 : 0;
-  return idle;
+  const auto it = reserved_idle_by_od_.find(od);
+  return it == reserved_idle_by_od_.end() ? 0 : it->second;
 }
 
 std::vector<int> Cluster::ReservedIdleNodes(JobId od) const {
@@ -274,10 +319,13 @@ std::vector<JobId> Cluster::TenantsOf(JobId od) const {
   std::vector<JobId> tenants;
   const auto it = reservation_.find(od);
   if (it == reservation_.end()) return tenants;
+  // Set-based dedup (the std::find-over-the-result version was O(n^2) for
+  // large reservations); first-seen order is preserved because callers
+  // preempt tenants in this order.
+  std::unordered_set<JobId> seen;
   for (const int node : it->second) {
     const JobId tenant = running_[node];
-    if (tenant != kNoJob &&
-        std::find(tenants.begin(), tenants.end(), tenant) == tenants.end()) {
+    if (tenant != kNoJob && seen.insert(tenant).second) {
       tenants.push_back(tenant);
     }
   }
@@ -292,12 +340,28 @@ std::string Cluster::CheckInvariants() const {
   }
   if (busy != busy_count_) return "busy count drift";
   if (reserved_idle != reserved_idle_count_) return "reserved-idle count drift";
-  if (static_cast<int>(free_.size()) != num_nodes() - busy - reserved_idle) {
+  if (free_live_ != num_nodes() - busy - reserved_idle) {
     return "free list size drift";
   }
-  for (const int node : free_) {
+  int live = 0, dead = 0;
+  for (std::size_t pos = 0; pos < free_.size(); ++pos) {
+    const int node = free_[pos];
+    if (node == kFreeTombstone) {
+      ++dead;
+      continue;
+    }
+    ++live;
     if (running_[node] != kNoJob || reserved_[node] != kNoJob) {
       return "non-free node on free list";
+    }
+    if (free_pos_[node] != static_cast<int>(pos)) return "free index drift";
+  }
+  if (live != free_live_ || dead != free_dead_) return "free live/dead count drift";
+  for (int node = 0; node < num_nodes(); ++node) {
+    const bool should_be_free =
+        running_[node] == kNoJob && reserved_[node] == kNoJob;
+    if (should_be_free != (free_pos_[node] != kNotOnFreeList)) {
+      return "free index membership drift";
     }
   }
   for (const auto& [job, nodes] : alloc_) {
@@ -307,9 +371,19 @@ std::string Cluster::CheckInvariants() const {
   }
   for (const auto& [od, nodes] : reservation_) {
     if (nodes.empty()) return "empty reservation retained";
+    int idle = 0;
     for (const int node : nodes) {
       if (reserved_[node] != od) return "reservation map drift";
+      idle += (running_[node] == kNoJob) ? 1 : 0;
     }
+    const auto idle_it = reserved_idle_by_od_.find(od);
+    if ((idle_it == reserved_idle_by_od_.end() ? 0 : idle_it->second) != idle) {
+      return "per-od reserved-idle count drift";
+    }
+  }
+  for (const auto& [od, idle] : reserved_idle_by_od_) {
+    if (reservation_.count(od) == 0) return "orphan per-od reserved-idle entry";
+    if (idle < 0) return "negative per-od reserved-idle count";
   }
   return {};
 }

@@ -26,7 +26,7 @@ class Cluster {
   explicit Cluster(int num_nodes);
 
   int num_nodes() const { return static_cast<int>(running_.size()); }
-  int free_count() const { return static_cast<int>(free_.size()); }
+  int free_count() const { return free_live_; }
   int busy_count() const { return busy_count_; }
   int reserved_idle_count() const { return reserved_idle_count_; }
 
@@ -86,10 +86,15 @@ class Cluster {
   bool IsRunning(JobId job) const { return alloc_.count(job) > 0; }
   /// Current allocation of a running job (empty if not running).
   std::vector<int> NodesOf(JobId job) const;
+  /// Copy-free variant of NodesOf for hot read paths; the reference is
+  /// invalidated by the next mutating call on this cluster.
+  const std::vector<int>& NodesViewOf(JobId job) const;
   int AllocCount(JobId job) const;
 
   int ReservedCount(JobId od) const;      // idle + tenant-occupied
-  int ReservedIdleCount(JobId od) const;  // immediately usable by `od`
+  /// Immediately usable by `od`. O(1): maintained incrementally, because
+  /// the scheduling pass queries this once per waiting job per pass.
+  int ReservedIdleCount(JobId od) const;
   std::vector<int> ReservedIdleNodes(JobId od) const;
   /// Tenants currently running on `od`'s reserved nodes (deduplicated).
   std::vector<JobId> TenantsOf(JobId od) const;
@@ -104,12 +109,30 @@ class Cluster {
  private:
   void MakeFree(int node);
   int PopFree();
+  /// O(1) removal of a specific node from the free list (tenant StartOn /
+  /// AddNodes / ReserveSpecific). The slot is tombstoned in place so the
+  /// LIFO hand-out order of the remaining entries — part of the simulator's
+  /// bit-stability contract — is preserved exactly; tombstones are compacted
+  /// (order-preserving) once they outnumber live entries.
+  void RemoveFromFree(int node);
+  void CompactFreeList();
 
   std::vector<JobId> running_;
   std::vector<JobId> reserved_;
-  std::vector<int> free_;  // stack of free node ids
+  /// Stack of free node ids, seeded low-id-on-top; kFreeTombstone entries
+  /// are lazily-deleted slots skipped at pop time.
+  std::vector<int> free_;
+  /// node -> index in free_ (kNotOnFreeList when absent): makes
+  /// remove-by-id O(1) instead of a linear std::find over the free list.
+  std::vector<int> free_pos_;
+  int free_live_ = 0;  // non-tombstone entries in free_
+  int free_dead_ = 0;  // tombstones in free_
   std::unordered_map<JobId, std::vector<int>> alloc_;
   std::unordered_map<JobId, std::vector<int>> reservation_;
+  /// Per-reservation idle-node counts, updated wherever
+  /// reserved_idle_count_ is; entries live exactly as long as the
+  /// reservation_ entry. Keeps ReservedIdleCount() O(1).
+  std::unordered_map<JobId, int> reserved_idle_by_od_;
   int busy_count_ = 0;
   int reserved_idle_count_ = 0;
 

@@ -63,8 +63,13 @@ class ReservationManager {
   /// Returns the freed nodes.
   std::vector<int> Close(JobId od);
 
-  /// All open reservations (notice order).
+  /// All open reservations (notice order), copied. Prefer OpenView() on
+  /// hot paths; Snapshot() stays for callers that mutate while iterating.
   std::vector<Reservation> Snapshot() const;
+
+  /// Copy-free view of the open reservations (notice order). Invalidated
+  /// by Open/Close; do not call either while iterating.
+  const std::vector<Reservation>& OpenView() const { return open_; }
 
   /// Sum of targets not yet covered across open, unarrived reservations.
   int TotalDeficit() const;

@@ -9,14 +9,11 @@ namespace {
 
 /// Earliest time (by estimates) at which `needed` nodes beyond `free_now`
 /// plus the head job's requirement are available; also the spare nodes at
-/// that moment. Returns {kNever, 0} if the requirement is unreachable.
+/// that moment. `running` must already be sorted by (est_end, id) — the
+/// caller sorts once per pass instead of per call, since the sort dominated
+/// this path. Returns {kNever, 0} if the requirement is unreachable.
 std::pair<SimTime, int> ShadowFor(int free_now, int need_min,
-                                  std::vector<RunningView> running) {
-  std::sort(running.begin(), running.end(),
-            [](const RunningView& a, const RunningView& b) {
-              if (a.est_end != b.est_end) return a.est_end < b.est_end;
-              return a.id < b.id;
-            });
+                                  const std::vector<RunningView>& running) {
   int avail = free_now;
   for (const auto& r : running) {
     avail += r.alloc;
@@ -32,6 +29,22 @@ BackfillResult EasyBackfill(const BackfillInput& input) {
   BackfillResult result;
   int free = input.free_nodes;
 
+  // One (est_end, id) sort shared by every shadow computation in this pass,
+  // built lazily so passes where nothing blocks never pay it. The total
+  // order makes the result independent of input.running's order.
+  std::vector<RunningView> by_end;
+  const auto sorted_running = [&]() -> const std::vector<RunningView>& {
+    if (by_end.empty() && !input.running.empty()) {
+      by_end = input.running;
+      std::sort(by_end.begin(), by_end.end(),
+                [](const RunningView& a, const RunningView& b) {
+                  if (a.est_end != b.est_end) return a.est_end < b.est_end;
+                  return a.id < b.id;
+                });
+    }
+    return by_end;
+  };
+
   for (const WaitingJob* w : input.queue) {
     const int held = input.held_nodes ? input.held_nodes(*w) : 0;
     const int need_min = std::max(0, w->min_size() - held);
@@ -43,7 +56,7 @@ BackfillResult EasyBackfill(const BackfillInput& input) {
         free -= from_free;
       } else {
         result.blocked_head = w->id;
-        const auto [shadow, extra] = ShadowFor(free, need_min, input.running);
+        const auto [shadow, extra] = ShadowFor(free, need_min, sorted_running());
         if (shadow == kNever) {
           // The head job cannot be satisfied even when everything running
           // ends (its nodes are held elsewhere, e.g. by reservations).

@@ -388,7 +388,10 @@ void ExecutionEngine::ExpandByFromFree(JobId id, int nodes, SimTime now) {
 }
 
 SimTime ExecutionEngine::EstimatedEnd(JobId id, SimTime now) const {
-  const RunningJob& r = MustRun(id);
+  return EstimatedEndOf(MustRun(id), now);
+}
+
+SimTime ExecutionEngine::EstimatedEndOf(const RunningJob& r, SimTime now) const {
   if (r.draining) return r.drain_deadline;
   if (r.malleable_mode) {
     const std::int64_t done = ProjectedWork(r, now);
@@ -435,8 +438,11 @@ int ExecutionEngine::RunSchedulingPass(SimTime now) {
   BackfillInput input;
   input.free_nodes = cluster_.free_count();
   input.now = now;
-  for (const JobId id : RunningIds()) {
-    input.running.push_back({id, MustRun(id).alloc, EstimatedEnd(id, now)});
+  // Map order is fine here: EasyBackfill's shadow computation imposes its
+  // own (est_end, id) total order, so no per-pass id sort or by-id lookups.
+  input.running.reserve(running_.size());
+  for (const auto& [id, r] : running_) {
+    input.running.push_back({id, r.alloc, EstimatedEndOf(r, now)});
   }
   input.queue = queue_.Ordered(*policy_, now);
   std::erase_if(input.queue,

@@ -101,6 +101,9 @@ class ExecutionEngine {
   Cluster& cluster() { return cluster_; }
   const Cluster& cluster() const { return cluster_; }
   QueueManager& queue() { return queue_; }
+  /// The engine's ordering-policy instance (shared so owners reuse the
+  /// queue's cached ordered view instead of instantiating policy copies).
+  const OrderingPolicy& policy() const { return *policy_; }
   const EngineConfig& config() const { return config_; }
   const CheckpointModel& checkpoint_model() const { return ckpt_; }
 
@@ -170,6 +173,9 @@ class ExecutionEngine {
   bool IsWaiting(JobId id) const { return queue_.Contains(id); }
   const RunningJob* Running(JobId id) const;
   std::vector<JobId> RunningIds() const;  // ascending id order
+  /// Unordered iteration over live executions (for order-independent
+  /// aggregation; use RunningIds() when the visit order is behavior).
+  const std::unordered_map<JobId, RunningJob>& running_jobs() const { return running_; }
 
   /// Estimate-based completion bound of a running job.
   SimTime EstimatedEnd(JobId id, SimTime now) const;
@@ -206,6 +212,9 @@ class ExecutionEngine {
  private:
   RunningJob& MustRun(JobId id);
   const RunningJob& MustRun(JobId id) const;
+
+  /// EstimatedEnd without the by-id lookup (hot-path form).
+  SimTime EstimatedEndOf(const RunningJob& r, SimTime now) const;
 
   /// Creates the execution record, pays setup, schedules finish/kill.
   void BeginExecution(WaitingJob waiting, const std::vector<int>& nodes,

@@ -25,6 +25,7 @@ class FcfsPolicy final : public OrderingPolicy {
   double Key(const WaitingJob& job, SimTime) const override {
     return static_cast<double>(job.first_submit);
   }
+  bool time_invariant() const override { return true; }
 };
 
 class SjfPolicy final : public OrderingPolicy {
@@ -33,6 +34,7 @@ class SjfPolicy final : public OrderingPolicy {
   double Key(const WaitingJob& job, SimTime) const override {
     return static_cast<double>(job.estimate_remaining);
   }
+  bool time_invariant() const override { return true; }
 };
 
 class LjfPolicy final : public OrderingPolicy {
@@ -41,6 +43,7 @@ class LjfPolicy final : public OrderingPolicy {
   double Key(const WaitingJob& job, SimTime) const override {
     return -static_cast<double>(job.estimate_remaining);
   }
+  bool time_invariant() const override { return true; }
 };
 
 class SmallestFirstPolicy final : public OrderingPolicy {
@@ -49,6 +52,7 @@ class SmallestFirstPolicy final : public OrderingPolicy {
   double Key(const WaitingJob& job, SimTime) const override {
     return static_cast<double>(job.size());
   }
+  bool time_invariant() const override { return true; }
 };
 
 class LargestFirstPolicy final : public OrderingPolicy {
@@ -57,6 +61,7 @@ class LargestFirstPolicy final : public OrderingPolicy {
   double Key(const WaitingJob& job, SimTime) const override {
     return -static_cast<double>(job.size());
   }
+  bool time_invariant() const override { return true; }
 };
 
 /// WFP3 (from the ALCF scheduling literature): favors jobs with large

@@ -10,6 +10,7 @@ void QueueManager::Add(WaitingJob job) {
   const auto [it, inserted] = jobs_.emplace(id, std::move(job));
   (void)it;
   if (!inserted) throw std::runtime_error("QueueManager::Add: duplicate job");
+  ++epoch_;
 }
 
 WaitingJob QueueManager::Remove(JobId id) {
@@ -17,6 +18,7 @@ WaitingJob QueueManager::Remove(JobId id) {
   if (it == jobs_.end()) throw std::runtime_error("QueueManager::Remove: absent job");
   WaitingJob out = std::move(it->second);
   jobs_.erase(it);
+  ++epoch_;
   return out;
 }
 
@@ -29,22 +31,34 @@ const WaitingJob* QueueManager::Find(JobId id) const {
 
 WaitingJob* QueueManager::FindMutable(JobId id) {
   const auto it = jobs_.find(id);
-  return it == jobs_.end() ? nullptr : &it->second;
+  if (it == jobs_.end()) return nullptr;
+  ++epoch_;  // the caller may edit ordering inputs through this pointer
+  return &it->second;
 }
 
 std::vector<const WaitingJob*> QueueManager::Ordered(const OrderingPolicy& policy,
                                                      SimTime now) const {
-  std::vector<const WaitingJob*> view = All();
-  std::sort(view.begin(), view.end(),
-            [&policy, now](const WaitingJob* a, const WaitingJob* b) {
-              if (a->boosted != b->boosted) return a->boosted;
-              const double ka = policy.Key(*a, now);
-              const double kb = policy.Key(*b, now);
-              if (ka != kb) return ka < kb;
-              if (a->first_submit != b->first_submit) return a->first_submit < b->first_submit;
-              return a->id < b->id;
-            });
-  return view;
+  const bool hit = cache_valid_ && cache_epoch_ == epoch_ &&
+                   cache_policy_ == policy.name() &&
+                   (cache_time_invariant_ || cache_now_ == now);
+  if (!hit) {
+    cache_ = All();
+    std::sort(cache_.begin(), cache_.end(),
+              [&policy, now](const WaitingJob* a, const WaitingJob* b) {
+                if (a->boosted != b->boosted) return a->boosted;
+                const double ka = policy.Key(*a, now);
+                const double kb = policy.Key(*b, now);
+                if (ka != kb) return ka < kb;
+                if (a->first_submit != b->first_submit) return a->first_submit < b->first_submit;
+                return a->id < b->id;
+              });
+    cache_valid_ = true;
+    cache_epoch_ = epoch_;
+    cache_policy_ = policy.name();
+    cache_time_invariant_ = policy.time_invariant();
+    cache_now_ = now;
+  }
+  return cache_;
 }
 
 std::vector<const WaitingJob*> QueueManager::All() const {

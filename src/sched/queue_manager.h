@@ -1,6 +1,17 @@
 // Waiting-queue container: insertion, removal, and policy-ordered views.
+//
+// Ordered() is the scheduler's per-pass hot path, so the sorted view is
+// cached instead of rebuilt every call: every mutation that can change
+// ordering inputs (Add, Remove, FindMutable — callers flip `boosted` /
+// `partition_only` through it) bumps an epoch, and Ordered() re-sorts only
+// when the epoch, the policy, or (for wait-aware policies) the clock has
+// moved since the cached view was built. The comparator is a total order
+// (ties end at the unique job id), so a cached view is bit-identical to a
+// fresh sort.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -15,12 +26,16 @@ class QueueManager {
   WaitingJob Remove(JobId id);
   bool Contains(JobId id) const;
   const WaitingJob* Find(JobId id) const;
+  /// Mutable lookup. Conservatively invalidates the ordered-view cache:
+  /// callers use it to edit fields the ordering depends on.
   WaitingJob* FindMutable(JobId id);
 
   std::size_t size() const { return jobs_.size(); }
   bool empty() const { return jobs_.empty(); }
 
   /// Entries ordered by (boosted first, policy key, first_submit, id).
+  /// Served from the epoch-keyed cache when nothing relevant changed; the
+  /// returned vector is the caller's own copy, safe across queue edits.
   std::vector<const WaitingJob*> Ordered(const OrderingPolicy& policy, SimTime now) const;
 
   /// Unordered view (iteration for metrics/tests).
@@ -28,6 +43,17 @@ class QueueManager {
 
  private:
   std::unordered_map<JobId, WaitingJob> jobs_;
+
+  // Ordered-view cache. Entry pointers stay valid across map churn
+  // (unordered_map nodes are stable) and any churn bumps epoch_, so a
+  // cache hit never dereferences a removed entry.
+  std::uint64_t epoch_ = 0;
+  mutable std::vector<const WaitingJob*> cache_;
+  mutable std::uint64_t cache_epoch_ = 0;
+  mutable bool cache_valid_ = false;
+  mutable std::string cache_policy_;
+  mutable bool cache_time_invariant_ = false;
+  mutable SimTime cache_now_ = 0;
 };
 
 }  // namespace hs

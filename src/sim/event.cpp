@@ -22,7 +22,7 @@ const char* ToString(EventKind kind) {
 std::string Event::ToDebugString() const {
   std::ostringstream os;
   os << ToString(kind) << "@" << FormatTimestamp(time) << " job=" << job
-     << " aux=" << aux << " id=" << id;
+     << " aux=" << aux << " seq=" << seq;
   return os.str();
 }
 

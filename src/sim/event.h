@@ -28,6 +28,11 @@ enum class EventKind : std::uint8_t {
 
 const char* ToString(EventKind kind);
 
+/// Cancellation handle issued by EventQueue::Push. Encodes (16-bit queue
+/// nonce, 16-bit slot generation, 32-bit slot) — see event_queue.h — so
+/// cancellation is O(1) with no id hash set, and stale handles are
+/// recognized cheaply. Treat it as opaque: compare for equality, pass to
+/// Cancel, nothing else.
 using EventId = std::uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
@@ -37,17 +42,21 @@ struct Event {
   JobId job = kNoJob;
   std::int64_t aux = 0;  // kind-specific payload (e.g. lender id)
   EventId id = kNoEvent;
+  /// Monotone insertion sequence (assigned by EventQueue::Push); the
+  /// deterministic same-time/same-kind tie-breaker. `id` cannot serve this
+  /// role because slot handles are reused.
+  std::uint64_t seq = 0;
 
   std::string ToDebugString() const;
 };
 
 /// Ordering: earlier time first; at equal times the kind enum above; then
-/// insertion id. Implements "greater" for use in a min-heap.
+/// insertion sequence. Implements "greater" for use in a min-heap.
 struct EventAfter {
   bool operator()(const Event& a, const Event& b) const {
     if (a.time != b.time) return a.time > b.time;
     if (a.kind != b.kind) return static_cast<int>(a.kind) > static_cast<int>(b.kind);
-    return a.id > b.id;
+    return a.seq > b.seq;
   }
 };
 

@@ -1,33 +1,125 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
 namespace hs {
 
+namespace {
+// Handle layout: [63:48] queue nonce | [47:32] slot generation | [31:0] slot.
+// 16 nonce bits keep cross-queue detection alive for 65535 queues per
+// process (a paper-scale ExperimentRunner sweep builds a few hundred); 16
+// generation bits are ample because stale handles are cancelled within the
+// same event-handling turn they go stale in, never 65536 slot reuses later.
+constexpr int kSlotBits = 32;
+constexpr int kGenerationBits = 16;
+constexpr std::uint32_t kGenerationMask = (1u << kGenerationBits) - 1;
+constexpr std::uint32_t kNonceMask = 0xFFFFu;
+}  // namespace
+
+EventQueue::EventQueue() {
+  // 1..65535 so a valid handle is never kNoEvent (0) and handles from
+  // different queues (modulo wrap) disagree in their top 16 bits.
+  static std::atomic<std::uint32_t> counter{0};
+  nonce_ = (counter.fetch_add(1, std::memory_order_relaxed) % kNonceMask) + 1u;
+}
+
+EventId EventQueue::MakeHandle(std::uint32_t slot, std::uint32_t generation) const {
+  return (static_cast<EventId>(nonce_) << (kSlotBits + kGenerationBits)) |
+         (static_cast<EventId>(generation) << kSlotBits) | slot;
+}
+
+std::uint32_t EventQueue::SlotOf(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xFFFFFFFFull);
+}
+
+std::uint32_t EventQueue::GenerationOf(EventId id) {
+  return static_cast<std::uint32_t>(id >> kSlotBits) & kGenerationMask;
+}
+
+std::uint32_t EventQueue::NonceOf(EventId id) {
+  return static_cast<std::uint32_t>(id >> (kSlotBits + kGenerationBits));
+}
+
 EventId EventQueue::Push(SimTime time, EventKind kind, JobId job, std::int64_t aux) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back({});
+  }
+  Slot& s = slots_[slot];
+  // Bump the generation at every reuse (16-bit wrap, skipping 0) so stale
+  // handles to this slot are recognized as dead.
+  s.generation = (s.generation + 1) & kGenerationMask;
+  if (s.generation == 0) s.generation = 1;
+  s.live = true;
+
   Event e;
   e.time = time;
   e.kind = kind;
   e.job = job;
   e.aux = aux;
-  e.id = next_id_++;
-  heap_.push(e);
-  live_ids_.insert(e.id);
+  e.id = MakeHandle(slot, s.generation);
+  e.seq = next_seq_++;
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  ++live_count_;
+  last_handle_ = e.id;
   return e.id;
 }
 
 void EventQueue::Cancel(EventId id) {
   if (id == kNoEvent) return;
-  // Cancelling an already-fired or already-cancelled event is a no-op; the
-  // live-id set distinguishes those from genuinely pending events.
-  live_ids_.erase(id);
+  // A handle minted by a different queue is a caller bug: its nonce cannot
+  // match ours. Fail loudly in debug builds; ignore in release.
+  assert(NonceOf(id) == nonce_ && "EventQueue::Cancel: handle from another queue");
+  if (NonceOf(id) != nonce_) return;
+  const std::uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // Stale generation or already-dead slot: the event fired or was cancelled
+  // before (the documented no-op).
+  if (!s.live || s.generation != GenerationOf(id)) return;
+  s.live = false;
+  --live_count_;
+  ++dead_in_heap_;
+  MaybeCompact();
 }
 
+void EventQueue::RecycleSlot(std::uint32_t slot) { free_slots_.push_back(slot); }
+
 void EventQueue::SkipDead() {
-  while (!heap_.empty() && live_ids_.count(heap_.top().id) == 0) {
-    heap_.pop();
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    const Slot& s = slots_[SlotOf(top.id)];
+    if (s.live && s.generation == GenerationOf(top.id)) break;
+    RecycleSlot(SlotOf(top.id));
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    heap_.pop_back();
+    --dead_in_heap_;
   }
+}
+
+void EventQueue::MaybeCompact() {
+  if (dead_in_heap_ <= heap_.size() / 2 || heap_.size() < 64) return;
+  std::vector<Event> live;
+  live.reserve(live_count_);
+  for (const Event& e : heap_) {
+    const Slot& s = slots_[SlotOf(e.id)];
+    if (s.live && s.generation == GenerationOf(e.id)) {
+      live.push_back(e);
+    } else {
+      RecycleSlot(SlotOf(e.id));
+    }
+  }
+  heap_ = std::move(live);
+  std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+  dead_in_heap_ = 0;
 }
 
 bool EventQueue::Empty() {
@@ -37,15 +129,20 @@ bool EventQueue::Empty() {
 
 SimTime EventQueue::PeekTime() {
   SkipDead();
-  return heap_.empty() ? kNever : heap_.top().time;
+  return heap_.empty() ? kNever : heap_.front().time;
 }
 
 Event EventQueue::Pop() {
   SkipDead();
   if (heap_.empty()) throw std::runtime_error("EventQueue::Pop on empty queue");
-  Event e = heap_.top();
-  heap_.pop();
-  live_ids_.erase(e.id);
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  const Event e = heap_.back();
+  heap_.pop_back();
+  Slot& s = slots_[SlotOf(e.id)];
+  assert(s.live && s.generation == GenerationOf(e.id));
+  s.live = false;
+  RecycleSlot(SlotOf(e.id));
+  --live_count_;
   return e;
 }
 

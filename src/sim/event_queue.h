@@ -1,12 +1,29 @@
 // Cancelable min-heap event queue with deterministic tie-breaking.
 //
-// Cancellation is lazy: cancelled ids are tombstoned and skipped at pop
-// time. This keeps Schedule/Cancel O(log n) without heap surgery, which
-// matters because malleable resizes reschedule finish events frequently.
+// Cancellation is O(1) via generation-stamped slot handles instead of a
+// hash set of live ids: an EventId packs (queue nonce, slot generation,
+// slot index). Each pending event owns one slot; slots are recycled when
+// their heap entry is physically removed, and the generation is bumped at
+// every reuse so stale handles never alias a newer event.
+//
+// Cancel contract:
+//   * Cancelling a pending event removes it logically (O(1)); the heap
+//     entry is tombstoned and skipped at pop time.
+//   * Cancelling an event that already fired (or was already cancelled) is
+//     a guaranteed no-op — handlers routinely cancel the completion pair of
+//     the event that just fired, and the generation stamp recognizes the
+//     stale handle even after its slot was reused by a later Push.
+//   * Handles are queue-specific: passing another queue's handle is a bug,
+//     caught by an assert in debug builds (the per-queue nonce baked into
+//     every handle disagrees) and ignored in release builds.
+//
+// Lazy deletion is bounded: when tombstones outnumber live entries the heap
+// is compacted in one O(n) rebuild, so malleable-resize churn (cancel +
+// reschedule of every finish/kill pair) cannot grow the heap past ~2x the
+// live event count.
 #pragma once
 
-#include <queue>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event.h"
@@ -15,10 +32,13 @@ namespace hs {
 
 class EventQueue {
  public:
-  /// Schedules an event; returns its id (usable with Cancel).
+  EventQueue();
+
+  /// Schedules an event; returns its cancellation handle.
   EventId Push(SimTime time, EventKind kind, JobId job = kNoJob, std::int64_t aux = 0);
 
-  /// Cancels a scheduled event; harmless if already popped or cancelled.
+  /// Cancels a scheduled event; harmless if already popped or cancelled
+  /// (see the contract above). Asserts on another queue's handle.
   void Cancel(EventId id);
 
   /// True if no live events remain.
@@ -30,15 +50,34 @@ class EventQueue {
   /// Pops the earliest live event. Requires !Empty().
   Event Pop();
 
-  std::size_t live_size() const { return live_ids_.size(); }
-  EventId last_id() const { return next_id_ - 1; }
+  std::size_t live_size() const { return live_count_; }
+  /// Physical heap entries, live + tombstoned (for compaction tests).
+  std::size_t heap_size() const { return heap_.size(); }
+  EventId last_id() const { return last_handle_; }
 
  private:
-  void SkipDead();
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
-  std::unordered_set<EventId> live_ids_;
-  EventId next_id_ = 1;
+  EventId MakeHandle(std::uint32_t slot, std::uint32_t generation) const;
+  static std::uint32_t SlotOf(EventId id);
+  static std::uint32_t GenerationOf(EventId id);
+  static std::uint32_t NonceOf(EventId id);
+
+  void SkipDead();
+  void MaybeCompact();
+  void RecycleSlot(std::uint32_t slot);
+
+  std::vector<Event> heap_;  // binary heap under EventAfter
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;    // pending (not cancelled) events
+  std::size_t dead_in_heap_ = 0;  // tombstoned heap entries
+  std::uint32_t nonce_;           // queue identity baked into handles (1..65535)
+  EventId last_handle_ = kNoEvent;
 };
 
 }  // namespace hs

@@ -1,0 +1,198 @@
+// Randomized-operation property test for Cluster: ~10k mixed operations
+// (start/finish/release/reserve/expand/unreserve), with CheckInvariants()
+// as the oracle after every single step. This is the guard for the
+// index-tracked free list: any drift between free_, free_pos_, the
+// tombstone counters, and the running/reserved maps surfaces immediately,
+// and the whole walk runs under the ASan+UBSan CI job like every test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "platform/cluster.h"
+#include "util/rng.h"
+
+namespace hs {
+namespace {
+
+/// Nodes currently startable for a tenant-style StartOn: free or
+/// reserved-idle (no running job).
+std::vector<int> StartableNodes(const Cluster& c) {
+  std::vector<int> nodes;
+  for (int n = 0; n < c.num_nodes(); ++n) {
+    if (c.running_on(n) == kNoJob) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+std::vector<int> FreeNodes(const Cluster& c) {
+  std::vector<int> nodes;
+  for (int n = 0; n < c.num_nodes(); ++n) {
+    if (c.running_on(n) == kNoJob && c.reserved_for(n) == kNoJob) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+TEST(ClusterPropertyTest, TenThousandRandomOpsKeepInvariants) {
+  constexpr int kNodes = 257;  // deliberately not a power of two
+  constexpr int kOps = 10000;
+  Cluster cluster(kNodes);
+  Rng rng(0xC0FFEEULL);
+
+  std::vector<JobId> running;   // jobs with an allocation
+  std::vector<JobId> reserved;  // jobs holding a reservation
+  JobId next_job = 1;
+
+  const auto pick = [&rng](const std::vector<JobId>& from) {
+    return from[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(from.size()) - 1))];
+  };
+  const auto drop = [](std::vector<JobId>& from, JobId id) {
+    from.erase(std::remove(from.begin(), from.end(), id), from.end());
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int action = static_cast<int>(rng.UniformInt(0, 9));
+    switch (action) {
+      case 0:  // StartFromFree
+      case 1: {
+        const int free = cluster.free_count();
+        if (free == 0) break;
+        const int want = static_cast<int>(rng.UniformInt(1, std::min(free, 32)));
+        const JobId job = next_job++;
+        const auto nodes = cluster.StartFromFree(job, want);
+        ASSERT_EQ(static_cast<int>(nodes.size()), want);
+        running.push_back(job);
+        break;
+      }
+      case 2: {  // StartOn specific startable nodes (tenant path)
+        auto startable = StartableNodes(cluster);
+        if (startable.empty()) break;
+        const int want = static_cast<int>(rng.UniformInt(
+            1, std::min<std::int64_t>(static_cast<std::int64_t>(startable.size()), 16)));
+        // Random subset: shuffle-by-draw from the candidate list.
+        std::vector<int> chosen;
+        for (int i = 0; i < want; ++i) {
+          const auto at = static_cast<std::size_t>(
+              rng.UniformInt(0, static_cast<std::int64_t>(startable.size()) - 1));
+          chosen.push_back(startable[at]);
+          startable.erase(startable.begin() + static_cast<std::ptrdiff_t>(at));
+        }
+        const JobId job = next_job++;
+        cluster.StartOn(job, chosen);
+        running.push_back(job);
+        break;
+      }
+      case 3: {  // Finish
+        if (running.empty()) break;
+        const JobId job = pick(running);
+        cluster.Finish(job);
+        drop(running, job);
+        break;
+      }
+      case 4: {  // ReleaseSome (shrink)
+        if (running.empty()) break;
+        const JobId job = pick(running);
+        const int alloc = cluster.AllocCount(job);
+        const int count = static_cast<int>(rng.UniformInt(0, alloc));
+        cluster.ReleaseSome(job, count);
+        if (count == alloc) drop(running, job);
+        break;
+      }
+      case 5: {  // ExpandFromFree
+        if (running.empty() || cluster.free_count() == 0) break;
+        const JobId job = pick(running);
+        const int grow =
+            static_cast<int>(rng.UniformInt(1, std::min(cluster.free_count(), 8)));
+        cluster.ExpandFromFree(job, grow);
+        break;
+      }
+      case 6: {  // AddNodes on specific free nodes
+        if (running.empty()) break;
+        const auto free_nodes = FreeNodes(cluster);
+        if (free_nodes.empty()) break;
+        const JobId job = pick(running);
+        std::vector<int> grow = {free_nodes.front()};
+        if (free_nodes.size() > 1) grow.push_back(free_nodes.back());
+        cluster.AddNodes(job, grow);
+        break;
+      }
+      case 7: {  // ReserveFromFree (fresh od job)
+        const JobId od = next_job++;
+        const int got =
+            cluster.ReserveFromFree(od, static_cast<int>(rng.UniformInt(1, 48)));
+        if (got > 0) reserved.push_back(od);
+        break;
+      }
+      case 8: {  // Unreserve
+        if (reserved.empty()) break;
+        const JobId od = pick(reserved);
+        cluster.Unreserve(od);
+        drop(reserved, od);
+        break;
+      }
+      case 9: {  // StartOnReservation (reservation -> execution)
+        if (reserved.empty()) break;
+        const JobId od = pick(reserved);
+        const int extra =
+            static_cast<int>(rng.UniformInt(0, std::min(cluster.free_count(), 4)));
+        const auto nodes = cluster.StartOnReservation(od, extra);
+        cluster.Unreserve(od);  // drop any tenant-occupied remainder
+        drop(reserved, od);
+        if (!nodes.empty()) running.push_back(od);
+        break;
+      }
+    }
+    ASSERT_EQ(cluster.CheckInvariants(), "") << "after op " << op;
+  }
+
+  // Drain everything; the cluster must return to fully free.
+  for (const JobId job : running) cluster.Finish(job);
+  for (const JobId od : reserved) cluster.Unreserve(od);
+  ASSERT_EQ(cluster.CheckInvariants(), "");
+  EXPECT_EQ(cluster.free_count(), kNodes);
+  EXPECT_EQ(cluster.busy_count(), 0);
+  EXPECT_EQ(cluster.reserved_idle_count(), 0);
+}
+
+TEST(ClusterPropertyTest, PopOrderSurvivesTombstoneCompaction) {
+  // Remove-by-id must not perturb the LIFO hand-out order of the remaining
+  // free nodes (the bit-stability contract): force heavy tombstoning via
+  // StartOn/Finish cycles, then check hand-out still matches a shadow model.
+  constexpr int kNodes = 64;
+  Cluster cluster(kNodes);
+  std::vector<int> model;  // shadow free stack, erase-based semantics
+  for (int n = kNodes - 1; n >= 0; --n) model.push_back(n);
+
+  JobId next_job = 1;
+  Rng rng(0x5EEDULL);
+  for (int round = 0; round < 200; ++round) {
+    // Tenant-start three specific free nodes (tombstones in the free list).
+    std::vector<int> chosen;
+    for (int i = 0; i < 3 && !model.empty(); ++i) {
+      const auto at = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(model.size()) - 1));
+      chosen.push_back(model[at]);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    const JobId tenant = next_job++;
+    cluster.StartOn(tenant, chosen);
+    // Pop two through the public hand-out path and compare to the model.
+    const int take = std::min<int>(2, static_cast<int>(model.size()));
+    const JobId popper = next_job++;
+    const auto got = cluster.StartFromFree(popper, take);
+    for (int i = 0; i < take; ++i) {
+      ASSERT_EQ(got[static_cast<std::size_t>(i)], model.back()) << "round " << round;
+      model.pop_back();
+    }
+    // Finish both; released nodes return to the free stack in release order.
+    for (const int node : cluster.NodesViewOf(popper)) model.push_back(node);
+    cluster.Finish(popper);
+    for (const int node : cluster.NodesViewOf(tenant)) model.push_back(node);
+    cluster.Finish(tenant);
+    ASSERT_EQ(cluster.CheckInvariants(), "") << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace hs

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
 namespace hs {
 namespace {
 
@@ -106,6 +111,112 @@ TEST(EventQueueTest, ManyEventsSortedProperty) {
     const Event e = q.Pop();
     EXPECT_GE(e.time, prev);
     prev = e.time;
+  }
+}
+
+TEST(EventQueueTest, StaleHandleAfterSlotReuseIsNoop) {
+  EventQueue q;
+  const EventId first = q.Push(100, EventKind::kJobFinish, 1);
+  q.Cancel(first);
+  ASSERT_TRUE(q.Empty());  // physically drains the tombstone, recycling its slot
+  // The new event reuses the slot with a bumped generation; the stale
+  // handle must not cancel it.
+  const EventId second = q.Push(200, EventKind::kJobFinish, 2);
+  EXPECT_NE(first, second);
+  q.Cancel(first);
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_EQ(q.Pop().job, 2);
+}
+
+TEST(EventQueueTest, CrossQueueCancelAssertsInDebug) {
+  EventQueue a;
+  EventQueue b;
+  const EventId id = a.Push(100, EventKind::kJobFinish, 1);
+  // Debug builds assert on another queue's handle; release builds ignore it.
+  EXPECT_DEBUG_DEATH(b.Cancel(id), "handle from another queue");
+  EXPECT_EQ(a.live_size(), 1u);
+}
+
+TEST(EventQueueStressTest, CancelChurnKeepsHeapCompact) {
+  // Malleable-resize shape: every round cancels a finish/kill pair and
+  // reschedules it. Compaction must keep the physical heap bounded by ~2x
+  // the live count instead of accumulating one tombstone per cancel.
+  EventQueue q;
+  Rng rng(0xABCDULL);
+  constexpr int kJobs = 500;
+  std::vector<EventId> finish(kJobs, kNoEvent), kill(kJobs, kNoEvent);
+  for (int j = 0; j < kJobs; ++j) {
+    finish[static_cast<std::size_t>(j)] =
+        q.Push(rng.UniformInt(1, 1 << 20), EventKind::kJobFinish, j);
+    kill[static_cast<std::size_t>(j)] =
+        q.Push(rng.UniformInt(1, 1 << 20), EventKind::kJobKill, j);
+  }
+  for (int round = 0; round < 20000; ++round) {
+    const int j = static_cast<int>(rng.UniformInt(0, kJobs - 1));
+    const auto sj = static_cast<std::size_t>(j);
+    q.Cancel(finish[sj]);
+    q.Cancel(kill[sj]);
+    finish[sj] = q.Push(rng.UniformInt(1, 1 << 20), EventKind::kJobFinish, j);
+    kill[sj] = q.Push(rng.UniformInt(1, 1 << 20), EventKind::kJobKill, j);
+    ASSERT_EQ(q.live_size(), 2u * kJobs);
+    // Lazy-deletion bound: dead entries never exceed half the heap (plus
+    // the small-heap threshold slack).
+    ASSERT_LE(q.heap_size(), 2u * q.live_size() + 64u) << "round " << round;
+  }
+  // Drain; times must come out sorted and exactly live_size() events remain.
+  std::size_t popped = 0;
+  SimTime prev = -1;
+  while (!q.Empty()) {
+    const Event e = q.Pop();
+    ASSERT_GE(e.time, prev);
+    prev = e.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 2u * kJobs);
+}
+
+TEST(EventQueueStressTest, RandomCancelPopAgainstReferenceModel) {
+  // Differential test: the queue must agree with a naive reference model
+  // (vector of live events, min scan by (time, kind, seq)) under random
+  // push/cancel/pop interleavings.
+  EventQueue q;
+  Rng rng(0x9E3779ULL);
+  struct Ref {
+    SimTime time;
+    EventKind kind;
+    JobId job;
+    EventId id;
+    std::uint64_t order;  // insertion order
+  };
+  std::vector<Ref> model;
+  std::uint64_t order = 0;
+  JobId next_job = 0;
+  for (int step = 0; step < 30000; ++step) {
+    const int action = static_cast<int>(rng.UniformInt(0, 5));
+    if (action <= 2) {  // push
+      const SimTime t = rng.UniformInt(0, 5000);
+      const auto kind = static_cast<EventKind>(rng.UniformInt(0, 8));
+      const EventId id = q.Push(t, kind, next_job);
+      model.push_back({t, kind, next_job, id, order++});
+      ++next_job;
+    } else if (action == 3 && !model.empty()) {  // cancel a random live event
+      const auto at = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(model.size()) - 1));
+      q.Cancel(model[at].id);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(at));
+    } else if (!model.empty()) {  // pop and compare against the model's min
+      const auto min_it = std::min_element(
+          model.begin(), model.end(), [](const Ref& a, const Ref& b) {
+            if (a.time != b.time) return a.time < b.time;
+            if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            return a.order < b.order;
+          });
+      const Event e = q.Pop();
+      ASSERT_EQ(e.job, min_it->job) << "step " << step;
+      ASSERT_EQ(e.time, min_it->time);
+      model.erase(min_it);
+    }
+    ASSERT_EQ(q.live_size(), model.size());
   }
 }
 
