@@ -1,25 +1,53 @@
 // ExperimentRunner at full width: the complete 7-mechanism (baseline + six)
 // x ordering-policy grid from one flat vector of SimSpecs, with results
 // streamed to CSV as cells complete. Doubles as the API example for
-// spec-driven sweeps and as a perf smoke of the trace-sharing runner (7
-// mechanisms x |policies| cells per seed reuse one trace per seed).
+// spec-driven sweeps, as a perf smoke of the trace-sharing runner, and as
+// the differential harness for the multi-process path: --shards=K scatters
+// the same grid across hs_worker processes, and the merged CSV is
+// byte-identical to the single-process run on every simulation-content
+// column (pass --strip-wallclock and diff the two files).
 //
-// Scale via HYBRIDSCHED_WEEKS / HYBRIDSCHED_SEEDS; set
-// HYBRIDSCHED_GRID_CSV=path to keep the streamed rows.
+// Flags (RejectUnknown enforced):
+//   --quick             1 week x 2 seeds (the CI differential scale)
+//   --weeks=N --seeds=N explicit scale (defaults: HYBRIDSCHED_WEEKS/_SEEDS)
+//   --out=PATH          write the streamed CSV here (HYBRIDSCHED_GRID_CSV)
+//   --strip-wallclock   omit decision_avg_us/decision_max_us -> diffable
+//   --shards=K          run through ShardedRunner with K hs_worker procs
+//   --strategy=NAME     round-robin | cost-weighted (default)
+//   --worker-bin=PATH   hs_worker override (default: next to this binary)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "exp/paper_tables.h"
 #include "exp/runner.h"
+#include "exp/sharded_runner.h"
 #include "metrics/report.h"
+#include "util/cli.h"
 #include "util/env.h"
 
 using namespace hs;
 
-int main() {
-  const BenchScale scale = ResolveBenchScale();
+int main(int argc, char** argv) try {
+  const CliArgs args(argc, argv);
+  BenchScale scale = ResolveBenchScale();
+  if (args.GetBool("quick", false)) {
+    scale.weeks = 1;
+    scale.seeds = 2;
+  }
+  scale.weeks = static_cast<int>(args.GetInt("weeks", scale.weeks));
+  scale.seeds = static_cast<int>(args.GetInt("seeds", scale.seeds));
+  const int shards = static_cast<int>(args.GetInt("shards", 0));
+  if (shards < 0) throw std::invalid_argument("--shards must be >= 0");
+  const std::string csv_path =
+      args.GetString("out", EnvString("HYBRIDSCHED_GRID_CSV", ""));
+  const bool strip_wallclock = args.GetBool("strip-wallclock", false);
+  const std::string strategy_name = args.GetString("strategy", "cost-weighted");
+  const std::string worker_bin = args.GetString("worker-bin", "");
+  args.RejectUnknown();
+
   const std::vector<std::string> policies = PolicyNames();
   std::vector<std::string> mechanisms = {"baseline"};
   for (const std::string& name : MechanismNames()) {
@@ -43,19 +71,34 @@ int main() {
   }
 
   // Stream every completed cell as a CSV row (to a file when requested,
-  // else into a discarded buffer — the streaming path still runs).
-  const std::string csv_path = EnvString("HYBRIDSCHED_GRID_CSV", "");
+  // else into a discarded buffer — the streaming path still runs). The
+  // merging sink pins the row order to canonical spec order, so the bytes
+  // do not depend on thread or worker completion order.
   std::ofstream csv_file;
   std::ostringstream csv_buffer;
   if (!csv_path.empty()) csv_file.open(csv_path);
   std::ostream& csv_out = csv_file.is_open() ? static_cast<std::ostream&>(csv_file)
                                              : csv_buffer;
-  CsvResultSink sink(csv_out);
+  CsvResultSink sink(csv_out, {.include_wallclock = !strip_wallclock});
+  MergingResultSink merged(sink, specs.size());
 
-  ThreadPool pool;
-  ExperimentRunner runner(pool);
   const auto started = std::chrono::steady_clock::now();
-  const auto rows = runner.Run(specs, &sink);
+  std::vector<SpecResult> rows;
+  if (shards > 0) {
+    ShardedRunnerOptions options;
+    options.shards = static_cast<std::size_t>(shards);
+    options.strategy = ParseShardStrategy(strategy_name);
+    options.worker_cmd = worker_bin;
+    ShardedRunner runner(options);
+    rows = runner.Run(specs, &merged);
+    std::printf("scattered %zu cells across %zu workers (%s)\n\n", specs.size(),
+                runner.last_plan().shard_count(), ShardStrategyName(options.strategy));
+  } else {
+    ThreadPool pool;
+    ExperimentRunner runner(pool);
+    rows = runner.Run(specs, &merged);
+  }
+  merged.Finish();
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
@@ -87,4 +130,7 @@ int main() {
               "policy — the mechanisms act on running jobs, orthogonally to "
               "queue order (§I).\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

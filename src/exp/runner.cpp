@@ -16,8 +16,12 @@ std::string FmtDouble(double value) {
   return out.str();
 }
 
-/// (name, value-as-string) pairs shared by the CSV and JSONL sinks.
-std::vector<std::pair<std::string, std::string>> ResultFields(const SpecResult& row) {
+/// (name, value-as-string) pairs shared by the CSV and JSONL sinks. The
+/// wall-clock columns (decision_avg_us, decision_max_us) are the only ones
+/// that vary between runs of the same binary; CsvSinkOptions can strip them
+/// to produce byte-stable, diffable output.
+std::vector<std::pair<std::string, std::string>> ResultFields(const SpecResult& row,
+                                                              bool include_wallclock) {
   const SimResult& r = row.result;
   std::vector<std::pair<std::string, std::string>> fields;
   fields.emplace_back("spec", row.spec.ToString());
@@ -53,8 +57,10 @@ std::vector<std::pair<std::string, std::string>> ResultFields(const SpecResult& 
   fields.emplace_back("failures", std::to_string(r.failures));
   fields.emplace_back("shrinks", std::to_string(r.shrinks));
   fields.emplace_back("expands", std::to_string(r.expands));
-  fields.emplace_back("decision_avg_us", FmtDouble(r.decision_avg_us));
-  fields.emplace_back("decision_max_us", FmtDouble(r.decision_max_us));
+  if (include_wallclock) {
+    fields.emplace_back("decision_avg_us", FmtDouble(r.decision_avg_us));
+    fields.emplace_back("decision_max_us", FmtDouble(r.decision_max_us));
+  }
   fields.emplace_back("decisions", std::to_string(r.decisions));
   fields.emplace_back("makespan_s", std::to_string(r.makespan));
   return fields;
@@ -83,10 +89,11 @@ bool IsNumericField(const std::string& name) {
 
 }  // namespace
 
-CsvResultSink::CsvResultSink(std::ostream& out) : writer_(out) {}
+CsvResultSink::CsvResultSink(std::ostream& out, CsvSinkOptions options)
+    : writer_(out), options_(options) {}
 
-void CsvResultSink::OnResult(const SpecResult& row) {
-  const auto fields = ResultFields(row);
+void CsvResultSink::OnResult(std::size_t /*spec_index*/, const SpecResult& row) {
+  const auto fields = ResultFields(row, options_.include_wallclock);
   if (!header_written_) {
     std::vector<std::string> header;
     header.reserve(fields.size());
@@ -100,10 +107,10 @@ void CsvResultSink::OnResult(const SpecResult& row) {
   writer_.WriteRow(values);
 }
 
-void JsonlResultSink::OnResult(const SpecResult& row) {
+void JsonlResultSink::OnResult(std::size_t /*spec_index*/, const SpecResult& row) {
   std::string line = "{";
   bool first = true;
-  for (const auto& [name, value] : ResultFields(row)) {
+  for (const auto& [name, value] : ResultFields(row, /*include_wallclock=*/true)) {
     if (!first) line += ",";
     first = false;
     line += "\"" + name + "\":";
@@ -116,6 +123,56 @@ void JsonlResultSink::OnResult(const SpecResult& row) {
   line += "}\n";
   out_ << line;
   out_.flush();
+}
+
+MergingResultSink::MergingResultSink(ResultSink& inner, std::size_t expected_rows)
+    : inner_(inner), held_(expected_rows), seen_(expected_rows, false) {}
+
+void MergingResultSink::OnResult(std::size_t spec_index, const SpecResult& row) {
+  if (spec_index >= held_.size()) {
+    throw std::out_of_range("MergingResultSink: spec index " +
+                            std::to_string(spec_index) + " >= expected " +
+                            std::to_string(held_.size()));
+  }
+  if (seen_[spec_index]) {
+    throw std::runtime_error("MergingResultSink: duplicate row for spec index " +
+                             std::to_string(spec_index));
+  }
+  seen_[spec_index] = true;
+  held_[spec_index] = std::make_unique<SpecResult>(row);
+  while (next_ < held_.size() && held_[next_] != nullptr) {
+    inner_.OnResult(next_, *held_[next_]);
+    held_[next_].reset();  // forwarded; only the arrival flag stays
+    ++next_;
+  }
+}
+
+std::vector<std::size_t> MergingResultSink::MissingIndices() const {
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < seen_.size(); ++i) {
+    if (!seen_[i]) missing.push_back(i);
+  }
+  return missing;
+}
+
+void MergingResultSink::Finish() const {
+  const auto missing = MissingIndices();
+  if (missing.empty()) return;
+  throw std::runtime_error("MergingResultSink: " + std::to_string(missing.size()) +
+                           " of " + std::to_string(seen_.size()) +
+                           " rows never arrived (spec indices " +
+                           FormatIndexList(missing) + ")");
+}
+
+std::string FormatIndexList(const std::vector<std::size_t>& indices,
+                            std::size_t limit) {
+  std::string list;
+  for (std::size_t i = 0; i < indices.size() && i < limit; ++i) {
+    if (!list.empty()) list += ", ";
+    list += std::to_string(indices[i]);
+  }
+  if (indices.size() > limit) list += ", ...";
+  return list;
 }
 
 std::vector<SpecResult> ExperimentRunner::Run(const std::vector<SimSpec>& specs,
@@ -137,21 +194,48 @@ std::vector<SpecResult> ExperimentRunner::Run(const std::vector<SimSpec>& specs,
     if (inserted) trace_specs.push_back(&specs[i]);
     spec_to_trace[i] = it->second;
   }
+  // Failures (trace build or cell) are collected per index instead of
+  // thrown, so one bad cell cannot abort its siblings: every healthy cell
+  // still runs and streams to `sink` before Run reports the failure.
+  std::vector<std::string> trace_errors(trace_specs.size());
   std::vector<std::shared_ptr<const Trace>> traces(trace_specs.size());
   pool_.ParallelFor(trace_specs.size(), [&](std::size_t t) {
-    traces[t] = std::make_shared<const Trace>(trace_specs[t]->BuildTrace());
+    try {
+      traces[t] = std::make_shared<const Trace>(trace_specs[t]->BuildTrace());
+    } catch (const std::exception& e) {
+      trace_errors[t] = e.what();
+    }
   });
 
   // Run every cell in its own session; stream rows as they complete.
   std::vector<SpecResult> rows(specs.size());
+  std::vector<std::string> cell_errors(specs.size());
   pool_.ParallelFor(specs.size(), [&](std::size_t i) {
-    SimulationSession session(specs[i], traces[spec_to_trace[i]]);
-    rows[i] = SpecResult{specs[i], session.trace().name, session.Run()};
+    const std::string& trace_error = trace_errors[spec_to_trace[i]];
+    if (!trace_error.empty()) {
+      cell_errors[i] = trace_error;
+      return;
+    }
+    try {
+      SimulationSession session(specs[i], traces[spec_to_trace[i]]);
+      rows[i] = SpecResult{specs[i], session.trace().name, session.Run()};
+    } catch (const std::exception& e) {
+      cell_errors[i] = e.what();
+      return;
+    }
+    // Outside the catch: a throwing sink is a consumer bug and propagates
+    // as itself, not as a misattributed "spec failed" error.
     if (sink != nullptr) {
       std::lock_guard<std::mutex> lock(sink_mutex_);
-      sink->OnResult(rows[i]);
+      sink->OnResult(i, rows[i]);
     }
   });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!cell_errors[i].empty()) {
+      throw std::runtime_error("spec '" + specs[i].ToString() +
+                               "' failed: " + cell_errors[i]);
+    }
+  }
   return rows;
 }
 

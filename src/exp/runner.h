@@ -5,10 +5,16 @@
 // specs" (any mix of mechanisms, policies, presets, seeds and overrides),
 // results come back in spec order, and traces are built once per distinct
 // ScenarioKey() and shared across the cells that need them.
+//
+// Sinks receive the cell's position in the spec vector alongside the row,
+// so order-sensitive consumers (MergingResultSink, the sharded worker
+// protocol in shard_io.h) can restore canonical spec order no matter which
+// thread or process finished first.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -29,22 +35,32 @@ struct SpecResult {
 
 /// Streaming consumer of completed cells. OnResult is invoked from the
 /// runner as each cell finishes (serialized; never concurrently), in
-/// completion order — not spec order.
+/// completion order — not spec order. `spec_index` is the cell's position
+/// in the spec vector passed to Run.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
-  virtual void OnResult(const SpecResult& row) = 0;
+  virtual void OnResult(std::size_t spec_index, const SpecResult& row) = 0;
+};
+
+/// Column selection shared by the CSV sink and the golden/differential
+/// harness: wall-clock columns (decision_avg_us, decision_max_us) differ
+/// between any two runs of the same binary, so byte-stable outputs strip
+/// them and keep only simulation-content columns.
+struct CsvSinkOptions {
+  bool include_wallclock = true;
 };
 
 /// Writes one CSV row per completed cell (header first).
 class CsvResultSink final : public ResultSink {
  public:
   /// `out` must outlive the sink.
-  explicit CsvResultSink(std::ostream& out);
-  void OnResult(const SpecResult& row) override;
+  explicit CsvResultSink(std::ostream& out, CsvSinkOptions options = {});
+  void OnResult(std::size_t spec_index, const SpecResult& row) override;
 
  private:
   CsvWriter writer_;
+  CsvSinkOptions options_;
   bool header_written_ = false;
 };
 
@@ -53,10 +69,43 @@ class JsonlResultSink final : public ResultSink {
  public:
   /// `out` must outlive the sink.
   explicit JsonlResultSink(std::ostream& out) : out_(out) {}
-  void OnResult(const SpecResult& row) override;
+  void OnResult(std::size_t spec_index, const SpecResult& row) override;
 
  private:
   std::ostream& out_;
+};
+
+/// Reorders completion-order rows back into canonical spec order: rows are
+/// buffered until every earlier index has arrived, then forwarded to the
+/// inner sink as a contiguous in-order prefix. This makes streamed output
+/// (CSV bytes included) independent of thread/process completion order —
+/// the merge-determinism contract of the sharded runner.
+///
+/// OnResult throws std::out_of_range on an index >= expected_rows and
+/// std::runtime_error on a duplicate index. Call Finish() once the run
+/// completed: it throws std::runtime_error naming the missing indices when
+/// rows were dropped (a worker died mid-shard), so partial output can never
+/// be mistaken for a full grid.
+class MergingResultSink final : public ResultSink {
+ public:
+  /// `inner` must outlive the sink.
+  MergingResultSink(ResultSink& inner, std::size_t expected_rows);
+  void OnResult(std::size_t spec_index, const SpecResult& row) override;
+
+  /// Rows forwarded to the inner sink so far (the in-order prefix).
+  std::size_t flushed() const { return next_; }
+
+  /// Indices never delivered, in ascending order.
+  std::vector<std::size_t> MissingIndices() const;
+
+  /// Throws std::runtime_error unless every expected row arrived.
+  void Finish() const;
+
+ private:
+  ResultSink& inner_;
+  std::vector<std::unique_ptr<SpecResult>> held_;  // buffered, not yet flushed
+  std::vector<bool> seen_;
+  std::size_t next_ = 0;  // first index not yet forwarded
 };
 
 class ExperimentRunner {
@@ -68,6 +117,12 @@ class ExperimentRunner {
   /// generated once, in parallel; cells then run in parallel, each inside
   /// its own SimulationSession. `sink` (optional) receives each row as it
   /// completes. Returns the rows in spec order.
+  ///
+  /// A cell that throws mid-grid (e.g. a trace file that turned unreadable
+  /// after validation) does not abort the others: every remaining cell
+  /// still runs and streams its row to `sink`, and Run then throws
+  /// std::runtime_error naming the first failing spec (in spec order) and
+  /// its error. The sink therefore always holds every successful row.
   std::vector<SpecResult> Run(const std::vector<SimSpec>& specs,
                               ResultSink* sink = nullptr);
 
@@ -75,6 +130,11 @@ class ExperimentRunner {
   ThreadPool& pool_;
   std::mutex sink_mutex_;
 };
+
+/// "3, 7, 12" — at most `limit` entries, then ", ..." (error messages
+/// naming dropped/missing spec indices).
+std::string FormatIndexList(const std::vector<std::size_t>& indices,
+                            std::size_t limit = 8);
 
 /// `count` copies of `base` with seed = base_seed + i: the per-trace
 /// averaging pattern of every paper experiment.

@@ -1,0 +1,72 @@
+// Wire formats of the multi-process experiment runner (ShardedRunner on
+// the orchestrator side, hs_worker on the shard side).
+//
+// Shard spec file — what the orchestrator scatters. Text; first line is the
+// version header, then one cell per line, global spec index and canonical
+// spec string (SimSpec::ToString, so the SimSpec print/parse round-trip is
+// the serialization):
+//
+//   # hs-shard v1
+//   0	CUP&SPAA/FCFS/W5/seed=800
+//   7	baseline/SJF/W2/weeks=4
+//
+// Worker result stream — what each worker sends back. JSONL, one object
+// per completed cell, streamed (and flushed) as cells finish so a dying
+// worker leaves every completed row behind:
+//
+//   {"index":7,"spec":"...","trace":"...","result":{"avg_turnaround_h":...}}
+//
+// Doubles are printed with max_digits10 (17 significant digits), which
+// makes text round-trips bit-exact: the orchestrator re-parses rows and
+// re-formats them through the normal CSV sink, producing output
+// byte-identical to a single-process run on every simulation-content
+// column. Parsing is strict — unknown or missing result fields, malformed
+// lines, and bad indices all throw, so a version skew between orchestrator
+// and worker fails loudly instead of merging garbage.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/sim_spec.h"
+
+namespace hs {
+
+/// One scattered cell: position in the global spec vector + the spec.
+struct IndexedSpec {
+  std::size_t index = 0;
+  SimSpec spec;
+};
+
+/// One gathered cell: position in the global spec vector + the full row.
+struct IndexedSpecResult {
+  std::size_t index = 0;
+  SpecResult row;
+};
+
+/// Writes the shard file for `indices` (positions into `specs`).
+void WriteShardFile(std::ostream& out, const std::vector<std::size_t>& indices,
+                    const std::vector<SimSpec>& specs);
+void WriteShardFileAt(const std::string& path, const std::vector<std::size_t>& indices,
+                      const std::vector<SimSpec>& specs);
+
+/// Parses a shard file; throws std::runtime_error (with a line number) on a
+/// bad header, malformed line, invalid spec string, or duplicate index.
+std::vector<IndexedSpec> ReadShardFile(std::istream& in);
+std::vector<IndexedSpec> ReadShardFileAt(const std::string& path);
+
+/// Writes one worker result row (newline-terminated JSONL object).
+void WriteWorkerRow(std::ostream& out, std::size_t index, const SpecResult& row);
+
+/// Parses one worker row; throws std::runtime_error on malformed JSON,
+/// unknown/missing result fields, or an invalid spec string.
+IndexedSpecResult ParseWorkerRow(const std::string& line);
+
+/// Reads a whole worker output file (blank lines ignored); throws like
+/// ParseWorkerRow, prefixed with the path and line number.
+std::vector<IndexedSpecResult> ReadWorkerRows(const std::string& path);
+
+}  // namespace hs

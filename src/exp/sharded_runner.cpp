@@ -1,0 +1,189 @@
+#include "exp/sharded_runner.h"
+
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/shard_io.h"
+#include "util/file_util.h"
+#include "util/subprocess.h"
+
+namespace hs {
+
+namespace {
+
+std::string ShardPath(const std::string& dir, std::size_t shard, const char* suffix) {
+  return dir + "/shard_" + std::to_string(shard) + suffix;
+}
+
+/// The tail of a worker's stderr capture, for error messages.
+std::string StderrTail(const std::string& path, std::size_t max_bytes = 2000) {
+  std::string text;
+  try {
+    text = ReadTextFile(path);
+  } catch (const std::exception&) {
+    return "<no stderr captured>";
+  }
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) text.pop_back();
+  if (text.empty()) return "<empty stderr>";
+  if (text.size() > max_bytes) text = "..." + text.substr(text.size() - max_bytes);
+  return text;
+}
+
+/// Collects every row of one shard's output, enforcing that the shard
+/// returned exactly its assigned indices with the specs it was given.
+void GatherShard(std::size_t shard, const std::string& out_path,
+                 const std::vector<std::size_t>& assigned,
+                 const std::vector<SimSpec>& specs,
+                 std::vector<IndexedSpecResult>* gathered) {
+  const std::vector<IndexedSpecResult> rows = ReadWorkerRows(out_path);
+  std::vector<bool> assigned_here(specs.size(), false);
+  for (const std::size_t index : assigned) assigned_here[index] = true;
+  std::vector<bool> returned_here(specs.size(), false);
+  for (const IndexedSpecResult& row : rows) {
+    if (row.index >= specs.size()) {
+      throw std::runtime_error("shard " + std::to_string(shard) +
+                               " returned out-of-range spec index " +
+                               std::to_string(row.index));
+    }
+    if (!assigned_here[row.index]) {
+      throw std::runtime_error("shard " + std::to_string(shard) +
+                               " returned spec index " + std::to_string(row.index) +
+                               " that was never assigned to it");
+    }
+    if (returned_here[row.index]) {
+      throw std::runtime_error("shard " + std::to_string(shard) +
+                               " returned spec index " + std::to_string(row.index) +
+                               " twice");
+    }
+    returned_here[row.index] = true;
+    if (!(row.row.spec == specs[row.index])) {
+      throw std::runtime_error(
+          "shard " + std::to_string(shard) + " returned spec '" +
+          row.row.spec.ToString() + "' for index " + std::to_string(row.index) +
+          " where the plan scattered '" + specs[row.index].ToString() +
+          "' (shard file / worker version skew?)");
+    }
+  }
+  std::vector<std::size_t> missing;
+  for (const std::size_t index : assigned) {
+    if (!returned_here[index]) missing.push_back(index);
+  }
+  if (!missing.empty()) {
+    throw std::runtime_error("shard " + std::to_string(shard) + " dropped " +
+                             std::to_string(missing.size()) + " of " +
+                             std::to_string(assigned.size()) +
+                             " assigned rows (spec indices " +
+                             FormatIndexList(missing) + ")");
+  }
+  gathered->insert(gathered->end(), rows.begin(), rows.end());
+}
+
+/// Adapter collecting the ordered rows while forwarding to the caller's
+/// sink (which may be null).
+class CollectingSink final : public ResultSink {
+ public:
+  CollectingSink(std::vector<SpecResult>* rows, ResultSink* forward)
+      : rows_(rows), forward_(forward) {}
+  void OnResult(std::size_t spec_index, const SpecResult& row) override {
+    (*rows_)[spec_index] = row;
+    if (forward_ != nullptr) forward_->OnResult(spec_index, row);
+  }
+
+ private:
+  std::vector<SpecResult>* rows_;
+  ResultSink* forward_;
+};
+
+}  // namespace
+
+std::string DefaultWorkerCommand() {
+  const std::string dir = SelfExeDir();
+  return dir.empty() ? std::string("hs_worker") : dir + "/hs_worker";
+}
+
+ShardedRunner::ShardedRunner(ShardedRunnerOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<SpecResult> ShardedRunner::Run(const std::vector<SimSpec>& specs,
+                                           ResultSink* sink) {
+  for (const SimSpec& spec : specs) {
+    const std::string error = spec.Validate();
+    if (!error.empty()) {
+      throw std::invalid_argument("invalid spec '" + spec.ToString() + "': " + error);
+    }
+  }
+  last_plan_ = MakeShardPlan(specs, options_.shards, options_.strategy);
+  if (specs.empty()) return {};
+
+  const std::string worker =
+      options_.worker_cmd.empty() ? DefaultWorkerCommand() : options_.worker_cmd;
+
+  const bool own_work_dir = options_.work_dir.empty();
+  std::string work_dir = options_.work_dir;
+  if (own_work_dir) {
+    work_dir = MakeTempDir("hs-shards-");
+  } else {
+    std::filesystem::create_directories(work_dir);
+  }
+
+  // Scatter: write every shard file and build every command line before
+  // the first spawn, so nothing that can throw sits between forks — and
+  // spawned children are always reaped (Wait) before any failure is
+  // raised, even if the spawn loop itself throws.
+  std::vector<std::vector<std::string>> argvs;
+  argvs.reserve(last_plan_.shard_count());
+  for (std::size_t k = 0; k < last_plan_.shard_count(); ++k) {
+    WriteShardFileAt(ShardPath(work_dir, k, ".specs"), last_plan_.shards[k], specs);
+    std::vector<std::string> argv = {worker,
+                                     "--shard=" + ShardPath(work_dir, k, ".specs"),
+                                     "--out=" + ShardPath(work_dir, k, ".jsonl")};
+    if (options_.worker_threads > 0) {
+      argv.push_back("--threads=" + std::to_string(options_.worker_threads));
+    }
+    argvs.push_back(std::move(argv));
+  }
+  std::vector<Subprocess> workers;
+  workers.reserve(last_plan_.shard_count());
+  std::vector<ProcessStatus> statuses;
+  statuses.reserve(last_plan_.shard_count());
+  try {
+    for (std::size_t k = 0; k < argvs.size(); ++k) {
+      workers.push_back(Subprocess::Spawn(argvs[k], ShardPath(work_dir, k, ".stdout"),
+                                          ShardPath(work_dir, k, ".stderr")));
+    }
+    for (Subprocess& child : workers) statuses.push_back(child.Wait());
+  } catch (...) {
+    for (Subprocess& child : workers) child.Wait();  // no zombies
+    throw;
+  }
+
+  // Gather + merge. Any throw from here on leaves the scratch dir in place
+  // (shard files, partial outputs, stderr captures) for inspection.
+  std::vector<SpecResult> rows(specs.size());
+  for (std::size_t k = 0; k < statuses.size(); ++k) {
+    if (!statuses[k].ok()) {
+      throw std::runtime_error(
+          "shard " + std::to_string(k) + " worker ('" + worker + "') failed: " +
+          statuses[k].Describe() +
+          "; stderr: " + StderrTail(ShardPath(work_dir, k, ".stderr")));
+    }
+  }
+  std::vector<IndexedSpecResult> gathered;
+  gathered.reserve(specs.size());
+  for (std::size_t k = 0; k < last_plan_.shard_count(); ++k) {
+    GatherShard(k, ShardPath(work_dir, k, ".jsonl"), last_plan_.shards[k], specs,
+                &gathered);
+  }
+  // Feed rows in gather order (arbitrary) through the merging sink, which
+  // restores canonical spec order for the caller's sink.
+  CollectingSink collector(&rows, sink);
+  MergingResultSink merger(collector, specs.size());
+  for (const IndexedSpecResult& row : gathered) merger.OnResult(row.index, row.row);
+  merger.Finish();
+
+  if (own_work_dir && !options_.keep_work_dir) RemoveTreeBestEffort(work_dir);
+  return rows;
+}
+
+}  // namespace hs

@@ -1,0 +1,72 @@
+// ShardedRunner: ExperimentRunner's spec-vector contract, executed across
+// worker processes.
+//
+// The orchestrator partitions the specs with a deterministic ShardPlan,
+// scatters one shard file per worker (shard_io.h), spawns one hs_worker
+// process per shard, gathers the per-shard JSONL result streams, and
+// merges them back into canonical spec order through a MergingResultSink —
+// so the merged output (CSV bytes included) is byte-identical to a
+// single-process ExperimentRunner run on every simulation-content column,
+// regardless of which worker or thread finished first.
+//
+// Failure surfacing is part of the contract: a worker that exits non-zero,
+// dies on a signal, or drops rows (crashed mid-shard) turns into a
+// std::runtime_error naming the shard, the observed status/stderr, and the
+// missing spec indices. The scratch directory is kept on failure so the
+// shard files and partial outputs can be inspected.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/shard_plan.h"
+#include "exp/sim_spec.h"
+
+namespace hs {
+
+struct ShardedRunnerOptions {
+  /// Worker processes to scatter across (clamped to the spec count).
+  std::size_t shards = 2;
+  ShardStrategy strategy = ShardStrategy::kCostWeighted;
+  /// Path of the worker binary; empty uses DefaultWorkerCommand() (the
+  /// hs_worker next to the current executable).
+  std::string worker_cmd;
+  /// Threads per worker, forwarded as --threads (0: worker default, one
+  /// thread per core — oversubscribes when shards > 1; set explicitly for
+  /// benchmarking).
+  int worker_threads = 0;
+  /// Scratch directory for shard files and worker output. Empty: a fresh
+  /// temp dir, removed after a fully successful merge. A caller-provided
+  /// directory is created if needed and always kept.
+  std::string work_dir;
+  /// Keep the scratch directory even on success (debugging).
+  bool keep_work_dir = false;
+};
+
+class ShardedRunner {
+ public:
+  explicit ShardedRunner(ShardedRunnerOptions options = {});
+
+  /// Same contract as ExperimentRunner::Run — validates every spec up
+  /// front (std::invalid_argument), returns rows in spec order, streams
+  /// each row to `sink` — but rows arrive through worker processes and the
+  /// sink always sees them in canonical spec order (the merge reorders).
+  /// Throws std::runtime_error when a shard fails or drops rows.
+  std::vector<SpecResult> Run(const std::vector<SimSpec>& specs,
+                              ResultSink* sink = nullptr);
+
+  /// The partition used by the last Run (for logging/tests).
+  const ShardPlan& last_plan() const { return last_plan_; }
+
+ private:
+  ShardedRunnerOptions options_;
+  ShardPlan last_plan_;
+};
+
+/// Absolute path of the hs_worker expected next to the current executable
+/// (SelfExeDir() + "/hs_worker").
+std::string DefaultWorkerCommand();
+
+}  // namespace hs

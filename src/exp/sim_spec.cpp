@@ -68,109 +68,109 @@ struct OverrideEntry {
 const std::vector<OverrideEntry>& OverrideTable() {
   static const std::vector<OverrideEntry>* table = [] {
     auto* t = new std::vector<OverrideEntry>;
-    const auto scenario = [t](const char* key, const char* help,
+    const auto scenario = [t](const char* key, const char* help, const char* example,
                               std::function<void(const std::string&, ScenarioConfig&)> fn) {
-      t->push_back({{key, help, true},
+      t->push_back({{key, help, example, true},
                     [fn = std::move(fn)](const std::string& v, ScenarioConfig* s,
                                          HybridConfig*) { fn(v, *s); }});
     };
-    const auto config = [t](const char* key, const char* help,
+    const auto config = [t](const char* key, const char* help, const char* example,
                             std::function<void(const std::string&, HybridConfig&)> fn) {
-      t->push_back({{key, help, false},
+      t->push_back({{key, help, example, false},
                     [fn = std::move(fn)](const std::string& v, ScenarioConfig*,
                                          HybridConfig* c) { fn(v, *c); }});
     };
 
-    scenario("nodes", "machine size (also caps the largest job)",
+    scenario("nodes", "machine size (also caps the largest job)", "512",
              [](const std::string& v, ScenarioConfig& s) {
                const auto nodes = ParseIntValue("nodes", v);
                Require(nodes > 0, "nodes", "must be > 0");
                s.theta.num_nodes = static_cast<int>(nodes);
                s.theta.projects.max_job_size = static_cast<int>(nodes);
              });
-    scenario("projects", "number of projects in the synthetic workload",
+    scenario("projects", "number of projects in the synthetic workload", "32",
              [](const std::string& v, ScenarioConfig& s) {
                const auto n = ParseIntValue("projects", v);
                Require(n > 0, "projects", "must be > 0");
                s.theta.projects.num_projects = static_cast<int>(n);
              });
-    scenario("load", "offered-load calibration target",
+    scenario("load", "offered-load calibration target", "0.8",
              [](const std::string& v, ScenarioConfig& s) {
                const double load = ParseDoubleValue("load", v);
                Require(load > 0.0 && load <= 2.0, "load", "must be in (0, 2]");
                s.theta.target_load = load;
              });
-    scenario("od_share", "share of projects submitting on-demand jobs",
+    scenario("od_share", "share of projects submitting on-demand jobs", "0.25",
              [](const std::string& v, ScenarioConfig& s) {
                const double share = ParseDoubleValue("od_share", v);
                Require(share >= 0.0 && share <= 1.0, "od_share", "must be in [0, 1]");
                s.types.on_demand_project_share = share;
              });
-    scenario("rigid_share", "share of projects submitting rigid jobs",
+    scenario("rigid_share", "share of projects submitting rigid jobs", "0.5",
              [](const std::string& v, ScenarioConfig& s) {
                const double share = ParseDoubleValue("rigid_share", v);
                Require(share >= 0.0 && share <= 1.0, "rigid_share", "must be in [0, 1]");
                s.types.rigid_project_share = share;
              });
-    scenario("malleable_min", "malleable minimum size as a fraction of the request",
+    scenario("malleable_min", "malleable minimum size as a fraction of the request", "0.5",
              [](const std::string& v, ScenarioConfig& s) {
                const double frac = ParseDoubleValue("malleable_min", v);
                Require(frac > 0.0 && frac <= 1.0, "malleable_min", "must be in (0, 1]");
                s.types.malleable_min_frac = frac;
              });
 
-    config("ckpt_scale", "checkpoint interval as a multiple of the Daly optimum",
+    config("ckpt_scale", "checkpoint interval as a multiple of the Daly optimum", "0.5",
            [](const std::string& v, HybridConfig& c) {
              const double scale = ParseDoubleValue("ckpt_scale", v);
              Require(scale > 0.0, "ckpt_scale", "must be > 0");
              c.engine.checkpoint.interval_scale = scale;
            });
-    config("warning", "malleable drain warning, seconds",
+    config("warning", "malleable drain warning, seconds", "120",
            [](const std::string& v, HybridConfig& c) {
              const auto seconds = ParseIntValue("warning", v);
              Require(seconds >= 0, "warning", "must be >= 0");
              c.engine.drain_warning = seconds;
            });
-    config("backfill", "backfill jobs onto reserved nodes (bool)",
+    config("backfill", "backfill jobs onto reserved nodes (bool)", "true",
            [](const std::string& v, HybridConfig& c) {
              c.backfill_on_reserved = ParseBoolValue("backfill", v);
            });
-    config("expand", "opportunistically expand malleable jobs (bool)",
+    config("expand", "opportunistically expand malleable jobs (bool)", "false",
            [](const std::string& v, HybridConfig& c) {
              c.opportunistic_expand = ParseBoolValue("expand", v);
            });
-    config("hold", "hold returned nodes for preempted lenders (bool)",
+    config("hold", "hold returned nodes for preempted lenders (bool)", "true",
            [](const std::string& v, HybridConfig& c) {
              c.hold_returned_nodes = ParseBoolValue("hold", v);
            });
-    config("partition", "static on-demand partition size, nodes (0 = off)",
+    config("partition", "static on-demand partition size, nodes (0 = off)", "256",
            [](const std::string& v, HybridConfig& c) {
              const auto nodes = ParseIntValue("partition", v);
              Require(nodes >= 0, "partition", "must be >= 0");
              c.static_od_partition = static_cast<int>(nodes);
            });
-    config("timeout", "reservation timeout after the predicted arrival, seconds",
+    config("timeout", "reservation timeout after the predicted arrival, seconds", "300",
            [](const std::string& v, HybridConfig& c) {
              const auto seconds = ParseIntValue("timeout", v);
              Require(seconds >= 0, "timeout", "must be >= 0");
              c.reservation_timeout = seconds;
            });
-    config("instant", "instant-start threshold, seconds",
+    config("instant", "instant-start threshold, seconds", "60",
            [](const std::string& v, HybridConfig& c) {
              const auto seconds = ParseIntValue("instant", v);
              Require(seconds >= 0, "instant", "must be >= 0");
              c.instant_threshold = seconds;
            });
-    scenario("swf", "SWF trace file to replay (preset=swf; '/' written as %2F in specs)",
+    scenario("swf", "SWF trace file to replay (preset=swf; '/' written as %2F in specs)", "/data/theta.swf",
              [](const std::string& v, ScenarioConfig& s) {
                Require(!v.empty(), "swf", "must be a file path");
                s.swf_path = v;
              });
-    config("failures", "inject hardware failures (bool)",
+    config("failures", "inject hardware failures (bool)", "true",
            [](const std::string& v, HybridConfig& c) {
              c.engine.inject_failures = ParseBoolValue("failures", v);
            });
-    config("mtbf_days", "per-node mean time between failures, days",
+    config("mtbf_days", "per-node mean time between failures, days", "7.5",
            [](const std::string& v, HybridConfig& c) {
              const double days = ParseDoubleValue("mtbf_days", v);
              Require(days > 0.0, "mtbf_days", "must be > 0");

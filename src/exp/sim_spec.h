@@ -89,6 +89,10 @@ struct SimSpec {
 struct OverrideKey {
   std::string key;
   std::string help;
+  /// A valid sample value (shown in --help text; the spec round-trip test
+  /// loops the table and exercises every key through it, so a new key is
+  /// covered the moment it is registered).
+  std::string example;
   /// True when the key affects trace generation (ScenarioConfig), false
   /// when it tunes the scheduler (HybridConfig).
   bool scenario = false;

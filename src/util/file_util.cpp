@@ -1,0 +1,66 @@
+#include "util/file_util.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace hs {
+
+std::string ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("read failed: " + path);
+  return out.str();
+}
+
+void WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << content;
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  return SplitLines(ReadTextFile(path));
+}
+
+std::string MakeTempDir(const std::string& prefix) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string pattern = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  if (pattern.back() != '/') pattern += '/';
+  pattern += prefix + "XXXXXX";
+  std::vector<char> buf(pattern.begin(), pattern.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp failed for pattern: " + pattern);
+  }
+  return std::string(buf.data());
+}
+
+void RemoveTreeBestEffort(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+}
+
+}  // namespace hs

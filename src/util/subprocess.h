@@ -1,0 +1,68 @@
+// Minimal POSIX subprocess spawning for the multi-process experiment
+// harness: fork/exec (no shell), optional stdout/stderr redirection to
+// files, and blocking waits. Workers share nothing with the parent beyond
+// their command line, so this stays deliberately small.
+#pragma once
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace hs {
+
+/// Terminal state of one child process.
+struct ProcessStatus {
+  bool spawned = false;   // fork/exec reached the child
+  int exit_code = -1;     // valid when spawned && !signaled
+  bool signaled = false;  // child died on a signal
+  int term_signal = 0;    // valid when signaled
+  std::string error;      // parent-side failure (fork/open), when !spawned
+
+  bool ok() const { return spawned && !signaled && exit_code == 0; }
+  /// Human-readable summary ("exit 3", "signal 11 (SEGV)", ...).
+  std::string Describe() const;
+};
+
+/// One spawned child. Move-only; Wait() must be called (the destructor
+/// asserts the child was reaped so shard failures cannot leak zombies).
+class Subprocess {
+ public:
+  /// Starts `argv` (argv[0] is the executable; PATH-searched when it has no
+  /// '/'). Non-empty `stdout_path` / `stderr_path` redirect the child's
+  /// streams to freshly truncated files. Never throws: a failed spawn is
+  /// reported by Wait().
+  static Subprocess Spawn(const std::vector<std::string>& argv,
+                          const std::string& stdout_path = "",
+                          const std::string& stderr_path = "");
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess();
+
+  /// Blocks until the child exits; idempotent (later calls return the
+  /// cached status).
+  ProcessStatus Wait();
+
+  pid_t pid() const { return pid_; }
+
+ private:
+  Subprocess() = default;
+
+  pid_t pid_ = -1;  // -1: spawn failed or already reaped
+  ProcessStatus status_;
+  bool reaped_ = false;
+};
+
+/// Convenience: spawn + wait.
+ProcessStatus RunProcess(const std::vector<std::string>& argv,
+                         const std::string& stdout_path = "",
+                         const std::string& stderr_path = "");
+
+/// Directory holding the current executable (via /proc/self/exe), without a
+/// trailing slash; empty when it cannot be resolved. Lets orchestrators
+/// find sibling binaries (hs_worker) in the same build directory.
+std::string SelfExeDir();
+
+}  // namespace hs

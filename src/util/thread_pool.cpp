@@ -48,7 +48,18 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(Submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before rethrowing: queued tasks capture `fn` by
+  // reference, so returning early would leave workers running against a
+  // dead callable (and silently drop the iterations behind the failure).
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace hs

@@ -40,7 +40,8 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from tasks are rethrown (first one wins).
+  /// Every iteration runs even when one throws; the first exception (in
+  /// index order) is rethrown once all of them have finished.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const { return workers_.size(); }

@@ -187,5 +187,54 @@ TEST(SimSpecTest, KnownOverridesHaveHelpText) {
   }
 }
 
+// The shard files of the multi-process runner serialize every cell as its
+// canonical spec string, so the print/parse round-trip below is the wire
+// format of the scatter phase — it must hold for every registered override
+// key, not a hand-picked subset. Looping OverrideTable() via
+// KnownOverrides() means a newly registered key is covered (and must ship
+// a valid `example`) the moment it exists.
+TEST(SimSpecTest, EveryOverrideKeyRoundTripsThroughSpecStrings) {
+  for (const OverrideKey& key : KnownOverrides()) {
+    ASSERT_FALSE(key.example.empty())
+        << "override '" << key.key << "' needs an example value in OverrideTable()";
+    SimSpec spec;
+    spec.SetOverride(key.key, key.example);  // example must validate
+    const SimSpec reparsed = SimSpec::Parse(spec.ToString());
+    EXPECT_EQ(reparsed, spec) << "round trip broke for override '" << key.key
+                              << "' via '" << spec.ToString() << "'";
+    EXPECT_EQ(reparsed.overrides.at(key.key), key.example);
+  }
+}
+
+TEST(SimSpecTest, PathValuesEscapeSlashesInsideSpecStrings) {
+  SimSpec spec;
+  spec.SetOverride("swf", "/data/theta%2.swf");  // '/' and literal '%'
+  const std::string text = spec.ToString();
+  // Inside the one-string form, '/' is %2F and '%' is %25 — the segment
+  // separator never collides with path characters.
+  EXPECT_NE(text.find("swf=%2Fdata%2Ftheta%252.swf"), std::string::npos) << text;
+  const SimSpec reparsed = SimSpec::Parse(text);
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_EQ(reparsed.overrides.at("swf"), "/data/theta%2.swf");
+  // Lower-case escapes and unknown escape sequences decode predictably.
+  EXPECT_EQ(SimSpec::Parse("baseline/FCFS/W5/preset=swf/swf=%2fx").overrides.at("swf"),
+            "/x");
+}
+
+TEST(SimSpecTest, UnknownOverrideKeysAreRejectedEverywhere) {
+  // Parse path (shard files), SetOverride path (API), both throw naming
+  // the key and listing the known ones.
+  try {
+    SimSpec::Parse("baseline/FCFS/W5/bogus_knob=3");
+    FAIL() << "unknown key must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus_knob"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("nodes"), std::string::npos)
+        << "error should list known keys: " << e.what();
+  }
+  SimSpec spec;
+  EXPECT_THROW(spec.SetOverride("bogus_knob", "3"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hs

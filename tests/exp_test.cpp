@@ -4,6 +4,7 @@
 
 #include "exp/runner.h"
 #include "exp/paper_tables.h"
+#include "util/file_util.h"
 
 namespace hs {
 namespace {
@@ -88,11 +89,13 @@ TEST(ExperimentTest, RunnerSharesTracesAndStreamsRows) {
 
   class CountingSink final : public ResultSink {
    public:
-    void OnResult(const SpecResult& row) override {
+    void OnResult(std::size_t spec_index, const SpecResult& row) override {
       ++rows;
+      last_index = spec_index;
       last_trace = row.trace_name;
     }
     int rows = 0;
+    std::size_t last_index = 0;
     std::string last_trace;
   } sink;
   const auto rows = runner.Run(specs, &sink);
@@ -101,6 +104,45 @@ TEST(ExperimentTest, RunnerSharesTracesAndStreamsRows) {
   EXPECT_EQ(rows[0].trace_name, rows[1].trace_name);
   // Same trace, same baseline-vs-mechanism contract as the old grid.
   EXPECT_GT(rows[0].result.jobs_completed, 0u);
+}
+
+TEST(ExperimentTest, MidGridFailureFlushesPriorRowsAndNamesSpec) {
+  // A spec that is valid in isolation but fails against its trace: the SWF
+  // replay has no MaxNodes header, so the machine is sized to the largest
+  // job (4 nodes), and the 100-node static partition then throws when the
+  // scheduler comes up — only after up-front validation passed. The
+  // contract: every healthy cell still runs and streams to the sink, and
+  // the error names the failing spec string.
+  const std::string dir = MakeTempDir("hs-exp-test-");
+  const std::string swf_path = dir + "/headerless.swf";
+  WriteTextFile(swf_path, "1 0 0 100 4 0 0 4 100\n");
+  SimSpec bad = SimSpec::Parse("baseline/FCFS/W5/preset=swf/partition=100");
+  bad.SetOverride("swf", swf_path);
+  ASSERT_TRUE(bad.Validate().empty()) << bad.Validate();
+
+  std::vector<SimSpec> specs = {SimSpec::Parse("baseline/FCFS/W5/preset=tiny/seed=5"),
+                                bad,
+                                SimSpec::Parse("N&SPAA/FCFS/W5/preset=tiny/seed=5")};
+  class CountingSink final : public ResultSink {
+   public:
+    void OnResult(std::size_t, const SpecResult& row) override {
+      ++rows;
+      EXPECT_GT(row.result.jobs_completed, 0u);
+    }
+    int rows = 0;
+  } sink;
+
+  ThreadPool pool(2);
+  ExperimentRunner runner(pool);
+  try {
+    runner.Run(specs, &sink);
+    FAIL() << "the swf cell must fail mid-grid";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(bad.ToString()), std::string::npos)
+        << "error must name the failing spec: " << e.what();
+  }
+  EXPECT_EQ(sink.rows, 2) << "healthy cells must still reach the sink";
+  RemoveTreeBestEffort(dir);
 }
 
 TEST(ExperimentTest, RunnerRejectsInvalidSpecs) {

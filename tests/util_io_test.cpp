@@ -6,6 +6,7 @@
 
 #include "util/csv.h"
 #include "util/env.h"
+#include "util/file_util.h"
 #include "util/log.h"
 
 namespace hs {
@@ -96,6 +97,44 @@ TEST(LogTest, OffSilencesEverything) {
   SetLogLevel(LogLevel::kOff);
   HS_LOG(kError) << "still filtered";
   SetLogLevel(before);
+}
+
+TEST(FileUtilTest, TextFileRoundTripAndLines) {
+  const std::string dir = MakeTempDir("hs-io-test-");
+  const std::string path = dir + "/sample.txt";
+  WriteTextFile(path, "alpha\nbeta\n\ngamma");
+  EXPECT_EQ(ReadTextFile(path), "alpha\nbeta\n\ngamma");
+  EXPECT_EQ(ReadLines(path),
+            (std::vector<std::string>{"alpha", "beta", "", "gamma"}));
+  // A trailing newline does not create a phantom empty line.
+  WriteTextFile(path, "one\ntwo\n");
+  EXPECT_EQ(ReadLines(path), (std::vector<std::string>{"one", "two"}));
+  WriteTextFile(path, "");
+  EXPECT_TRUE(ReadLines(path).empty());
+  RemoveTreeBestEffort(dir);
+}
+
+TEST(FileUtilTest, MissingFilesThrowWithPath) {
+  try {
+    ReadTextFile("/nonexistent/hs/file.txt");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/hs/file.txt"),
+              std::string::npos);
+  }
+  EXPECT_THROW(WriteTextFile("/nonexistent/hs/file.txt", "x"), std::runtime_error);
+}
+
+TEST(FileUtilTest, TempDirsAreFreshAndRemovable) {
+  const std::string a = MakeTempDir("hs-io-test-");
+  const std::string b = MakeTempDir("hs-io-test-");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.find("hs-io-test-"), std::string::npos);
+  WriteTextFile(a + "/nested.txt", "x");
+  RemoveTreeBestEffort(a);
+  EXPECT_THROW(ReadTextFile(a + "/nested.txt"), std::runtime_error);
+  RemoveTreeBestEffort(b);
+  RemoveTreeBestEffort(b);  // idempotent, never throws
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+// Subprocess spawning: exit codes, signals, redirection, exec failures,
+// and sibling-binary resolution — the primitives under ShardedRunner.
+#include <gtest/gtest.h>
+
+#include "util/file_util.h"
+#include "util/subprocess.h"
+
+namespace hs {
+namespace {
+
+TEST(SubprocessTest, RunsAndReportsExitZero) {
+  const ProcessStatus status = RunProcess({"/bin/true"});
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.exit_code, 0);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.Describe(), "exit 0");
+}
+
+TEST(SubprocessTest, ReportsNonZeroExit) {
+  const ProcessStatus status = RunProcess({"/bin/sh", "-c", "exit 3"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.exit_code, 3);
+  EXPECT_EQ(status.Describe(), "exit 3");
+}
+
+TEST(SubprocessTest, ReportsTerminationSignal) {
+  const ProcessStatus status = RunProcess({"/bin/sh", "-c", "kill -9 $$"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, 9);
+  EXPECT_NE(status.Describe().find("signal 9"), std::string::npos);
+}
+
+TEST(SubprocessTest, RedirectsStdoutToFile) {
+  const std::string dir = MakeTempDir("hs-subproc-test-");
+  const std::string out = dir + "/echo.out";
+  const ProcessStatus status = RunProcess({"/bin/echo", "hello", "shard"}, out);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(ReadTextFile(out), "hello shard\n");
+  RemoveTreeBestEffort(dir);
+}
+
+TEST(SubprocessTest, ExecFailureIsExit127WithStderrNote) {
+  const std::string dir = MakeTempDir("hs-subproc-test-");
+  const std::string err = dir + "/err.txt";
+  const ProcessStatus status = RunProcess({"/nonexistent/bin"}, "", err);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.exit_code, 127);
+  EXPECT_NE(status.Describe().find("exec failed"), std::string::npos);
+  EXPECT_NE(ReadTextFile(err).find("/nonexistent/bin"), std::string::npos);
+  RemoveTreeBestEffort(dir);
+}
+
+TEST(SubprocessTest, WaitIsIdempotent) {
+  Subprocess child = Subprocess::Spawn({"/bin/sh", "-c", "exit 5"});
+  EXPECT_EQ(child.Wait().exit_code, 5);
+  EXPECT_EQ(child.Wait().exit_code, 5);  // cached, no double-reap
+}
+
+TEST(SubprocessTest, SelfExeDirIsAbsolute) {
+  const std::string dir = SelfExeDir();
+  ASSERT_FALSE(dir.empty());
+  EXPECT_EQ(dir.front(), '/');
+  EXPECT_NE(dir.back(), '/');
+}
+
+TEST(SubprocessTest, EmptyArgvFailsCleanly) {
+  const ProcessStatus status = RunProcess({});
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(status.spawned);
+  EXPECT_NE(status.Describe().find("spawn failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,86 @@
+// hs_worker: executes one shard of a sharded experiment grid.
+//
+//   hs_worker --shard=FILE --out=FILE [--threads=N]
+//
+// Reads the shard spec file written by ShardedRunner (shard_io.h), runs
+// every cell through the ordinary in-process ExperimentRunner (so trace
+// sharing, validation, and failure semantics are identical to a local
+// run), and streams one JSONL result row per completed cell to --out,
+// flushed per row: if this process dies mid-shard, every completed row is
+// still on disk and the orchestrator reports exactly which spec indices
+// were dropped.
+//
+// Exit status: 0 on success; 1 on any error (bad flags, unreadable shard
+// file, failing spec) with the reason on stderr.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/shard_io.h"
+#include "util/cli.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+/// Translates the runner's local spec indices back to the global indices
+/// of the shard file and streams each row, durably, as it completes.
+class ShardOutputSink final : public hs::ResultSink {
+ public:
+  ShardOutputSink(std::ostream& out, std::vector<std::size_t> global_indices)
+      : out_(out), global_indices_(std::move(global_indices)) {}
+
+  void OnResult(std::size_t spec_index, const hs::SpecResult& row) override {
+    hs::WriteWorkerRow(out_, global_indices_.at(spec_index), row);
+    out_.flush();
+  }
+
+ private:
+  std::ostream& out_;
+  std::vector<std::size_t> global_indices_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  try {
+    const CliArgs args(argc, argv);
+    const std::string shard_path = args.GetString("shard", "");
+    const std::string out_path = args.GetString("out", "");
+    const int threads = static_cast<int>(args.GetInt("threads", 0));
+    args.RejectUnknown();
+    if (shard_path.empty() || out_path.empty()) {
+      std::fprintf(stderr, "usage: %s --shard=FILE --out=FILE [--threads=N]\n",
+                   args.program().c_str());
+      return 1;
+    }
+
+    const std::vector<IndexedSpec> cells = ReadShardFileAt(shard_path);
+    std::vector<SimSpec> specs;
+    std::vector<std::size_t> global_indices;
+    specs.reserve(cells.size());
+    global_indices.reserve(cells.size());
+    for (const IndexedSpec& cell : cells) {
+      global_indices.push_back(cell.index);
+      specs.push_back(cell.spec);
+    }
+
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "hs_worker: cannot open --out=%s\n", out_path.c_str());
+      return 1;
+    }
+    ShardOutputSink sink(out, std::move(global_indices));
+
+    ThreadPool pool(threads > 0 ? static_cast<std::size_t>(threads) : 0);
+    ExperimentRunner runner(pool);
+    runner.Run(specs, &sink);
+    std::printf("hs_worker: ran %zu cells from %s\n", specs.size(),
+                shard_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hs_worker: %s\n", e.what());
+    return 1;
+  }
+}
