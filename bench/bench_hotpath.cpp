@@ -1,10 +1,11 @@
 // bench_hotpath: microbenchmark harness for the simulator's per-event hot
-// paths. Four benchmark families cover the layers the event loop touches on
+// paths. Five benchmark families cover the layers the event loop touches on
 // every simulated second:
 //
 //   cluster_ops     platform: start/finish/reserve/release node bookkeeping
 //   queue_order_*   sched: policy-ordered waiting-queue views (hot + churn)
 //   event_churn     sim: schedule/cancel/pop cycles (malleable resizes)
+//   trace_gen_burst workload: modulated synthesis (burst/aimix presets)
 //   end_to_end      exp: sequential ExperimentRunner cells/sec
 //
 // Methodology: steady-clock timing, one warmup run per benchmark, then R
@@ -228,6 +229,21 @@ std::int64_t EventChurn(int jobs, int rounds) {
   return ops;
 }
 
+// --- workload: modulated trace synthesis --------------------------------------
+
+/// Generator-layer throughput: jobs synthesized per second for a bursty,
+/// AI-blended scenario — Theta synthesis plus the workload/generators.h
+/// pipeline (AI swarm blend + storm/diurnal arrival warp), the hot path of
+/// the burst/diurnal/aimix presets. Returns jobs generated.
+std::int64_t TraceGenBurst(int weeks) {
+  SimSpec spec =
+      SimSpec::Parse("baseline/FCFS/W5/preset=burst/ai_frac=0.2/diurnal_amp=0.5");
+  spec.weeks = weeks;
+  spec.seed = 77;
+  const Trace trace = spec.BuildTrace();
+  return static_cast<std::int64_t>(trace.jobs.size());
+}
+
 // --- exp: end-to-end cells/sec ------------------------------------------------
 
 /// Sequential ExperimentRunner throughput over a small mechanism sample.
@@ -297,6 +313,7 @@ int main(int argc, char** argv) try {
   const int event_rounds = quick ? 120000 : 600000;
   const int e2e_weeks = quick ? 1 : 2;
   const int e2e_seeds = quick ? 1 : 2;
+  const int trace_gen_weeks = quick ? 1 : 4;
 
   std::printf("=== bench_hotpath (%s: reps=%d) ===\n", quick ? "quick" : "full", reps);
 
@@ -313,6 +330,9 @@ int main(int argc, char** argv) try {
   }));
   results.push_back(RunBench("event_churn", reps, [&] {
     return EventChurn(event_jobs, event_rounds);
+  }));
+  results.push_back(RunBench("trace_gen_burst", reps, [&] {
+    return TraceGenBurst(trace_gen_weeks);
   }));
   results.push_back(RunBench("end_to_end_cells", reps, [&] {
     return EndToEnd(e2e_weeks, e2e_seeds);

@@ -10,8 +10,13 @@
 // Flags (RejectUnknown enforced):
 //   --quick             1 week x 2 seeds (the CI differential scale)
 //   --weeks=N --seeds=N explicit scale (defaults: HYBRIDSCHED_WEEKS/_SEEDS)
+//   --preset=NAME       scenario preset for every cell (default: paper);
+//                       burst/diurnal/aimix/paper-xl sweep the generator
+//                       presets (docs/SCENARIOS.md)
 //   --out=PATH          write the streamed CSV here (HYBRIDSCHED_GRID_CSV)
 //   --strip-wallclock   omit decision_avg_us/decision_max_us -> diffable
+//   --digest            print the streaming percentile digest (p50/p90/p99
+//                       per headline metric, O(1) memory) after the run
 //   --shards=K          run through ShardedRunner with K hs_worker procs
 //   --strategy=NAME     round-robin | cost-weighted (default)
 //   --worker-bin=PATH   hs_worker override (default: next to this binary)
@@ -22,7 +27,9 @@
 #include <stdexcept>
 
 #include "exp/paper_tables.h"
+#include "exp/quantile_sink.h"
 #include "exp/runner.h"
+#include "exp/scenario.h"
 #include "exp/sharded_runner.h"
 #include "metrics/report.h"
 #include "util/cli.h"
@@ -46,6 +53,9 @@ int main(int argc, char** argv) try {
   const bool strip_wallclock = args.GetBool("strip-wallclock", false);
   const std::string strategy_name = args.GetString("strategy", "cost-weighted");
   const std::string worker_bin = args.GetString("worker-bin", "");
+  const std::string preset =
+      ScenarioRegistry().Canonical(args.GetString("preset", "paper"));
+  const bool digest = args.GetBool("digest", false);
   args.RejectUnknown();
 
   const std::vector<std::string> policies = PolicyNames();
@@ -54,15 +64,17 @@ int main(int argc, char** argv) try {
     if (name != "baseline") mechanisms.push_back(name);
   }
 
-  std::printf("=== Spec grid: %zu mechanisms x %zu policies "
+  std::printf("=== Spec grid: %zu mechanisms x %zu policies on preset '%s' "
               "(%d weeks x %d seeds per cell) ===\n\n",
-              mechanisms.size(), policies.size(), scale.weeks, scale.seeds);
+              mechanisms.size(), policies.size(), preset.c_str(), scale.weeks,
+              scale.seeds);
 
   // One flat spec vector, mechanism-major then policy, seeds innermost.
   std::vector<SimSpec> specs;
   for (const std::string& mechanism : mechanisms) {
     for (const std::string& policy : policies) {
       SimSpec base = SimSpec::Parse(mechanism + "/" + policy + "/W5");
+      base.preset = preset;
       base.weeks = scale.weeks;
       for (const SimSpec& seeded : SeedSweep(base, scale.seeds, 800)) {
         specs.push_back(seeded);
@@ -80,7 +92,14 @@ int main(int argc, char** argv) try {
   std::ostream& csv_out = csv_file.is_open() ? static_cast<std::ostream&>(csv_file)
                                              : csv_buffer;
   CsvResultSink sink(csv_out, {.include_wallclock = !strip_wallclock});
-  MergingResultSink merged(sink, specs.size());
+  // The digest sits behind the merging sink too: P^2 estimates depend on
+  // insertion order, so canonical spec order makes the digest of a sharded
+  // run identical to the single-process one.
+  QuantileResultSink quantiles;
+  std::vector<ResultSink*> fanout = {&sink};
+  if (digest) fanout.push_back(&quantiles);
+  TeeResultSink tee(std::move(fanout));
+  MergingResultSink merged(tee, specs.size());
 
   const auto started = std::chrono::steady_clock::now();
   std::vector<SpecResult> rows;
@@ -120,6 +139,7 @@ int main(int argc, char** argv) try {
                             .c_str());
   }
 
+  if (digest) std::printf("%s\n", quantiles.Summary().c_str());
   std::printf("ran %zu cells (%zu simulations) in %.1f s (%.2f sims/s)\n",
               means.size(), rows.size(), elapsed_s,
               static_cast<double>(rows.size()) / elapsed_s);

@@ -1,0 +1,86 @@
+// Scenario presets are registry plugins: a preset is a function from
+// (weeks, notice mix) to a ScenarioConfig, and the workload-generator layer
+// (workload/generators.h) makes new workload families a matter of setting
+// knobs instead of writing a generator. This example registers a *custom*
+// generator-based preset in the ScenarioRegistry — "flashcrowd", a midsize
+// machine whose arrivals carry violent lunchtime storms, a deep diurnal
+// cycle, and a 20% AI-swarm demand share — and sweeps the paper's headline
+// mechanisms over it, every cell addressed by a SimSpec string.
+// Registering the preset is the only step: no scheduler, bench or CLI
+// edits, and every generator knob stays re-tunable from spec strings
+// (e.g. preset=flashcrowd/burst_mult=12).
+//
+// The mirror walkthrough for behavioral mechanism plugins is
+// examples/custom_mechanism.cpp; the preset catalog is docs/SCENARIOS.md.
+//
+//   ./custom_scenario [--weeks=2] [--seed=3]
+#include <cstdio>
+#include <exception>
+
+#include "exp/quantile_sink.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "metrics/report.h"
+#include "util/cli.h"
+
+using namespace hs;
+
+int main(int argc, char** argv) try {
+  const CliArgs args(argc, argv);
+  const int weeks = static_cast<int>(args.GetInt("weeks", 2));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 3));
+  args.RejectUnknown();
+
+  // Step 1 (and the only step): register the preset. Start from an existing
+  // scale, then turn the generator knobs — the modulators compose with the
+  // Theta synthesis, so sizes/runtimes/projects keep their Table I shape
+  // while the arrival process and job mix change character.
+  RegisterScenarioPreset(
+      "flashcrowd",
+      [](int horizon_weeks, const std::string& mix) {
+        ScenarioConfig config = MakeScenario("midsize", horizon_weeks, mix);
+        config.gen.burst.mult = 10.0;            // violent spikes...
+        config.gen.burst.period = 6 * kHour;     // ...several times a day...
+        config.gen.burst.duration = 30 * kMinute;  // ...half an hour long
+        config.gen.diurnal.amplitude = 0.8;      // deep day/night swing
+        config.gen.diurnal.weekend_factor = 0.5; // quieter weekends
+        config.gen.ai.frac = 0.20;               // 20% AI-swarm demand
+        // No load compensation needed: the AI share carves out of the
+        // configured total (BuildScenarioTrace scales the base by 1-frac).
+        return config;
+      },
+      {"flash"});
+
+  // Step 2: it is now addressable from any spec string, like any built-in.
+  ThreadPool pool;
+  ExperimentRunner runner(pool);
+  std::vector<SimSpec> specs;
+  for (const char* mechanism : {"baseline", "N&SPAA", "CUA&SPAA", "CUP&SPAA"}) {
+    SimSpec spec = SimSpec::Parse(std::string(mechanism) + "/FCFS/W5/preset=flashcrowd");
+    spec.weeks = weeks;
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+
+  // Stream the cells through the ROADMAP's streaming percentile sink: the
+  // digest costs O(1) memory however large the grid grows.
+  QuantileResultSink digest;
+  const auto rows = runner.Run(specs, &digest);
+
+  std::printf("custom 'flashcrowd' preset (%d weeks, seed %llu): %s\n\n", weeks,
+              static_cast<unsigned long long>(seed), rows.front().trace_name.c_str());
+  std::vector<LabeledResult> table;
+  for (const SpecResult& row : rows) {
+    table.push_back({row.spec.mechanism, row.result});
+  }
+  std::printf("%s\n", RenderComparisonTable(table).c_str());
+  std::printf("%s\n", digest.Summary().c_str());
+  std::printf(
+      "shape check: under flash crowds the notice-driven mechanisms hold the\n"
+      "on-demand instant-start rate far above the baseline — storms make the\n"
+      "preparation window, not the queue order, the binding resource.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
+}

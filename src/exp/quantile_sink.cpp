@@ -1,0 +1,137 @@
+#include "exp/quantile_sink.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hs {
+
+namespace {
+
+/// The simulation-content metrics worth percentile treatment across a grid
+/// (headline paper metrics; wall-clock columns are deliberately absent so
+/// digests stay run-to-run stable). Name and accessor live in one row so
+/// the two can never drift apart.
+struct MetricField {
+  const char* name;
+  double SimResult::*field;
+};
+
+const std::vector<MetricField>& DigestedFields() {
+  static const std::vector<MetricField> fields = {
+      {"avg_turnaround_h", &SimResult::avg_turnaround_h},
+      {"avg_wait_h", &SimResult::avg_wait_h},
+      {"utilization", &SimResult::utilization},
+      {"od_instant_rate", &SimResult::od_instant_rate},
+      {"od_avg_delay_s", &SimResult::od_avg_delay_s},
+      {"lost_node_hours", &SimResult::lost_node_hours},
+  };
+  return fields;
+}
+
+const std::vector<std::string>& DigestedMetrics() {
+  static const std::vector<std::string>* metrics = [] {
+    auto* m = new std::vector<std::string>;
+    for (const MetricField& field : DigestedFields()) m->push_back(field.name);
+    return m;
+  }();
+  return *metrics;
+}
+
+double MetricValue(const SpecResult& row, std::size_t index) {
+  return row.result.*DigestedFields()[index].field;
+}
+
+}  // namespace
+
+QuantileResultSink::QuantileResultSink() : QuantileResultSink(Options{}) {}
+
+QuantileResultSink::QuantileResultSink(Options options)
+    : options_(std::move(options)) {
+  if (options_.quantiles.empty()) {
+    throw std::invalid_argument("QuantileResultSink: no quantiles configured");
+  }
+  digests_.resize(DigestedMetrics().size());
+  for (Digest& digest : digests_) {
+    digest.estimators.reserve(options_.quantiles.size());
+    for (const double q : options_.quantiles) {
+      if (q <= 0.0 || q >= 1.0) {
+        throw std::invalid_argument("QuantileResultSink: quantile must be in (0, 1)");
+      }
+      digest.estimators.emplace_back(q);
+    }
+  }
+}
+
+void QuantileResultSink::OnResult(std::size_t /*spec_index*/, const SpecResult& row) {
+  for (std::size_t m = 0; m < digests_.size(); ++m) {
+    const double value = MetricValue(row, m);
+    digests_[m].stats.Add(value);
+    for (P2Quantile& estimator : digests_[m].estimators) estimator.Add(value);
+  }
+  ++rows_;
+}
+
+const std::vector<std::string>& QuantileResultSink::metrics() const {
+  return DigestedMetrics();
+}
+
+std::size_t QuantileResultSink::MetricIndex(const std::string& metric) const {
+  const auto& names = DigestedMetrics();
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    if (names[m] == metric) return m;
+  }
+  std::string known;
+  for (const std::string& name : names) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  throw std::invalid_argument("unknown digest metric '" + metric +
+                              "' (known: " + known + ")");
+}
+
+const RunningStats& QuantileResultSink::Stats(const std::string& metric) const {
+  return digests_[MetricIndex(metric)].stats;
+}
+
+double QuantileResultSink::Quantile(const std::string& metric, double q) const {
+  const Digest& digest = digests_[MetricIndex(metric)];
+  for (const P2Quantile& estimator : digest.estimators) {
+    if (estimator.quantile() == q) return estimator.value();
+  }
+  throw std::invalid_argument("quantile " + std::to_string(q) +
+                              " is not tracked by this sink");
+}
+
+std::string QuantileResultSink::Summary() const {
+  std::string out = "streaming digest over ";
+  out += std::to_string(rows_);
+  out += " rows\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-18s %10s %10s %10s", "metric", "mean",
+                "min", "max");
+  out += line;
+  for (const double q : options_.quantiles) {
+    // %g keeps sub-percent quantiles distinct: 0.999 -> p99.9, not p100.
+    char label[32];
+    std::snprintf(label, sizeof(label), "p%g", q * 100.0);
+    std::snprintf(line, sizeof(line), " %9s", label);
+    out += line;
+  }
+  out += "\n";
+  for (std::size_t m = 0; m < digests_.size(); ++m) {
+    const RunningStats& stats = digests_[m].stats;
+    std::snprintf(line, sizeof(line), "  %-18s %10.3f %10.3f %10.3f",
+                  DigestedMetrics()[m].c_str(), stats.mean(), stats.min(),
+                  stats.max());
+    out += line;
+    for (const P2Quantile& estimator : digests_[m].estimators) {
+      std::snprintf(line, sizeof(line), " %9.3f", estimator.value());
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hs

@@ -1,0 +1,71 @@
+// Streaming percentile aggregation of experiment grids.
+//
+// QuantileResultSink digests completed cells as they stream out of an
+// ExperimentRunner / ShardedRunner without materializing rows: per metric
+// it keeps a RunningStats (count/mean/min/max) plus one P^2 marker set per
+// requested quantile — O(metrics x quantiles) memory for grids of any
+// size, the ROADMAP's "streaming percentile aggregator" sink.
+//
+// P^2 estimates depend on insertion order, so for reproducible digests
+// feed the sink through a MergingResultSink (canonical spec order): the
+// digest of a --shards=K run is then identical to the single-process one
+// regardless of completion order. bench_spec_grid --digest wires exactly
+// that chain.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/stats.h"
+
+namespace hs {
+
+/// Streaming per-metric digest: moments + P^2 percentile estimates.
+class QuantileResultSink final : public ResultSink {
+ public:
+  struct Options {
+    /// Quantiles tracked per metric, each in (0, 1).
+    std::vector<double> quantiles = {0.5, 0.9, 0.99};
+  };
+
+  QuantileResultSink();  // default quantiles (p50/p90/p99)
+  explicit QuantileResultSink(Options options);
+
+  void OnResult(std::size_t spec_index, const SpecResult& row) override;
+
+  /// Rows digested so far.
+  std::size_t rows() const { return rows_; }
+
+  /// Names of the digested metrics, in presentation order.
+  const std::vector<std::string>& metrics() const;
+
+  /// The tracked quantiles, as configured.
+  const std::vector<double>& quantiles() const { return options_.quantiles; }
+
+  /// Moment summary for `metric`; throws std::invalid_argument naming the
+  /// metric and the known ones when unknown.
+  const RunningStats& Stats(const std::string& metric) const;
+
+  /// Current estimate of quantile `q` (must be one of quantiles()) for
+  /// `metric`; throws std::invalid_argument on unknown metric or q.
+  double Quantile(const std::string& metric, double q) const;
+
+  /// Rendered fixed-width digest table (one line per metric).
+  std::string Summary() const;
+
+ private:
+  struct Digest {
+    RunningStats stats;
+    std::vector<P2Quantile> estimators;  // one per options_.quantiles entry
+  };
+
+  std::size_t MetricIndex(const std::string& metric) const;
+
+  Options options_;
+  std::vector<Digest> digests_;  // parallel to metrics()
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hs

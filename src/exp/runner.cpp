@@ -125,6 +125,19 @@ void JsonlResultSink::OnResult(std::size_t /*spec_index*/, const SpecResult& row
   out_.flush();
 }
 
+TeeResultSink::TeeResultSink(std::vector<ResultSink*> sinks)
+    : sinks_(std::move(sinks)) {
+  for (const ResultSink* sink : sinks_) {
+    if (sink == nullptr) {
+      throw std::invalid_argument("TeeResultSink: null sink");
+    }
+  }
+}
+
+void TeeResultSink::OnResult(std::size_t spec_index, const SpecResult& row) {
+  for (ResultSink* sink : sinks_) sink->OnResult(spec_index, row);
+}
+
 MergingResultSink::MergingResultSink(ResultSink& inner, std::size_t expected_rows)
     : inner_(inner), held_(expected_rows), seen_(expected_rows, false) {}
 

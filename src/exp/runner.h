@@ -75,6 +75,18 @@ class JsonlResultSink final : public ResultSink {
   std::ostream& out_;
 };
 
+/// Forwards every row to each inner sink in order — e.g. a CSV file plus a
+/// streaming QuantileResultSink behind one MergingResultSink.
+class TeeResultSink final : public ResultSink {
+ public:
+  /// Every sink must outlive the tee; null entries are rejected.
+  explicit TeeResultSink(std::vector<ResultSink*> sinks);
+  void OnResult(std::size_t spec_index, const SpecResult& row) override;
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
 /// Reorders completion-order rows back into canonical spec order: rows are
 /// buffered until every earlier index has arrived, then forwarded to the
 /// inner sink as a contiguous in-order prefix. This makes streamed output

@@ -42,27 +42,58 @@ Trace LoadSwfTrace(const ScenarioConfig& config) {
   return trace;
 }
 
+/// ", e.g. one of: paper, midsize, tiny, ..." — appended to preset-level
+/// errors so every message names the registered presets uniformly (the
+/// same list MakeScenario's unknown-name error carries).
+std::string PresetListSuffix() {
+  std::string list;
+  for (const std::string& name : ScenarioPresetNames()) {
+    if (!list.empty()) list += ", ";
+    list += name;
+  }
+  return " (registered presets: " + list + ")";
+}
+
+std::string MissingSwfError() {
+  return "scenario preset 'swf' requires the swf=<path> override" +
+         PresetListSuffix();
+}
+
 }  // namespace
 
 std::string ValidateScenario(const ScenarioConfig& config) {
   if (config.swf_required && config.swf_path.empty()) {
-    return "scenario preset 'swf' requires the swf=<path> override";
+    return MissingSwfError();
   }
   if (!config.swf_path.empty()) {
     std::ifstream in(config.swf_path);
-    if (!in) return "cannot open SWF trace '" + config.swf_path + "'";
+    if (!in) return "cannot open SWF trace '" + config.swf_path + "' (override swf=)";
   }
-  return {};
+  return ValidateGenerators(config.gen);
 }
 
 Trace BuildScenarioTrace(const ScenarioConfig& config, std::uint64_t seed) {
-  // Only the cheap structural check here; LoadSwfTrace reports unreadable
+  // Only the cheap structural checks here; LoadSwfTrace reports unreadable
   // files itself, so the trace file is opened exactly once per build.
   if (config.swf_required && config.swf_path.empty()) {
-    throw std::invalid_argument("scenario preset 'swf' requires the swf=<path> override");
+    throw std::invalid_argument(MissingSwfError());
   }
-  Trace trace = config.swf_path.empty() ? GenerateThetaTrace(config.theta, seed)
+  const std::string gen_error = ValidateGenerators(config.gen);
+  if (!gen_error.empty()) throw std::invalid_argument(gen_error);
+  // The AI stream carves its share out of the configured load rather than
+  // riding on top: the base synthesis is scaled to (1 - frac) of the
+  // target, and the blend restores the total. This keeps `load=` (and the
+  // paper's 0.84 default) the *total* offered load for every ai_frac —
+  // override-order-proof, unlike baking compensation into a preset. A
+  // replayed SWF base has fixed demand (target_load is ignored there), so
+  // on that path the AI stream is purely additive.
+  ThetaConfig theta = config.theta;
+  if (config.gen.ai.enabled()) theta.target_load *= 1.0 - config.gen.ai.frac;
+  Trace trace = config.swf_path.empty() ? GenerateThetaTrace(theta, seed)
                                         : LoadSwfTrace(config);
+  // No-op (and no RNG draws) when no modulator is enabled, keeping the
+  // original presets bit-identical to their pre-generator traces.
+  ApplyGenerators(trace, config.gen, theta, seed);
   Rng rng(seed ^ 0x5CE7A110C0FFEE11ULL);
   AssignJobTypes(trace, config.types, rng);
   AssignNotices(trace, NoticeMixByName(config.notice_mix), config.notice, rng);
@@ -110,6 +141,33 @@ NamedRegistry<ScenarioPreset>& ScenarioRegistry() {
       config.swf_required = true;
       return config;
     });
+    // Generator-based presets (workload/generators.h): midsize machines so
+    // the bursty regimes run at bench speed; every knob re-tunable via the
+    // burst_*/diurnal_*/ai_* overrides. Catalog: docs/SCENARIOS.md.
+    r->Register("burst", [](int weeks, const std::string& mix) {
+      ScenarioConfig config = ScaledScenario(weeks, mix, 2048, 0);
+      config.gen.burst.mult = 6.0;  // period 12 h / duration 1 h defaults
+      return config;
+    }, {"burst-storm"});
+    r->Register("diurnal", [](int weeks, const std::string& mix) {
+      ScenarioConfig config = ScaledScenario(weeks, mix, 2048, 0);
+      config.theta.diurnal_depth = 0.0;  // the warp owns the whole cycle
+      config.gen.diurnal.amplitude = 0.9;
+      config.gen.diurnal.weekend_factor = 0.4;
+      return config;
+    });
+    // The AI share carves out of the configured total load (see
+    // BuildScenarioTrace), so no calibration compensation is needed here
+    // and `ai_frac=`/`load=` overrides stay accurate.
+    r->Register("aimix", [](int weeks, const std::string& mix) {
+      ScenarioConfig config = ScaledScenario(weeks, mix, 2048, 0);
+      config.gen.ai.frac = 0.30;
+      return config;
+    }, {"ai-mix"});
+    // Multi-cluster-scale grid: 3x Theta in nodes and projects.
+    r->Register("paper-xl", [](int weeks, const std::string& mix) {
+      return ScaledScenario(weeks, mix, 3 * 4392, 3 * 211);
+    }, {"xl"});
     return r;
   }();
   return *registry;

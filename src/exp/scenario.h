@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/registry.h"
+#include "workload/generators.h"
 #include "workload/notice_model.h"
 #include "workload/theta_model.h"
 #include "workload/type_assign.h"
@@ -19,6 +20,13 @@ struct ScenarioConfig {
   TypeAssignConfig types;
   NoticeModelConfig notice;
   std::string notice_mix = "W5";  // Table III preset name
+
+  /// Composable workload modulators (workload/generators.h): burst storms,
+  /// diurnal/weekly cycles, and the AI-task mix. Applied after base
+  /// synthesis (Theta or SWF replay) and before type/notice assignment;
+  /// all off by default, so existing presets are bit-stable. Knobs are
+  /// exposed as SimSpec overrides (burst_mult=, ai_frac=, ...).
+  GeneratorConfig gen;
 
   /// SWF replay (the "swf" preset): when non-empty, BuildScenarioTrace
   /// imports this Standard-Workload-Format file (workload/swf.h) instead of
@@ -33,7 +41,9 @@ struct ScenarioConfig {
 };
 
 /// Empty when the scenario is runnable; otherwise the violated constraint
-/// (missing/unreadable SWF file, missing required swf_path).
+/// (missing/unreadable SWF file, missing required swf_path, out-of-range
+/// generator knobs). Errors name the override key or preset involved and,
+/// for preset-level problems, the registered preset names.
 std::string ValidateScenario(const ScenarioConfig& config);
 
 /// Deterministic in (config, seed). Throws std::invalid_argument when
@@ -48,13 +58,18 @@ ScenarioConfig MakePaperScenario(int weeks, const std::string& notice_mix = "W5"
 using ScenarioPreset = std::function<ScenarioConfig(int weeks, const std::string& notice_mix)>;
 
 /// The global scenario-preset registry. Pre-registered presets:
-///   "paper"   - Theta-scale machine (4,392 nodes, 211 projects; Table I)
-///   "midsize" - 2,048-node machine (the examples' quick-turnaround scale)
-///   "tiny"    - 512 nodes / 20 projects (test-sized traces)
-///   "swf"     - replay of a real trace supplied via the `swf=` override
-///               (machine size from the file header unless `nodes=` is set)
+///   "paper"    - Theta-scale machine (4,392 nodes, 211 projects; Table I)
+///   "midsize"  - 2,048-node machine (the examples' quick-turnaround scale)
+///   "tiny"     - 512 nodes / 20 projects (test-sized traces)
+///   "swf"      - replay of a real trace supplied via the `swf=` override
+///                (machine size from the file header unless `nodes=` is set)
+///   "burst"    - midsize + Poisson-burst storms (6x spikes; burst_mult=...)
+///   "diurnal"  - midsize + deep diurnal/weekly cycle (diurnal_amp=...)
+///   "aimix"    - midsize + 30%-demand AI-task swarms (ai_frac=...)
+///   "paper-xl" - 3x Theta grid (13,176 nodes, 633 projects; alias "xl")
 /// New workload families register here and become addressable from SimSpec
-/// strings and the CLI.
+/// strings and the CLI. Full catalog with knobs and repro lines:
+/// docs/SCENARIOS.md.
 NamedRegistry<ScenarioPreset>& ScenarioRegistry();
 
 /// Registers a scenario preset (plus optional aliases).

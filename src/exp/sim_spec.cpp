@@ -1,6 +1,7 @@
 #include "exp/sim_spec.h"
 
 #include <cctype>
+#include <cmath>
 #include <functional>
 #include <stdexcept>
 
@@ -176,6 +177,58 @@ const std::vector<OverrideEntry>& OverrideTable() {
              Require(days > 0.0, "mtbf_days", "must be > 0");
              c.engine.failure_node_mtbf = static_cast<SimTime>(days * kDay);
            });
+    // Workload-generator knobs (workload/generators.h): modulators compose
+    // with any preset, so these are plain scenario keys — `preset=burst`
+    // merely changes their defaults.
+    scenario("burst_mult", "storm arrival-rate multiplier (1 = no storms)", "6",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double mult = ParseDoubleValue("burst_mult", v);
+               Require(mult >= 1.0, "burst_mult", "must be >= 1");
+               s.gen.burst.mult = mult;
+             });
+    scenario("burst_period_h", "mean storm-free gap between storm windows, hours", "12",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double hours = ParseDoubleValue("burst_period_h", v);
+               Require(hours > 0.0, "burst_period_h", "must be > 0");
+               s.gen.burst.period = static_cast<SimTime>(std::llround(hours * kHour));
+             });
+    scenario("burst_len_h", "storm window length, hours", "1",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double hours = ParseDoubleValue("burst_len_h", v);
+               Require(hours > 0.0, "burst_len_h", "must be > 0");
+               s.gen.burst.duration = static_cast<SimTime>(std::llround(hours * kHour));
+             });
+    scenario("diurnal_amp", "diurnal/weekly cycle modulation depth", "0.9",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double amp = ParseDoubleValue("diurnal_amp", v);
+               Require(amp >= 0.0 && amp < 1.0, "diurnal_amp", "must be in [0, 1)");
+               s.gen.diurnal.amplitude = amp;
+             });
+    scenario("weekend_factor", "weekend arrival damping factor", "0.4",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double factor = ParseDoubleValue("weekend_factor", v);
+               Require(factor > 0.0 && factor <= 1.0, "weekend_factor",
+                       "must be in (0, 1]");
+               s.gen.diurnal.weekend_factor = factor;
+             });
+    scenario("ai_frac", "AI-task share of total offered demand", "0.3",
+             [](const std::string& v, ScenarioConfig& s) {
+               const double frac = ParseDoubleValue("ai_frac", v);
+               Require(frac >= 0.0 && frac < 1.0, "ai_frac", "must be in [0, 1)");
+               s.gen.ai.frac = frac;
+             });
+    scenario("ai_swarm", "tasks per AI swarm", "48",
+             [](const std::string& v, ScenarioConfig& s) {
+               const auto tasks = ParseIntValue("ai_swarm", v);
+               Require(tasks >= 1, "ai_swarm", "must be >= 1");
+               s.gen.ai.swarm = static_cast<int>(tasks);
+             });
+    scenario("ai_size", "largest AI task, nodes", "256",
+             [](const std::string& v, ScenarioConfig& s) {
+               const auto nodes = ParseIntValue("ai_size", v);
+               Require(nodes >= 1, "ai_size", "must be >= 1");
+               s.gen.ai.max_size = static_cast<int>(nodes);
+             });
     return t;
   }();
   return *table;

@@ -55,6 +55,73 @@ double Percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 1e-9, 1.0 - 1e-9)) {
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::Add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    std::sort(heights_.begin(), heights_.begin() + n_);
+    if (n_ == 5) {
+      positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+    }
+    return;
+  }
+  ++n_;
+
+  // Locate the cell of x, extending the extremes when it falls outside.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Nudge the three interior markers toward their desired positions using
+  // the piecewise-parabolic (P^2) height update, falling back to linear
+  // interpolation when the parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double ahead = positions_[i + 1] - positions_[i];
+    const double behind = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && ahead > 1.0) || (d <= -1.0 && behind < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double hp = (heights_[i + 1] - heights_[i]) / ahead;
+      const double hm = (heights_[i - 1] - heights_[i]) / behind;
+      const double parabolic =
+          heights_[i] + s / (positions_[i + 1] - positions_[i - 1]) *
+                            ((positions_[i] - positions_[i - 1] + s) * hp +
+                             (positions_[i + 1] - positions_[i] - s) * hm);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        heights_[i] += s * (s > 0.0 ? hp : hm);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ <= 5) {
+    // Exact order-statistic interpolation over the retained sample.
+    std::vector<double> sample(heights_.begin(), heights_.begin() + n_);
+    return Percentile(std::move(sample), q_);
+  }
+  return heights_[2];
+}
+
 double ConfidenceHalfWidth95(const RunningStats& stats) {
   if (stats.count() < 2) return 0.0;
   return 1.96 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));

@@ -1,8 +1,10 @@
 // Online and batch summary statistics used by the metrics and experiment
-// layers: running mean/variance (Welford), percentiles, confidence
-// half-widths for seed-averaged experiment cells.
+// layers: running mean/variance (Welford), percentiles, streaming quantile
+// estimation (P²), confidence half-widths for seed-averaged experiment
+// cells.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -35,6 +37,33 @@ class RunningStats {
 /// Exact percentile of a sample (linear interpolation between order
 /// statistics); `q` in [0, 1]. Copies and sorts; intended for reporting.
 double Percentile(std::vector<double> values, double q);
+
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm): one
+/// quantile tracked in O(1) memory with five markers, no sample retained.
+/// Exact (order-statistic interpolation) for the first five observations;
+/// an estimate after that. Deterministic in the insertion sequence — feed
+/// it through a MergingResultSink (canonical spec order) and the digest of
+/// a sharded grid is identical to the single-process one.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.99 for the 99th percentile.
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+
+  /// Current estimate (0 before the first observation).
+  double value() const;
+  double quantile() const { return q_; }
+  std::size_t count() const { return n_; }
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (sorted)
+  std::array<double, 5> positions_{};  // actual marker positions (1-based)
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{}; // desired-position increment per Add
+};
 
 /// Half-width of an approximate 95% confidence interval for the mean of
 /// `stats` (normal approximation; returns 0 for fewer than two samples).

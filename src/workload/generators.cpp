@@ -1,0 +1,219 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.h"
+
+namespace hs {
+
+namespace {
+
+/// Warp-weight grid resolution. kWeek is an exact multiple, so cell edges
+/// never straddle the horizon.
+constexpr SimTime kWarpCell = 5 * kMinute;
+
+/// Monotone measure-preserving time warp over [0, span): arrival density
+/// becomes proportional to the per-cell weights while Map(0) == 0 and
+/// Map(span) == span. Weights must be strictly positive.
+class TimeWarp {
+ public:
+  TimeWarp(const std::vector<double>& weights, SimTime span)
+      : span_(span), cum_(weights.size() + 1, 0.0) {
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      cum_[i + 1] = cum_[i] + weights[i];
+    }
+  }
+
+  SimTime Map(SimTime v) const {
+    if (span_ <= 0 || cum_.back() <= 0.0) return v;
+    v = std::clamp<SimTime>(v, 0, span_ - 1);
+    const double u =
+        static_cast<double>(v) / static_cast<double>(span_) * cum_.back();
+    // First cell whose cumulative mass exceeds u.
+    const auto it = std::upper_bound(cum_.begin() + 1, cum_.end(), u);
+    const auto i = static_cast<std::size_t>(it - cum_.begin()) - 1;
+    const double mass = cum_[i + 1] - cum_[i];
+    const double frac = mass > 0.0 ? (u - cum_[i]) / mass : 0.0;
+    const auto t = static_cast<SimTime>(
+        std::llround((static_cast<double>(i) + frac) * kWarpCell));
+    return std::clamp<SimTime>(t, 0, span_ - 1);
+  }
+
+ private:
+  SimTime span_;
+  std::vector<double> cum_;  // cum_[i]: mass of cells [0, i)
+};
+
+/// Builds the per-cell warp weights over [0, span): diurnal/weekly shape
+/// times the storm windows drawn from `storm_rng`.
+std::vector<double> BuildWarpWeights(const GeneratorConfig& config, SimTime span,
+                                     Rng& storm_rng, std::size_t* storms) {
+  const auto cells = static_cast<std::size_t>((span + kWarpCell - 1) / kWarpCell);
+  std::vector<double> weights(cells, 1.0);
+  if (config.diurnal.enabled()) {
+    for (std::size_t i = 0; i < cells; ++i) {
+      const SimTime mid = static_cast<SimTime>(i) * kWarpCell + kWarpCell / 2;
+      double w = 1.0 - config.diurnal.amplitude +
+                 config.diurnal.amplitude * DayCycleFactor(mid);
+      if ((mid / kDay) % 7 >= 5) w *= config.diurnal.weekend_factor;
+      weights[i] *= w;
+    }
+  }
+  if (config.burst.enabled()) {
+    SimTime s = 0;
+    while (true) {
+      s += std::max<SimTime>(
+          1, std::llround(storm_rng.Exponential(
+                 static_cast<double>(config.burst.period))));
+      if (s >= span) break;
+      ++*storms;
+      const SimTime end = std::min(span, s + config.burst.duration);
+      for (SimTime c = s / kWarpCell; c * kWarpCell < end; ++c) {
+        weights[static_cast<std::size_t>(c)] *= config.burst.mult;
+      }
+      s = end;
+    }
+  }
+  return weights;
+}
+
+/// Appends AI swarms until the AI stream holds config.frac of total demand.
+void BlendAiTasks(Trace& trace, const AiMixConfig& config, const ThetaConfig& theta,
+                  SimTime base, SimTime span, Rng& rng, GeneratorReport* report) {
+  const double base_demand = trace.TotalDemand();
+  const double target =
+      base_demand * config.frac / (1.0 - config.frac);
+  // Quantize AI task sizes like the base stream, clamped to the machine;
+  // a cap below one quantum is honored literally (sub-quantum AI tasks)
+  // instead of silently rounding up to the quantum.
+  const int quantum = std::max(1, theta.projects.size_quantum);
+  const int machine = trace.num_nodes > 0 ? trace.num_nodes : theta.num_nodes;
+  const int cap = std::max(1, std::min(config.max_size, machine));
+  const int max_units = std::max(1, cap / quantum);
+
+  std::int32_t next_project = 0;
+  for (const JobRecord& job : trace.jobs) {
+    next_project = std::max(next_project, job.project + 1);
+  }
+
+  JobId next_id = static_cast<JobId>(trace.jobs.size());
+  double added = 0.0;
+  const double runtime_mu = std::log(static_cast<double>(config.runtime_median));
+  // Hard stop mirroring GenerateThetaTrace's guard.
+  const std::size_t max_jobs = 2'000'000;
+  std::size_t ai_jobs = 0;
+  while (added < target && ai_jobs < max_jobs) {
+    const std::int32_t project = next_project++;
+    SimTime t = base + rng.UniformInt(0, span - 1);
+    for (int k = 0; k < config.swarm && added < target; ++k) {
+      JobRecord job;
+      job.id = next_id++;
+      job.project = project;
+      job.klass = JobClass::kRigid;  // type assignment happens later
+      job.submit_time = std::min(t, base + span - 1);
+      job.size = std::min(cap, quantum * static_cast<int>(rng.UniformInt(1, max_units)));
+      job.min_size = job.size;
+      job.compute_time = std::clamp<SimTime>(
+          std::llround(rng.LogNormal(runtime_mu, config.runtime_sigma)),
+          kMinute, config.max_runtime);
+      // Loosely coupled tasks: a thin launch cost, not the rigid 5-10%.
+      job.setup_time = static_cast<SimTime>(std::llround(
+          rng.Uniform(0.01, 0.03) * static_cast<double>(job.compute_time)));
+      const SimTime useful_wall = job.setup_time + job.compute_time;
+      job.estimate = RoundUp(
+          static_cast<SimTime>(std::llround(
+              rng.Uniform(1.1, 2.0) * static_cast<double>(useful_wall))),
+          15 * kMinute);
+      job.estimate = std::max(job.estimate, useful_wall);
+
+      added += static_cast<double>(job.size) * static_cast<double>(useful_wall);
+      trace.jobs.push_back(job);
+      ++ai_jobs;
+      t += std::max<SimTime>(1, std::llround(rng.Exponential(
+                                    static_cast<double>(config.intra_gap_mean))));
+    }
+  }
+  report->ai_jobs = ai_jobs;
+  const double total = base_demand + added;
+  report->ai_demand_frac = total > 0.0 ? added / total : 0.0;
+}
+
+}  // namespace
+
+std::string ValidateGenerators(const GeneratorConfig& config) {
+  if (config.burst.mult < 1.0) {
+    return "burst storm intensity must be >= 1 (override burst_mult=)";
+  }
+  if (config.burst.period <= 0) {
+    return "burst storm period must be > 0 (override burst_period_h=)";
+  }
+  if (config.burst.duration <= 0) {
+    return "burst storm duration must be > 0 (override burst_len_h=)";
+  }
+  if (config.diurnal.amplitude < 0.0 || config.diurnal.amplitude >= 1.0) {
+    return "diurnal amplitude must be in [0, 1) (override diurnal_amp=)";
+  }
+  if (config.diurnal.weekend_factor <= 0.0 || config.diurnal.weekend_factor > 1.0) {
+    return "weekend factor must be in (0, 1] (override weekend_factor=)";
+  }
+  if (config.ai.frac < 0.0 || config.ai.frac >= 1.0) {
+    return "AI demand share must be in [0, 1) (override ai_frac=)";
+  }
+  if (config.ai.enabled() && config.ai.swarm < 1) {
+    return "AI swarm size must be >= 1 (override ai_swarm=)";
+  }
+  if (config.ai.enabled() && config.ai.max_size < 1) {
+    return "AI task size cap must be >= 1 node (override ai_size=)";
+  }
+  return {};
+}
+
+GeneratorReport ApplyGenerators(Trace& trace, const GeneratorConfig& config,
+                                const ThetaConfig& theta, std::uint64_t seed) {
+  GeneratorReport report;
+  if (!config.Enabled()) return report;
+  const std::string error = ValidateGenerators(config);
+  if (!error.empty()) throw std::invalid_argument(error);
+
+  // Both sub-streams are forked unconditionally so enabling one modulator
+  // never reseeds another (Rng::Fork advances a shared counter).
+  Rng root(seed ^ 0x6D0D07A70B5EEDULL);
+  Rng ai_rng = root.Fork("ai-mix");
+  Rng storm_rng = root.Fork("storms");
+
+  const SimTime base = trace.FirstSubmit();
+  const SimTime span = std::max<SimTime>(
+      1, static_cast<SimTime>(std::max(theta.weeks, 1)) * kWeek);
+
+  // Blend first so the AI stream is modulated by the same storms/cycles as
+  // the capability stream; then warp arrivals of the combined trace.
+  if (config.ai.enabled()) {
+    BlendAiTasks(trace, config.ai, theta, base, span, ai_rng, &report);
+  }
+  if (config.burst.enabled() || config.diurnal.enabled()) {
+    const std::vector<double> weights =
+        BuildWarpWeights(config, span, storm_rng, &report.storms);
+    const TimeWarp warp(weights, span);
+    for (JobRecord& job : trace.jobs) {
+      job.submit_time = base + warp.Map(job.submit_time - base);
+    }
+  }
+  trace.Canonicalize();
+
+  if (config.burst.enabled()) {
+    trace.name += "+burst" + std::to_string(std::llround(config.burst.mult)) + "x";
+  }
+  if (config.diurnal.enabled()) trace.name += "+diurnal";
+  if (config.ai.enabled()) {
+    trace.name += "+ai" + std::to_string(std::llround(100.0 * config.ai.frac));
+  }
+  HS_LOG(kInfo) << "ApplyGenerators " << trace.name << " jobs=" << trace.jobs.size()
+                << " storms=" << report.storms << " ai_jobs=" << report.ai_jobs
+                << " ai_frac=" << report.ai_demand_frac;
+  return report;
+}
+
+}  // namespace hs

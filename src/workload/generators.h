@@ -1,0 +1,125 @@
+// Composable workload generators: deterministic, seedable modulators that
+// reshape a synthesized (or replayed) trace *after* base synthesis and
+// *before* type/notice assignment, so they compose with the Theta model and
+// the SWF replay path instead of replacing either.
+//
+// Three modulator families (each off by default; a default-constructed
+// GeneratorConfig is a guaranteed no-op, which is what keeps the golden
+// fixture for the original presets byte-stable):
+//
+//   BurstStormConfig    Poisson-arriving storm windows inside which the
+//                       arrival rate is multiplied by `mult` (spike
+//                       intensity) for `duration` seconds — the on-demand
+//                       burst regimes of Fig. 5 pushed to storm scale.
+//   DiurnalCycleConfig  sinusoidal day cycle (peak 14:00) plus a weekend
+//                       damping factor — weekly-shaped arrival pressure.
+//   AiMixConfig         a heavy-tailed AI-task stream (RADICAL-Pilot-style
+//                       swarms of short, small tasks) blended with the
+//                       existing capability jobs at a configurable demand
+//                       ratio (Merzky et al., PAPERS.md).
+//
+// Arrival modulation is implemented as a measure-preserving monotone time
+// warp: a weight function w(t) >= 0 is accumulated over the horizon and
+// every submit time is mapped through the inverse cumulative, so arrival
+// density becomes proportional to w(t) while job count, sizes, runtimes,
+// relative order, and the overall horizon are all preserved. Storm window
+// placement and the AI stream are drawn from forked sub-streams of the
+// scenario seed, so every generated trace is deterministic in
+// (config, seed) — the property the seeded round-trip test locks.
+//
+// Scenario presets `burst`, `diurnal`, `aimix`, and `paper-xl` package
+// these (src/exp/scenario.cpp); the knobs are exposed as SimSpec override
+// keys (burst_mult=, burst_period_h=, burst_len_h=, diurnal_amp=,
+// weekend_factor=, ai_frac=, ai_swarm=, ai_size=) so any preset can be
+// modulated from any spec string. See docs/SCENARIOS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/theta_model.h"
+#include "workload/trace.h"
+
+namespace hs {
+
+/// Poisson-burst storms: non-overlapping windows of length `duration`,
+/// each starting an exponential gap (mean `period`) after the previous
+/// window ends, inside which the arrival rate is multiplied by `mult`.
+/// mult == 1 disables the modulator.
+struct BurstStormConfig {
+  double mult = 1.0;             // arrival-rate multiplier inside a storm
+  SimTime period = 12 * kHour;   // mean storm-free gap between windows
+  SimTime duration = 1 * kHour;  // storm window length
+
+  bool enabled() const { return mult > 1.0; }
+};
+
+/// Diurnal/weekly sinusoidal arrival cycle: weight
+/// 1 - amplitude + amplitude * daycycle(t) with a cosine day shape peaking
+/// at 14:00, times `weekend_factor` on the last two days of each week.
+/// amplitude == 0 disables the modulator.
+struct DiurnalCycleConfig {
+  double amplitude = 0.0;       // [0, 1): modulation depth of the day cycle
+  double weekend_factor = 1.0;  // (0, 1]: weight multiplier on days 6-7
+
+  bool enabled() const { return amplitude > 0.0 || weekend_factor < 1.0; }
+};
+
+/// Heavy-tailed AI-task mix: swarms of short, small tasks (one fresh
+/// project id per swarm, tasks seconds apart) are appended until the AI
+/// stream contributes `frac` of total offered demand. At this level the
+/// blend is additive (total = base demand / (1 - frac));
+/// BuildScenarioTrace scales the Theta calibration down by (1 - frac)
+/// before synthesis, so in the spec-driven path `load=` stays the *total*
+/// offered load for any ai_frac on a synthesized base (a replayed SWF
+/// base has fixed demand, so there the blend stays additive). frac == 0
+/// disables the modulator.
+struct AiMixConfig {
+  double frac = 0.0;     // [0, 1): AI share of total offered demand
+  int swarm = 48;        // tasks per swarm
+  int max_size = 128;    // largest AI task, nodes (quantized like the base)
+  /// Lognormal runtime: heavy-tailed around a short median (many small
+  /// tasks, a fat tail of stragglers).
+  SimTime runtime_median = 10 * kMinute;
+  double runtime_sigma = 1.2;
+  SimTime max_runtime = 2 * kHour;
+  SimTime intra_gap_mean = 15;  // mean seconds between swarm tasks
+
+  bool enabled() const { return frac > 0.0; }
+};
+
+struct GeneratorConfig {
+  BurstStormConfig burst;
+  DiurnalCycleConfig diurnal;
+  AiMixConfig ai;
+
+  /// True when any modulator is active. False for a default-constructed
+  /// config: ApplyGenerators is then a guaranteed no-op and existing
+  /// presets stay bit-identical.
+  bool Enabled() const {
+    return burst.enabled() || diurnal.enabled() || ai.enabled();
+  }
+};
+
+/// Empty when the config is runnable; otherwise the violated constraint,
+/// naming the SimSpec override key that controls the offending knob.
+std::string ValidateGenerators(const GeneratorConfig& config);
+
+/// What ApplyGenerators did (for tests and reporting).
+struct GeneratorReport {
+  std::size_t storms = 0;        // burst windows placed inside the horizon
+  std::size_t ai_jobs = 0;       // tasks appended by the AI stream
+  double ai_demand_frac = 0.0;   // realized AI share of total demand
+};
+
+/// Applies every enabled modulator to `trace` in place (AI blend first,
+/// then the arrival-time warp over the combined stream), re-canonicalizes,
+/// and tags trace.name. Deterministic in (trace, config, theta, seed); a
+/// disabled config returns without touching the trace. `theta` supplies
+/// the horizon (weeks) and machine/quantum shape for the AI stream; works
+/// on SWF-replayed traces too (the warp is anchored at the first submit).
+/// Throws std::invalid_argument when ValidateGenerators fails.
+GeneratorReport ApplyGenerators(Trace& trace, const GeneratorConfig& config,
+                                const ThetaConfig& theta, std::uint64_t seed);
+
+}  // namespace hs

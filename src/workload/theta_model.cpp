@@ -7,16 +7,11 @@
 
 namespace hs {
 
-namespace {
-
-/// Work-hours bias: mid-day peak, overnight trough.
-double DayFactor(SimTime t) {
+double DayCycleFactor(SimTime t) {
   const double hour = static_cast<double>(t % kDay) / kHour;
   // Cosine with peak at 14:00, scaled to [0, 1].
   return 0.5 * (1.0 + std::cos((hour - 14.0) / 24.0 * 2.0 * 3.14159265358979));
 }
-
-}  // namespace
 
 Trace GenerateThetaTrace(const ThetaConfig& config, std::uint64_t seed) {
   Trace trace;
@@ -52,7 +47,7 @@ Trace GenerateThetaTrace(const ThetaConfig& config, std::uint64_t seed) {
     for (int attempt = 0; attempt < 16; ++attempt) {
       start = session_rng.UniformInt(0, horizon - 1);
       const double accept =
-          1.0 - config.diurnal_depth + config.diurnal_depth * DayFactor(start);
+          1.0 - config.diurnal_depth + config.diurnal_depth * DayCycleFactor(start);
       if (session_rng.Chance(accept)) break;
     }
 

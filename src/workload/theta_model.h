@@ -45,4 +45,10 @@ struct ThetaConfig {
 /// Generates a trace with the given seed. Deterministic in (config, seed).
 Trace GenerateThetaTrace(const ThetaConfig& config, std::uint64_t seed);
 
+/// Work-hours bias in [0, 1]: cosine with a 14:00 peak and an overnight
+/// trough. Shared by the Theta session sampler (diurnal_depth) and the
+/// diurnal warp modulator (workload/generators.h), so the two cycles can
+/// never diverge in shape.
+double DayCycleFactor(SimTime t);
+
 }  // namespace hs

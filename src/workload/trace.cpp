@@ -31,15 +31,19 @@ std::string Trace::Validate() const {
 SimTime Trace::FirstSubmit() const { return jobs.empty() ? 0 : jobs.front().submit_time; }
 SimTime Trace::LastSubmit() const { return jobs.empty() ? 0 : jobs.back().submit_time; }
 
-double Trace::OfferedLoad() const {
-  if (jobs.empty() || num_nodes <= 0) return 0.0;
-  const SimTime span = std::max<SimTime>(1, LastSubmit() - FirstSubmit());
+double Trace::TotalDemand() const {
   double demand = 0.0;
   for (const auto& job : jobs) {
     demand += static_cast<double>(job.size) *
               static_cast<double>(job.setup_time + job.compute_time);
   }
-  return demand / (static_cast<double>(num_nodes) * static_cast<double>(span));
+  return demand;
+}
+
+double Trace::OfferedLoad() const {
+  if (jobs.empty() || num_nodes <= 0) return 0.0;
+  const SimTime span = std::max<SimTime>(1, LastSubmit() - FirstSubmit());
+  return TotalDemand() / (static_cast<double>(num_nodes) * static_cast<double>(span));
 }
 
 std::size_t Trace::CountClass(JobClass klass) const {

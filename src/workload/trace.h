@@ -23,9 +23,14 @@ struct Trace {
   SimTime FirstSubmit() const;
   SimTime LastSubmit() const;
 
-  /// Offered load: sum of size x (setup + compute) over N x span, where span
-  /// runs from the first submission to the last. Loosely, the fraction of
-  /// machine capacity the workload demands.
+  /// Total demand in node-seconds: sum of size x (setup + compute). The
+  /// numerator of OfferedLoad and the quantity workload modulators budget
+  /// against.
+  double TotalDemand() const;
+
+  /// Offered load: TotalDemand() over N x span, where span runs from the
+  /// first submission to the last. Loosely, the fraction of machine
+  /// capacity the workload demands.
   double OfferedLoad() const;
 
   std::size_t CountClass(JobClass klass) const;

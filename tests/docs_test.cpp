@@ -1,0 +1,159 @@
+// Documentation contract tests: the markdown link check CI's docs job
+// runs, the CLI.md override-key table cross-checked row-for-row against
+// OverrideTable() (so generated text cannot rot), and the SCENARIOS.md
+// catalog covering every registered preset, mechanism, and policy.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "exp/scenario.h"
+#include "exp/sim_spec.h"
+#include "sched/policy.h"
+
+namespace hs {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef HS_SOURCE_DIR
+#error "docs_test needs HS_SOURCE_DIR (set in CMakeLists.txt)"
+#endif
+
+fs::path SourceDir() { return fs::path(HS_SOURCE_DIR); }
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The documentation set the CI docs job link-checks.
+std::vector<fs::path> DocFiles() {
+  std::vector<fs::path> files = {SourceDir() / "README.md",
+                                 SourceDir() / "ROADMAP.md"};
+  for (const auto& entry : fs::directory_iterator(SourceDir() / "docs")) {
+    if (entry.path().extension() == ".md") files.push_back(entry.path());
+  }
+  return files;
+}
+
+/// Drops fenced code blocks and inline code spans, where "](" is C++ (a
+/// lambda), not markdown.
+std::string StripCode(const std::string& text) {
+  std::string out;
+  bool fenced = false;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("```", 0) == 0) {
+      fenced = !fenced;
+      continue;
+    }
+    if (fenced) continue;
+    bool in_span = false;
+    for (const char c : line) {
+      if (c == '`') {
+        in_span = !in_span;
+      } else if (!in_span) {
+        out += c;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// Extracts every inline markdown link target: "](target)".
+std::vector<std::string> LinkTargets(const std::string& text) {
+  std::vector<std::string> targets;
+  const std::string prose = StripCode(text);
+  std::size_t pos = 0;
+  while ((pos = prose.find("](", pos)) != std::string::npos) {
+    const std::size_t start = pos + 2;
+    const std::size_t end = prose.find(')', start);
+    if (end == std::string::npos) break;
+    targets.push_back(prose.substr(start, end - start));
+    pos = end + 1;
+  }
+  return targets;
+}
+
+// Every relative link in README/ROADMAP/docs must resolve to a file or
+// directory in the repo (anchors stripped; external URLs skipped). This is
+// the check the CI docs job runs — a renamed file with a stale pointer
+// fails tier 1, not a reader.
+TEST(DocsTest, RelativeLinksResolve) {
+  std::size_t checked = 0;
+  for (const fs::path& file : DocFiles()) {
+    const std::string text = ReadFile(file);
+    for (const std::string& raw : LinkTargets(text)) {
+      if (raw.empty() || raw[0] == '#') continue;           // intra-page anchor
+      if (raw.find("://") != std::string::npos) continue;   // external URL
+      if (raw.rfind("mailto:", 0) == 0) continue;
+      std::string target = raw.substr(0, raw.find('#'));    // strip anchor
+      if (target.empty()) continue;
+      const fs::path resolved = file.parent_path() / target;
+      EXPECT_TRUE(fs::exists(resolved))
+          << file.filename() << " links to missing path '" << raw << "'";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10u) << "link extraction found suspiciously few links";
+}
+
+// docs/CLI.md's override table is generated text: one row per
+// OverrideTable() entry in the exact format below. Comparing rendered
+// rows (not just key names) means help text, target, and example value
+// can never drift from the code.
+TEST(DocsTest, CliOverrideTableMatchesOverrideTable) {
+  const std::string text = ReadFile(SourceDir() / "docs" / "CLI.md");
+  const std::size_t begin = text.find("<!-- override-table:begin");
+  const std::size_t end = text.find("<!-- override-table:end -->");
+  ASSERT_NE(begin, std::string::npos) << "docs/CLI.md lost its table markers";
+  ASSERT_NE(end, std::string::npos);
+  const std::string table = text.substr(begin, end - begin);
+
+  std::size_t rows = 0;
+  std::istringstream lines(table);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("| `", 0) == 0) ++rows;
+  }
+  EXPECT_EQ(rows, KnownOverrides().size())
+      << "docs/CLI.md override table has stale or missing rows";
+
+  for (const OverrideKey& key : KnownOverrides()) {
+    const std::string row = "| `" + key.key + "` | " +
+                            (key.scenario ? "scenario" : "config") + " | " +
+                            key.help + " | `" + key.example + "` |";
+    EXPECT_NE(table.find(row), std::string::npos)
+        << "docs/CLI.md is missing/outdated for override '" << key.key
+        << "'; expected row:\n  " << row;
+  }
+}
+
+// The SCENARIOS.md catalog must name every registered preset, mechanism,
+// and ordering policy (only built-ins are registered in this binary).
+TEST(DocsTest, ScenarioCatalogCoversEveryRegisteredName) {
+  const std::string text = ReadFile(SourceDir() / "docs" / "SCENARIOS.md");
+  for (const std::string& preset : ScenarioPresetNames()) {
+    EXPECT_NE(text.find("`" + preset + "`"), std::string::npos)
+        << "docs/SCENARIOS.md does not document preset '" << preset << "'";
+  }
+  for (const std::string& mechanism : MechanismNames()) {
+    EXPECT_NE(text.find("`" + mechanism + "`"), std::string::npos)
+        << "docs/SCENARIOS.md does not document mechanism '" << mechanism << "'";
+  }
+  for (const std::string& policy : PolicyNames()) {
+    EXPECT_NE(text.find("`" + policy + "`"), std::string::npos)
+        << "docs/SCENARIOS.md does not document policy '" << policy << "'";
+  }
+}
+
+}  // namespace
+}  // namespace hs

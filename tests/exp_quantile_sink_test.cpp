@@ -1,0 +1,132 @@
+// Streaming percentile aggregation: digest accuracy against the exact
+// batch percentile, unknown-metric errors, Tee fan-out, and the
+// merge-determinism property — a sharded (out-of-order) stream fed through
+// MergingResultSink digests to exactly the single-process result.
+#include "exp/quantile_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hs {
+namespace {
+
+SpecResult RowWithTurnaround(double hours) {
+  SpecResult row;
+  row.result.avg_turnaround_h = hours;
+  row.result.utilization = hours / 100.0;
+  return row;
+}
+
+TEST(QuantileSinkTest, DigestsStreamedRowsWithoutMaterializingThem) {
+  QuantileResultSink sink;
+  std::vector<double> values;
+  Rng rng(42);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const double v = rng.LogNormal(1.0, 0.7);
+    values.push_back(v);
+    sink.OnResult(i, RowWithTurnaround(v));
+  }
+  EXPECT_EQ(sink.rows(), 5000u);
+  const RunningStats& stats = sink.Stats("avg_turnaround_h");
+  EXPECT_EQ(stats.count(), 5000u);
+  EXPECT_DOUBLE_EQ(stats.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(stats.max(), *std::max_element(values.begin(), values.end()));
+  // P^2 estimates track the exact batch percentiles closely on a smooth
+  // heavy-tailed stream (deterministic: fixed seed, fixed order).
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = Percentile(values, q);
+    EXPECT_NEAR(sink.Quantile("avg_turnaround_h", q), exact, 0.05 * exact)
+        << "q=" << q;
+  }
+  // Derived metrics digest independently.
+  EXPECT_NEAR(sink.Stats("utilization").mean(), stats.mean() / 100.0, 1e-9);
+}
+
+TEST(QuantileSinkTest, ExactForTinyGrids) {
+  QuantileResultSink sink;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sink.OnResult(i, RowWithTurnaround(static_cast<double>(i + 1)));
+  }
+  // Four rows: the estimator still holds the full sample, so quantiles are
+  // exact order-statistic interpolations.
+  EXPECT_DOUBLE_EQ(sink.Quantile("avg_turnaround_h", 0.5),
+                   Percentile({1.0, 2.0, 3.0, 4.0}, 0.5));
+  EXPECT_DOUBLE_EQ(sink.Quantile("avg_turnaround_h", 0.99),
+                   Percentile({1.0, 2.0, 3.0, 4.0}, 0.99));
+}
+
+TEST(QuantileSinkTest, UnknownMetricAndQuantileThrowNamingKnown) {
+  QuantileResultSink sink;
+  try {
+    sink.Stats("bogus_metric");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus_metric"), std::string::npos);
+    EXPECT_NE(what.find("avg_turnaround_h"), std::string::npos);
+  }
+  EXPECT_THROW(sink.Quantile("utilization", 0.42), std::invalid_argument);
+  QuantileResultSink::Options bad;
+  bad.quantiles = {1.5};
+  EXPECT_THROW(QuantileResultSink{bad}, std::invalid_argument);
+}
+
+// The property bench_spec_grid --digest relies on: behind a
+// MergingResultSink, completion order does not affect the digest, so a
+// sharded grid digests to exactly the single-process numbers.
+TEST(QuantileSinkTest, MergeDeterministicAcrossCompletionOrders) {
+  std::vector<double> values;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Uniform(0.0, 50.0));
+
+  QuantileResultSink in_order;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    in_order.OnResult(i, RowWithTurnaround(values[i]));
+  }
+
+  QuantileResultSink reordered;
+  MergingResultSink merged(reordered, values.size());
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  for (const std::size_t i : order) {
+    merged.OnResult(i, RowWithTurnaround(values[i]));
+  }
+  merged.Finish();
+
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(reordered.Quantile("avg_turnaround_h", q),
+                     in_order.Quantile("avg_turnaround_h", q));
+  }
+  EXPECT_DOUBLE_EQ(reordered.Stats("avg_turnaround_h").mean(),
+                   in_order.Stats("avg_turnaround_h").mean());
+}
+
+TEST(QuantileSinkTest, SummaryListsEveryMetricAndQuantile) {
+  QuantileResultSink sink;
+  sink.OnResult(0, RowWithTurnaround(12.5));
+  const std::string summary = sink.Summary();
+  for (const std::string& metric : sink.metrics()) {
+    EXPECT_NE(summary.find(metric), std::string::npos) << summary;
+  }
+  EXPECT_NE(summary.find("p50"), std::string::npos);
+  EXPECT_NE(summary.find("p99"), std::string::npos);
+}
+
+TEST(TeeSinkTest, ForwardsToEverySinkAndRejectsNull) {
+  QuantileResultSink a, b;
+  TeeResultSink tee({&a, &b});
+  tee.OnResult(0, RowWithTurnaround(3.0));
+  EXPECT_EQ(a.rows(), 1u);
+  EXPECT_EQ(b.rows(), 1u);
+  EXPECT_THROW(TeeResultSink({&a, nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hs

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
+
+#include "util/rng.h"
 
 namespace hs {
 namespace {
@@ -93,6 +96,50 @@ TEST(ConfidenceTest, ShrinksWithSampleSize) {
 TEST(MeanTest, Basics) {
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);
   EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  const P2Quantile q(0.5);
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+}
+
+TEST(P2QuantileTest, ExactUpToFiveObservations) {
+  P2Quantile median(0.5);
+  std::vector<double> sample;
+  for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0}) {
+    median.Add(x);
+    sample.push_back(x);
+    EXPECT_DOUBLE_EQ(median.value(), Percentile(sample, 0.5))
+        << "after " << sample.size() << " observations";
+  }
+  EXPECT_EQ(median.count(), 5u);
+}
+
+TEST(P2QuantileTest, TracksBatchPercentilesOnLargeStreams) {
+  Rng rng(123);
+  for (const double target : {0.5, 0.9, 0.99}) {
+    P2Quantile estimator(target);
+    std::vector<double> sample;
+    for (int i = 0; i < 20000; ++i) {
+      const double x = rng.LogNormal(0.0, 1.0);
+      estimator.Add(x);
+      sample.push_back(x);
+    }
+    const double exact = Percentile(sample, target);
+    EXPECT_NEAR(estimator.value(), exact, 0.05 * exact) << "q=" << target;
+  }
+}
+
+TEST(P2QuantileTest, MonotoneStreamsStayOrdered) {
+  P2Quantile p50(0.5), p90(0.9);
+  for (int i = 0; i < 1000; ++i) {
+    p50.Add(static_cast<double>(i));
+    p90.Add(static_cast<double>(i));
+  }
+  EXPECT_LT(p50.value(), p90.value());
+  EXPECT_NEAR(p50.value(), 500.0, 25.0);
+  EXPECT_NEAR(p90.value(), 900.0, 25.0);
 }
 
 }  // namespace

@@ -1,0 +1,298 @@
+// Workload-generator layer: no-op guarantee for disabled configs, seeded
+// determinism of every modulated preset (the round-trip the golden/shard
+// harness relies on), modulator behavior (storm burstiness, diurnal shape,
+// AI demand share), and the uniform validation error messages that name
+// preset lists and override keys.
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "exp/sim_spec.h"
+#include "util/stats.h"
+
+namespace hs {
+namespace {
+
+ThetaConfig TinyTheta() {
+  ThetaConfig theta;
+  theta.num_nodes = 512;
+  theta.weeks = 1;
+  theta.projects.num_projects = 20;
+  theta.projects.max_job_size = 512;
+  return theta;
+}
+
+bool SameJobs(const Trace& a, const Trace& b) {
+  if (a.jobs.size() != b.jobs.size()) return false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const JobRecord& x = a.jobs[i];
+    const JobRecord& y = b.jobs[i];
+    if (x.id != y.id || x.project != y.project || x.submit_time != y.submit_time ||
+        x.size != y.size || x.min_size != y.min_size ||
+        x.compute_time != y.compute_time || x.setup_time != y.setup_time ||
+        x.estimate != y.estimate || x.klass != y.klass || x.notice != y.notice) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Coefficient of variation of per-hour arrival counts (burstiness index).
+double HourlyCv(const Trace& trace, SimTime span) {
+  std::vector<double> counts(static_cast<std::size_t>(span / kHour), 0.0);
+  for (const JobRecord& job : trace.jobs) {
+    const auto bucket = static_cast<std::size_t>(job.submit_time / kHour);
+    if (bucket < counts.size()) counts[bucket] += 1.0;
+  }
+  RunningStats stats;
+  for (const double c : counts) stats.Add(c);
+  return stats.mean() > 0.0 ? stats.stddev() / stats.mean() : 0.0;
+}
+
+TEST(GeneratorsTest, DisabledConfigIsANoOp) {
+  const ThetaConfig theta = TinyTheta();
+  Trace trace = GenerateThetaTrace(theta, 7);
+  const Trace before = trace;
+  const GeneratorReport report = ApplyGenerators(trace, GeneratorConfig{}, theta, 7);
+  EXPECT_TRUE(SameJobs(before, trace));
+  EXPECT_EQ(trace.name, before.name);
+  EXPECT_EQ(report.storms, 0u);
+  EXPECT_EQ(report.ai_jobs, 0u);
+}
+
+TEST(GeneratorsTest, ModulatedTraceIsDeterministicInSeed) {
+  for (const char* spec_text :
+       {"baseline/FCFS/W5/preset=burst/nodes=512/projects=20",
+        "baseline/FCFS/W5/preset=diurnal/nodes=512/projects=20",
+        "baseline/FCFS/W5/preset=aimix/nodes=512/projects=20"}) {
+    SimSpec spec = SimSpec::Parse(spec_text);
+    spec.seed = 5;
+    const Trace a = spec.BuildTrace();
+    const Trace b = spec.BuildTrace();
+    EXPECT_TRUE(SameJobs(a, b)) << spec_text;
+    EXPECT_EQ(a.name, b.name);
+    spec.seed = 6;
+    const Trace c = spec.BuildTrace();
+    EXPECT_FALSE(SameJobs(a, c)) << spec_text << ": seed must matter";
+  }
+}
+
+// The seeded round-trip the acceptance criterion names: the same modulated
+// spec, simulated twice, produces identical results (and the generator
+// tags land in the trace name).
+TEST(GeneratorsTest, ModulatedSimulationRoundTripsBitStable) {
+  const SimSpec spec = SimSpec::Parse(
+      "CUA&SPAA/FCFS/W5/preset=burst/nodes=512/projects=20/ai_frac=0.2/seed=5");
+  SimulationSession first(spec);
+  SimulationSession second(spec);
+  EXPECT_NE(first.trace().name.find("+burst6x"), std::string::npos);
+  EXPECT_NE(first.trace().name.find("+ai20"), std::string::npos);
+  const SimResult a = first.Run();
+  const SimResult b = second.Run();
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.avg_turnaround_h, b.avg_turnaround_h);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(GeneratorsTest, BurstStormsRaiseBurstiness) {
+  const ThetaConfig theta = TinyTheta();
+  const SimTime span = kWeek;
+  Trace plain = GenerateThetaTrace(theta, 11);
+  Trace stormy = plain;
+  GeneratorConfig config;
+  config.burst.mult = 8.0;
+  const GeneratorReport report = ApplyGenerators(stormy, config, theta, 11);
+  EXPECT_GT(report.storms, 0u);
+  // The warp only moves arrivals: same jobs, same work, same horizon.
+  EXPECT_EQ(stormy.jobs.size(), plain.jobs.size());
+  for (const JobRecord& job : stormy.jobs) {
+    EXPECT_GE(job.submit_time, 0);
+    EXPECT_LT(job.submit_time, span);
+  }
+  auto demand = [](const Trace& t) {
+    double d = 0.0;
+    for (const JobRecord& j : t.jobs) {
+      d += static_cast<double>(j.size) * static_cast<double>(j.setup_time + j.compute_time);
+    }
+    return d;
+  };
+  EXPECT_DOUBLE_EQ(demand(stormy), demand(plain));
+  EXPECT_GT(HourlyCv(stormy, span), HourlyCv(plain, span));
+}
+
+TEST(GeneratorsTest, DiurnalCycleShapesArrivals) {
+  // A dense, perfectly uniform arrival stream makes the warp's shape sharp
+  // (Theta's session clumps would drown it in a test-sized trace): after
+  // the warp, arrival density must be proportional to the cycle weight.
+  ThetaConfig theta = TinyTheta();
+  theta.weeks = 2;
+  Trace trace;
+  trace.num_nodes = theta.num_nodes;
+  trace.name = "uniform";
+  for (int i = 0; i < 2 * 7 * 24 * 60; ++i) {
+    JobRecord job;
+    job.id = i;
+    job.project = 0;
+    job.submit_time = static_cast<SimTime>(i) * kMinute;
+    job.size = job.min_size = 1;
+    job.compute_time = 10 * kMinute;
+    job.estimate = 15 * kMinute;
+    trace.jobs.push_back(job);
+  }
+  GeneratorConfig config;
+  config.diurnal.amplitude = 0.9;
+  config.diurnal.weekend_factor = 0.3;
+  ApplyGenerators(trace, config, theta, 13);
+
+  std::size_t day = 0, night = 0, weekday = 0, weekend = 0;
+  for (const JobRecord& job : trace.jobs) {
+    const SimTime hour = (job.submit_time % kDay) / kHour;
+    if (hour >= 10 && hour < 16) ++day;
+    if (hour < 6) ++night;
+    if ((job.submit_time / kDay) % 7 >= 5) {
+      ++weekend;
+    } else {
+      ++weekday;
+    }
+  }
+  // 6 daytime hours must out-draw 6 night hours decisively, and the two
+  // damped weekend days must sit well under two average weekdays.
+  EXPECT_GT(day, 2 * night);
+  EXPECT_LT(static_cast<double>(weekend) / 2.0,
+            0.7 * static_cast<double>(weekday) / 5.0);
+}
+
+TEST(GeneratorsTest, AiMixHitsTheConfiguredDemandShare) {
+  const ThetaConfig theta = TinyTheta();
+  Trace trace = GenerateThetaTrace(theta, 17);
+  const std::size_t base_jobs = trace.jobs.size();
+  GeneratorConfig config;
+  config.ai.frac = 0.30;
+  const GeneratorReport report = ApplyGenerators(trace, config, theta, 17);
+  EXPECT_GT(report.ai_jobs, 0u);
+  EXPECT_EQ(trace.jobs.size(), base_jobs + report.ai_jobs);
+  // The last swarm may overshoot slightly; the share stays near the target.
+  EXPECT_NEAR(report.ai_demand_frac, 0.30, 0.03);
+  // AI tasks are many and small: far more jobs than the capability stream
+  // added per unit of demand.
+  EXPECT_GT(report.ai_jobs, base_jobs / 4);
+  for (const JobRecord& job : trace.jobs) {
+    EXPECT_LE(job.size, theta.num_nodes);
+    EXPECT_GE(job.submit_time, 0);
+    EXPECT_LT(job.submit_time, kWeek);
+  }
+}
+
+// In the spec-driven path the AI share carves out of the configured load
+// (the base is synthesized at 1 - frac of the target), so `load=` means
+// total offered load for any ai_frac — overriding ai_frac must not
+// overload the machine.
+TEST(GeneratorsTest, AiShareCarvesOutOfTheConfiguredLoad) {
+  const auto load_for = [](const char* spec_text) {
+    return SimSpec::Parse(spec_text).BuildTrace().OfferedLoad();
+  };
+  const double base =
+      load_for("baseline/FCFS/W5/preset=aimix/ai_frac=0.01/nodes=512/projects=20/seed=3");
+  const double heavy =
+      load_for("baseline/FCFS/W5/preset=aimix/ai_frac=0.5/nodes=512/projects=20/seed=3");
+  EXPECT_NEAR(heavy, base, 0.12 * base)
+      << "ai_frac=0.5 must not inflate total offered load";
+}
+
+TEST(GeneratorsTest, PresetsMaterializeTheirKnobs) {
+  const ScenarioConfig burst = MakeScenario("burst", 1, "W5");
+  EXPECT_DOUBLE_EQ(burst.gen.burst.mult, 6.0);
+  EXPECT_EQ(burst.theta.num_nodes, 2048);
+  const ScenarioConfig diurnal = MakeScenario("diurnal", 1, "W5");
+  EXPECT_DOUBLE_EQ(diurnal.gen.diurnal.amplitude, 0.9);
+  EXPECT_DOUBLE_EQ(diurnal.theta.diurnal_depth, 0.0);
+  const ScenarioConfig aimix = MakeScenario("ai-mix", 1, "W5");  // alias
+  EXPECT_DOUBLE_EQ(aimix.gen.ai.frac, 0.30);
+  const ScenarioConfig xl = MakeScenario("xl", 1, "W5");  // alias
+  EXPECT_EQ(xl.theta.num_nodes, 3 * 4392);
+  EXPECT_EQ(xl.theta.projects.num_projects, 3 * 211);
+}
+
+TEST(GeneratorsTest, GeneratorKeysRoundTripThroughSpecStrings) {
+  const SimSpec spec = SimSpec::Parse(
+      "baseline/FCFS/W5/preset=burst/burst_mult=9/burst_period_h=6/"
+      "burst_len_h=0.5/diurnal_amp=0.7/weekend_factor=0.8/ai_frac=0.25/"
+      "ai_swarm=16/ai_size=64");
+  EXPECT_EQ(SimSpec::Parse(spec.ToString()), spec);
+  const ScenarioConfig scenario = spec.BuildScenario();
+  EXPECT_DOUBLE_EQ(scenario.gen.burst.mult, 9.0);
+  EXPECT_EQ(scenario.gen.burst.period, 6 * kHour);
+  EXPECT_EQ(scenario.gen.burst.duration, 30 * kMinute);
+  EXPECT_DOUBLE_EQ(scenario.gen.diurnal.amplitude, 0.7);
+  EXPECT_DOUBLE_EQ(scenario.gen.diurnal.weekend_factor, 0.8);
+  EXPECT_DOUBLE_EQ(scenario.gen.ai.frac, 0.25);
+  EXPECT_EQ(scenario.gen.ai.swarm, 16);
+  EXPECT_EQ(scenario.gen.ai.max_size, 64);
+  // Generator keys shape the trace, so they must be part of the trace
+  // cache key (specs differing in them may not share a trace).
+  EXPECT_NE(SimSpec::Parse("baseline/FCFS/W5/preset=burst").ScenarioKey(),
+            SimSpec::Parse("baseline/FCFS/W5/preset=burst/burst_mult=9").ScenarioKey());
+}
+
+// Satellite fix: validation errors name the offending override key (and,
+// for preset-level problems, the registered preset names) uniformly.
+TEST(GeneratorsTest, ValidationErrorsNameOverrideKeys) {
+  const auto error_for = [](GeneratorConfig config) {
+    return ValidateGenerators(config);
+  };
+  GeneratorConfig bad_mult;
+  bad_mult.burst.mult = 0.5;
+  EXPECT_NE(error_for(bad_mult).find("burst_mult="), std::string::npos);
+  GeneratorConfig bad_amp;
+  bad_amp.diurnal.amplitude = 1.5;
+  EXPECT_NE(error_for(bad_amp).find("diurnal_amp="), std::string::npos);
+  GeneratorConfig bad_weekend;
+  bad_weekend.diurnal.weekend_factor = 0.0;
+  EXPECT_NE(error_for(bad_weekend).find("weekend_factor="), std::string::npos);
+  GeneratorConfig bad_frac;
+  bad_frac.ai.frac = 1.0;
+  EXPECT_NE(error_for(bad_frac).find("ai_frac="), std::string::npos);
+  GeneratorConfig bad_swarm;
+  bad_swarm.ai.frac = 0.2;
+  bad_swarm.ai.swarm = 0;
+  EXPECT_NE(error_for(bad_swarm).find("ai_swarm="), std::string::npos);
+
+  // ValidateScenario surfaces the same message; BuildScenarioTrace throws it.
+  ScenarioConfig scenario;
+  scenario.gen.burst.mult = 0.5;
+  EXPECT_NE(ValidateScenario(scenario).find("burst_mult="), std::string::npos);
+  EXPECT_THROW(BuildScenarioTrace(scenario, 1), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, PresetErrorsListRegisteredPresets) {
+  // Unknown preset: the registry error names the token and every preset,
+  // new ones included.
+  try {
+    MakeScenario("warpstorm", 1, "W5");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warpstorm"), std::string::npos);
+    for (const char* preset : {"paper", "midsize", "tiny", "swf", "burst",
+                               "diurnal", "aimix", "paper-xl"}) {
+      EXPECT_NE(what.find(preset), std::string::npos) << what;
+    }
+  }
+  // Missing swf= override: same uniform preset list, plus the key to set.
+  const ScenarioConfig swf = MakeScenario("swf", 1, "W5");
+  const std::string error = ValidateScenario(swf);
+  EXPECT_NE(error.find("swf=<path>"), std::string::npos) << error;
+  EXPECT_NE(error.find("registered presets:"), std::string::npos) << error;
+  EXPECT_NE(error.find("burst"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace hs
