@@ -7,6 +7,12 @@
 //   event_churn     sim: schedule/cancel/pop cycles (malleable resizes)
 //   trace_gen_burst workload: modulated synthesis (burst/aimix presets)
 //   end_to_end      exp: sequential ExperimentRunner cells/sec
+//   session_fork    exp: mid-flight SimulationSession::Fork()s/sec (what-if)
+//   session_step    exp: batch-at-a-time NextEventTime/StepTo events/sec
+//
+// session_fork and session_step are report-only: they have no entry in the
+// committed baselines (they arrived with the hs_server work), so they show
+// a trajectory from here on without invalidating the pre-refactor numbers.
 //
 // Methodology: steady-clock timing, one warmup run per benchmark, then R
 // timed repetitions; the reported figure is the median ops/sec (medians are
@@ -30,6 +36,7 @@
 #include <vector>
 
 #include "exp/runner.h"
+#include "exp/session.h"
 #include "platform/cluster.h"
 #include "sched/policy.h"
 #include "sched/queue_manager.h"
@@ -262,6 +269,33 @@ std::int64_t EndToEnd(int weeks, int seeds) {
   return static_cast<std::int64_t>(rows.size());
 }
 
+// --- exp: session fork + incremental stepping ---------------------------------
+
+/// Fork()s/sec of a mid-flight midsize session — the hs_server what-if hot
+/// path (deep copy of cluster + queues + reservations + event heap + RNG
+/// streams). Returns forks performed.
+std::int64_t SessionFork(const SimulationSession& session, int forks) {
+  std::int64_t sink = 0;
+  for (int i = 0; i < forks; ++i) {
+    const std::unique_ptr<SimulationSession> fork = session.Fork();
+    sink += fork->now();
+  }
+  return sink == -1 ? 0 : forks;
+}
+
+/// Events/sec when driving a run one timestamp batch at a time through
+/// NextEventTime()/StepTo() — the server's advance/what-if stepping shape,
+/// versus Run()'s single uninterrupted loop. Returns events processed.
+std::int64_t SessionStep(const SimSpec& spec) {
+  SimulationSession session(spec);
+  for (;;) {
+    const SimTime next = session.NextEventTime();
+    if (next == kNever) break;
+    session.StepTo(next);
+  }
+  return static_cast<std::int64_t>(session.simulator().events_processed());
+}
+
 // --- JSON output / baseline loading ------------------------------------------
 
 std::string JsonDouble(double v) {
@@ -314,6 +348,7 @@ int main(int argc, char** argv) try {
   const int e2e_weeks = quick ? 1 : 2;
   const int e2e_seeds = quick ? 1 : 2;
   const int trace_gen_weeks = quick ? 1 : 4;
+  const int fork_count = quick ? 50 : 200;
 
   std::printf("=== bench_hotpath (%s: reps=%d) ===\n", quick ? "quick" : "full", reps);
 
@@ -336,6 +371,18 @@ int main(int argc, char** argv) try {
   }));
   results.push_back(RunBench("end_to_end_cells", reps, [&] {
     return EndToEnd(e2e_weeks, e2e_seeds);
+  }));
+  // Report-only families (no entry in the committed baselines): the
+  // hs_server paths — what-if forking and batch-at-a-time stepping.
+  SimSpec fork_spec = SimSpec::Parse("CUP&SPAA/FCFS/W5/preset=midsize");
+  fork_spec.seed = 1;
+  SimulationSession fork_session(fork_spec);
+  fork_session.StepTo(3 * kDay + kHour / 2);  // mid-week, state fully warm
+  results.push_back(RunBench("session_fork", reps, [&] {
+    return SessionFork(fork_session, fork_count);
+  }));
+  results.push_back(RunBench("session_step", reps, [&] {
+    return SessionStep(fork_spec);
   }));
 
   // Load the committed pre-refactor baseline (if present).

@@ -88,7 +88,9 @@ HybridScheduler::HybridScheduler(const Trace& trace, const HybridConfig& config,
   if (!config_error.empty()) {
     throw std::invalid_argument("HybridConfig: " + config_error);
   }
-  const std::string trace_error = trace.Validate();
+  // Online sessions append live submissions at the trace tail, so submit
+  // order is not required here — every other per-job rule still is.
+  const std::string trace_error = trace.Validate(/*require_sorted=*/false);
   if (!trace_error.empty()) {
     throw std::invalid_argument("Trace: " + trace_error);
   }
@@ -107,15 +109,50 @@ HybridScheduler::HybridScheduler(const Trace& trace, const HybridConfig& config,
   }
 }
 
+HybridScheduler::HybridScheduler(const HybridScheduler& other, const Trace& trace,
+                                 Collector& collector, Simulator& sim)
+    : trace_(&trace),
+      config_(other.config_),
+      collector_(&collector),
+      sim_(&sim),
+      engine_(other.engine_, trace, collector, sim),
+      reservations_(other.reservations_, engine_.cluster()),
+      ledger_(other.ledger_),
+      util_track_(other.util_track_),
+      canceled_(other.canceled_) {
+  mech_ = MakeMechanismRuntime(config_.mechanism);
+  ctx_ = std::make_unique<Context>(*this);
+}
+
 HybridScheduler::~HybridScheduler() = default;
 
 void HybridScheduler::Prime() {
-  for (const JobRecord& job : trace_->jobs) {
-    sim_->Schedule(job.submit_time, EventKind::kJobSubmit, job.id);
-    if (mech_.uses_notices && job.is_on_demand() && job.has_notice()) {
-      sim_->Schedule(job.notice_time, EventKind::kAdvanceNotice, job.id);
-    }
+  for (const JobRecord& job : trace_->jobs) PrimeJob(job);
+}
+
+void HybridScheduler::PrimeJob(const JobRecord& job) {
+  sim_->Schedule(job.submit_time, EventKind::kJobSubmit, job.id);
+  if (mech_.uses_notices && job.is_on_demand() && job.has_notice()) {
+    sim_->Schedule(job.notice_time, EventKind::kAdvanceNotice, job.id);
   }
+}
+
+bool HybridScheduler::CancelJob(JobId id, SimTime now) {
+  if (id < 0 || static_cast<std::size_t>(id) >= trace_->jobs.size()) return false;
+  if (canceled_.count(id) > 0 || engine_.IsRunning(id)) return false;
+  const bool waiting = engine_.IsWaiting(id);
+  const bool pending = engine_.record(id).submit_time > now;
+  if (!waiting && !pending) return false;  // finished, killed, or mid-lifecycle
+  canceled_.insert(id);
+  if (waiting) engine_.queue().Remove(id);
+  // Drop whatever the mechanism holds for the job. Closing a reservation is
+  // safe even against a scheduled planned preempt or timeout: both fire as
+  // no-ops once the reservation is gone (the CUP guards), exactly like the
+  // reservation-timeout path.
+  if (reservations_.Has(id)) reservations_.Close(id);
+  ledger_.Drop(id);
+  Absorb();
+  return true;
 }
 
 void HybridScheduler::HandleEvent(const Event& event, Simulator&) {
@@ -157,6 +194,7 @@ void HybridScheduler::HandleEvent(const Event& event, Simulator&) {
 }
 
 void HybridScheduler::OnSubmitEvent(JobId id, SimTime now) {
+  if (canceled_.count(id) > 0) return;  // canceled while pending
   const JobRecord& rec = engine_.record(id);
   if (rec.is_on_demand() && config_.static_od_partition > 0) {
     // Dedicated-cluster comparator: the job runs inside the partition
@@ -177,6 +215,7 @@ void HybridScheduler::OnSubmitEvent(JobId id, SimTime now) {
 }
 
 void HybridScheduler::OnNoticeEvent(JobId od, SimTime now) {
+  if (canceled_.count(od) > 0) return;  // canceled while pending
   if (!mech_.uses_notices || mech_.notice == nullptr) return;
   mech_.notice->OnNotice(*ctx_, od, now);
 }

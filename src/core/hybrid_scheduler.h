@@ -20,6 +20,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_set>
 
 #include "core/config.h"
 #include "core/mechanism.h"
@@ -42,11 +43,38 @@ class HybridScheduler : public EventHandler {
   /// `trace`, `collector` and `sim` must outlive the scheduler.
   HybridScheduler(const Trace& trace, const HybridConfig& config,
                   Collector& collector, Simulator& sim);
+
+  /// Clone constructor (the session-fork path): deep-copies the mid-flight
+  /// engine/reservation/lease/utilization state against the fork's own
+  /// trace/collector/sim, and re-resolves the mechanism's strategy pair
+  /// through MakeMechanismRuntime. Contract: strategies hold no per-run
+  /// mutable state (every built-in is stateless; plugin strategies must be
+  /// too, or forks of sessions using them diverge). Does NOT re-Prime, does
+  /// NOT re-open the static partition — the copied event heap and
+  /// reservation ledger already carry both.
+  HybridScheduler(const HybridScheduler& other, const Trace& trace,
+                  Collector& collector, Simulator& sim);
   ~HybridScheduler() override;
 
   /// Schedules every submit (and, when the mechanism uses notices, every
   /// advance-notice) event from the trace. Call once before Simulator::Run.
   void Prime();
+
+  /// Schedules the submit (and, when applicable, advance-notice) event for
+  /// one appended job — the online-submission path. `job` must live in the
+  /// scheduler's trace.
+  void PrimeJob(const JobRecord& job);
+
+  /// Online cancellation at the current sim time. Pending jobs (submit event
+  /// not fired yet) are tombstoned — the submit event becomes a no-op; so
+  /// does a not-yet-fired advance notice. Waiting jobs leave the queue and
+  /// drop their reservation/lease claims. Running, finished, killed, or
+  /// already-canceled jobs are refused. Returns whether the job was
+  /// canceled.
+  bool CancelJob(JobId id, SimTime now);
+
+  /// True when `id` was tombstoned by CancelJob.
+  bool IsCanceled(JobId id) const { return canceled_.count(id) > 0; }
 
   // EventHandler:
   void HandleEvent(const Event& event, Simulator& sim) override;
@@ -113,6 +141,10 @@ class HybridScheduler : public EventHandler {
   ReservationManager reservations_;
   LeaseLedger ledger_;
   UtilizationTracker util_track_;
+  /// Jobs tombstoned by CancelJob: their already-scheduled submit/notice
+  /// events fire as no-ops (cheaper and replay-stable vs. event-handle
+  /// bookkeeping).
+  std::unordered_set<JobId> canceled_;
   MechanismRuntime mech_;
   std::unique_ptr<Context> ctx_;
 };

@@ -35,6 +35,97 @@ SimulationSession::SimulationSession(Trace trace, const HybridConfig& config)
   sched_.Prime();
 }
 
+std::shared_ptr<Trace> SimulationSession::MakeOnlineTrace(const Trace& base,
+                                                          std::size_t headroom) {
+  auto trace = std::make_shared<Trace>(base);
+  trace->jobs.reserve(base.jobs.size() + headroom);
+  return trace;
+}
+
+SimulationSession::SimulationSession(const SimSpec& spec, const Trace& base,
+                                     std::size_t online_headroom)
+    : spec_(spec),
+      mutable_trace_(MakeOnlineTrace(base, online_headroom)),
+      trace_(mutable_trace_),
+      online_headroom_(online_headroom),
+      config_(spec.BuildConfig()),
+      collector_(config_.instant_threshold),
+      sim_(*this),
+      sched_(*trace_, config_, collector_, sim_) {
+  const std::string error = config_.Validate();
+  if (!error.empty()) {
+    throw std::invalid_argument("invalid config from spec '" + spec.ToString() +
+                                "': " + error);
+  }
+  sched_.Prime();
+}
+
+SimulationSession::SimulationSession(const SimulationSession& other, ForkTag)
+    : spec_(other.spec_),
+      // The fork inherits the REMAINING capacity, not a fresh headroom:
+      // total slots stay base + headroom on both sides of the fork.
+      mutable_trace_(other.mutable_trace_ == nullptr
+                         ? nullptr
+                         : MakeOnlineTrace(*other.trace_, other.online_capacity_left())),
+      trace_(mutable_trace_ == nullptr ? other.trace_
+                                       : std::shared_ptr<const Trace>(mutable_trace_)),
+      online_headroom_(other.online_headroom_),
+      config_(other.config_),
+      collector_(other.collector_),
+      sim_(*this, other.sim_),
+      sched_(other.sched_, *trace_, collector_, sim_) {}
+
+std::unique_ptr<SimulationSession> SimulationSession::Fork() const {
+  return std::unique_ptr<SimulationSession>(new SimulationSession(*this, ForkTag{}));
+}
+
+void SimulationSession::StepTo(SimTime t) {
+  if (t < sim_.now()) {
+    throw std::invalid_argument("StepTo into the past: t=" + std::to_string(t) +
+                                " now=" + std::to_string(sim_.now()));
+  }
+  sim_.Run(t);
+  sim_.FastForward(t);
+}
+
+JobId SimulationSession::SubmitJob(JobRecord job) {
+  if (mutable_trace_ == nullptr) {
+    throw std::logic_error("SubmitJob: session was not built with online headroom");
+  }
+  Trace& trace = *mutable_trace_;
+  if (trace.jobs.size() >= trace.jobs.capacity()) {
+    // Growing the vector would move every JobRecord the queue/running tables
+    // point into — refuse instead (the record-stability contract).
+    throw std::runtime_error("SubmitJob: online headroom exhausted (" +
+                             std::to_string(online_headroom_) + " submissions)");
+  }
+  if (job.submit_time <= sim_.now()) {
+    throw std::invalid_argument("SubmitJob: submit_time must be strictly after now()=" +
+                                std::to_string(sim_.now()));
+  }
+  if (job.has_notice() && job.notice_time < sim_.now()) {
+    throw std::invalid_argument("SubmitJob: notice_time in the past");
+  }
+  if (job.size > trace.num_nodes) {
+    throw std::invalid_argument("SubmitJob: size exceeds machine");
+  }
+  job.id = static_cast<JobId>(trace.jobs.size());
+  const std::string error = job.Validate();
+  if (!error.empty()) throw std::invalid_argument("SubmitJob: " + error);
+  trace.jobs.push_back(job);
+  sched_.PrimeJob(trace.jobs.back());
+  return job.id;
+}
+
+bool SimulationSession::CancelJob(JobId id) {
+  return sched_.CancelJob(id, sim_.now());
+}
+
+std::size_t SimulationSession::online_capacity_left() const {
+  if (mutable_trace_ == nullptr) return 0;
+  return mutable_trace_->jobs.capacity() - mutable_trace_->jobs.size();
+}
+
 void SimulationSession::HandleEvent(const Event& event, Simulator& sim) {
   sched_.HandleEvent(event, sim);
 }

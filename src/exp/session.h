@@ -32,12 +32,57 @@ class SimulationSession final : public EventHandler {
   /// Custom-trace path for tests and trace surgery; `spec()` stays default.
   SimulationSession(Trace trace, const HybridConfig& config);
 
+  /// Online-capable session (the hs_server path): copies `base` into
+  /// privately owned storage with room for `online_headroom` additional
+  /// jobs. JobRecord addresses stay stable until the headroom is exhausted,
+  /// which is what makes SubmitJob() legal mid-flight; SubmitJob throws
+  /// once the headroom is spent.
+  SimulationSession(const SimSpec& spec, const Trace& base,
+                    std::size_t online_headroom);
+
   /// Runs the simulation (to exhaustion, or to `until`) and returns the
   /// finalized metrics. Safe to call repeatedly with increasing `until`.
   SimResult Run(SimTime until = kNever);
 
   /// Metrics of whatever has executed so far (Run() calls this for you).
   SimResult Finalize() const;
+
+  /// Incremental stepping: processes every event at/before `t`, then pins
+  /// the virtual clock at exactly `t` (so a subsequent SubmitJob at t+1 is
+  /// schedulable even when no event is stamped t). Requires t >= now().
+  void StepTo(SimTime t);
+
+  /// Current virtual time.
+  SimTime now() const { return sim_.now(); }
+
+  /// Timestamp of the earliest pending event (kNever when drained).
+  SimTime NextEventTime() { return sim_.NextEventTime(); }
+
+  /// Appends `job` to the session's trace (online sessions only), assigns
+  /// it the next dense id, and primes its submit/notice events. The job's
+  /// submit_time must be strictly after now() — same-instant submission
+  /// would race the current quiescent batch and break fork/replay
+  /// determinism. Returns the assigned id; throws std::invalid_argument on
+  /// a bad record and std::runtime_error when the headroom is exhausted.
+  JobId SubmitJob(JobRecord job);
+
+  /// Cancels a pending or waiting job at now(); see
+  /// HybridScheduler::CancelJob for the exact refusal rules.
+  bool CancelJob(JobId id);
+
+  /// True when this session owns mutable trace storage (SubmitJob legal).
+  bool online() const { return mutable_trace_ != nullptr; }
+
+  /// Remaining online submission slots (0 for non-online sessions).
+  std::size_t online_capacity_left() const;
+
+  /// Deep copy of the entire live state — cluster, queues, reservations,
+  /// leases, event heap, RNG streams, metrics, clock. The fork and the
+  /// original then evolve independently and, fed identical event streams,
+  /// produce byte-identical metrics (the what-if contract, enforced by
+  /// exp_fork_test). Online sessions fork their trace storage too (same
+  /// headroom); plain sessions share the immutable trace.
+  std::unique_ptr<SimulationSession> Fork() const;
 
   // EventHandler: the session is its own event sink, forwarding to the
   // scheduler (this is what breaks the simulator <-> handler cycle every
@@ -53,9 +98,25 @@ class SimulationSession final : public EventHandler {
   HybridScheduler& scheduler() { return sched_; }
   const HybridScheduler& scheduler() const { return sched_; }
 
+  const Collector& collector() const { return collector_; }
+
  private:
+  struct ForkTag {};
+  /// The Fork() clone path: copies every member against rebound references.
+  SimulationSession(const SimulationSession& other, ForkTag);
+
+  /// Allocates the online trace storage: a copy of `base` with vector
+  /// capacity reserved for `headroom` appended jobs.
+  static std::shared_ptr<Trace> MakeOnlineTrace(const Trace& base,
+                                                std::size_t headroom);
+
   SimSpec spec_;
+  /// Online sessions' mutable storage; null for plain (shared-trace) runs.
+  /// When set, trace_ aliases it. Declared before trace_ so the fork
+  /// constructor can initialize them in order.
+  std::shared_ptr<Trace> mutable_trace_;
   std::shared_ptr<const Trace> trace_;  // shared with the runner's cache
+  std::size_t online_headroom_ = 0;
   HybridConfig config_;
   Collector collector_;
   Simulator sim_;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "util/stats.h"
@@ -104,6 +105,25 @@ class Collector {
   /// Finalizes against the machine: `busy_node_seconds` is the allocation
   /// integral from the cluster, `num_nodes` the machine size.
   SimResult Finalize(int num_nodes, double busy_node_seconds) const;
+
+  /// Per-job lifecycle timestamps as observed so far (kNever = not yet).
+  struct JobTimes {
+    SimTime first_submit = kNever;
+    SimTime first_start = kNever;
+    SimTime completion = kNever;
+    bool preempted = false;
+    bool killed = false;
+  };
+
+  /// Lifecycle view of one job; nullopt before its first submit event.
+  /// The query-job / what-if probe-start detection hook.
+  std::optional<JobTimes> Times(JobId id) const {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    return JobTimes{it->second.first_submit, it->second.first_start,
+                    it->second.completion, it->second.preempted,
+                    it->second.killed};
+  }
 
   SimTime instant_threshold() const { return instant_threshold_; }
 

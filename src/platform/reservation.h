@@ -33,6 +33,12 @@ class ReservationManager {
  public:
   explicit ReservationManager(Cluster& cluster) : cluster_(cluster) {}
 
+  /// Clone constructor (the session-fork path): copies the open-reservation
+  /// list and rebinds to `cluster` — the fork's own cluster copy, which
+  /// already carries the matching node-level reservation marks.
+  ReservationManager(const ReservationManager& other, Cluster& cluster)
+      : cluster_(cluster), open_(other.open_) {}
+
   /// Opens a reservation; when `grab_free` it immediately takes free nodes
   /// (up to target). Returns the number of nodes reserved right away.
   int Open(JobId od, int target, SimTime notice_time, SimTime predicted_arrival,

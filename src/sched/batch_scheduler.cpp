@@ -37,6 +37,28 @@ ExecutionEngine::ExecutionEngine(const Trace& trace, const EngineConfig& config,
       ckpt_(config.checkpoint),
       failure_rng_(config.failure_seed) {}
 
+ExecutionEngine::ExecutionEngine(const ExecutionEngine& other, const Trace& trace,
+                                 Collector& collector, Simulator& sim)
+    : trace_(&trace),
+      config_(other.config_),
+      collector_(&collector),
+      sim_(&sim),
+      cluster_(other.cluster_),
+      queue_(other.queue_),
+      policy_(MakePolicy(other.config_.policy)),
+      ckpt_(other.ckpt_),
+      failure_rng_(other.failure_rng_),
+      running_(other.running_),
+      jobs_finished_(other.jobs_finished_),
+      jobs_killed_(other.jobs_killed_) {
+  if (&trace != other.trace_) {
+    for (auto& [id, r] : running_) {
+      r.rec = &trace_->jobs.at(static_cast<std::size_t>(id));
+    }
+    queue_.RebindRecords(trace_->jobs);
+  }
+}
+
 RunningJob& ExecutionEngine::MustRun(JobId id) {
   const auto it = running_.find(id);
   if (it == running_.end()) throw std::runtime_error("job not running: " + std::to_string(id));

@@ -97,6 +97,14 @@ class ExecutionEngine {
   ExecutionEngine(const Trace& trace, const EngineConfig& config,
                   Collector& collector, Simulator& sim);
 
+  /// Clone constructor (the session-fork path): value-copies cluster, queue,
+  /// running table, checkpoint model and failure RNG mid-stream, rebinds the
+  /// trace/collector/simulator references, recreates the (stateless) policy
+  /// instance, and — when `trace` is a different object than the source's —
+  /// repoints every per-job record pointer into it by id.
+  ExecutionEngine(const ExecutionEngine& other, const Trace& trace,
+                  Collector& collector, Simulator& sim);
+
   const JobRecord& record(JobId id) const { return trace_->jobs[static_cast<std::size_t>(id)]; }
   Cluster& cluster() { return cluster_; }
   const Cluster& cluster() const { return cluster_; }

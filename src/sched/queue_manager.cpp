@@ -5,6 +5,12 @@
 
 namespace hs {
 
+void QueueManager::RebindRecords(const std::vector<JobRecord>& jobs) {
+  for (auto& [id, job] : jobs_) {
+    job.record = &jobs.at(static_cast<std::size_t>(id));
+  }
+}
+
 void QueueManager::Add(WaitingJob job) {
   const JobId id = job.id;
   const auto [it, inserted] = jobs_.emplace(id, std::move(job));

@@ -21,6 +21,26 @@ namespace hs {
 
 class QueueManager {
  public:
+  QueueManager() = default;
+
+  // Copying is part of the session-fork contract: the entries and the epoch
+  // transfer, the ordered-view cache does not (its pointers target the
+  // source's map nodes), so the copy rebuilds it on first Ordered() call —
+  // bit-identical to the source's view, the comparator being a total order.
+  QueueManager(const QueueManager& other) : jobs_(other.jobs_), epoch_(other.epoch_) {}
+  QueueManager& operator=(const QueueManager& other) {
+    jobs_ = other.jobs_;
+    epoch_ = other.epoch_;
+    cache_.clear();
+    cache_valid_ = false;
+    return *this;
+  }
+
+  /// Points every entry's `record` at the matching JobRecord in `jobs`
+  /// (indexed by id). Used after a fork deep-copies the trace the records
+  /// lived in; ordering inputs are unchanged, so the epoch stays put.
+  void RebindRecords(const std::vector<JobRecord>& jobs);
+
   void Add(WaitingJob job);
   /// Removes and returns the entry; throws if absent.
   WaitingJob Remove(JobId id);

@@ -1,0 +1,191 @@
+#include "service/server.h"
+
+#include <exception>
+#include <stdexcept>
+
+#include "core/mechanism.h"
+#include "service/protocol.h"
+
+namespace hs {
+
+namespace {
+
+std::string Err(const std::string& message) {
+  return "err msg=" + EscapeField(message);
+}
+
+const char* StateName(ServiceSession::JobState state) {
+  switch (state) {
+    case ServiceSession::JobState::kUnknown: return "unknown";
+    case ServiceSession::JobState::kPending: return "pending";
+    case ServiceSession::JobState::kWaiting: return "waiting";
+    case ServiceSession::JobState::kRunning: return "running";
+    case ServiceSession::JobState::kDone: return "done";
+    case ServiceSession::JobState::kKilled: return "killed";
+    case ServiceSession::JobState::kCanceled: return "canceled";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > pos) parts.push_back(text.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return parts;
+}
+
+WireResponse HandleSubmit(ServiceSession& session, const Request& req) {
+  JobRecord job = ParseJobFields(req, session.now());
+  req.RejectUnknown();
+  const JobId id = session.Submit(std::move(job));
+  return {{"ok job=" + std::to_string(id) + " submit=" +
+           std::to_string(session.Query(id).record.submit_time)},
+          false};
+}
+
+WireResponse HandleCancel(ServiceSession& session, const Request& req) {
+  const JobId id = req.GetInt("job", kNoJob);
+  req.RejectUnknown();
+  if (id == kNoJob) return {{Err("cancel needs job=")}, false};
+  if (!session.Cancel(id)) {
+    return {{Err("job " + std::to_string(id) +
+                 " cannot be canceled (running, finished, or unknown)")},
+            false};
+  }
+  return {{"ok job=" + std::to_string(id)}, false};
+}
+
+WireResponse HandleQueryJob(ServiceSession& session, const Request& req) {
+  const JobId id = req.GetInt("job", kNoJob);
+  req.RejectUnknown();
+  const ServiceSession::JobStatus status = session.Query(id);
+  if (status.state == ServiceSession::JobState::kUnknown) {
+    return {{Err("unknown job " + std::to_string(id))}, false};
+  }
+  std::string line = "ok job=" + std::to_string(id) + " state=" +
+                     StateName(status.state) + " " +
+                     FormatJobFields(status.record, /*with_id=*/false);
+  if (status.first_start != kNever) {
+    line += " start=" + std::to_string(status.first_start);
+  }
+  if (status.completion != kNever) {
+    line += " completion=" + std::to_string(status.completion);
+  }
+  if (status.state == ServiceSession::JobState::kRunning) {
+    line += " alloc=" + std::to_string(status.alloc);
+  }
+  return {{line}, false};
+}
+
+WireResponse HandleQueryMetrics(ServiceSession& session, const Request& req) {
+  req.RejectUnknown();
+  const SimResult r = session.Metrics();
+  std::string line = "ok now=" + std::to_string(session.now());
+  line += " events=" + std::to_string(session.events_processed());
+  line += " jobs_completed=" + std::to_string(r.jobs_completed);
+  line += " jobs_killed=" + std::to_string(r.jobs_killed);
+  line += " preemptions=" + std::to_string(r.preemptions);
+  line += " avg_turnaround_h=" + FmtExactDouble(r.avg_turnaround_h);
+  line += " avg_wait_h=" + FmtExactDouble(r.avg_wait_h);
+  line += " od_instant_rate=" + FmtExactDouble(r.od_instant_rate);
+  line += " utilization=" + FmtExactDouble(r.utilization);
+  line += " lost_node_h=" + FmtExactDouble(r.lost_node_hours);
+  return {{line}, false};
+}
+
+WireResponse HandleAdvance(ServiceSession& session, const Request& req) {
+  const bool has_to = req.Has("to");
+  const bool has_by = req.Has("by");
+  if (has_to == has_by) return {{Err("advance needs exactly one of to=|by=")}, false};
+  const SimTime target = has_to ? req.GetTime("to", session.now(), session.now())
+                                : session.now() + req.GetInt("by", 0);
+  req.RejectUnknown();
+  session.AdvanceTo(target);
+  return {{"ok now=" + std::to_string(session.now()) +
+           " events=" + std::to_string(session.events_processed())},
+          false};
+}
+
+WireResponse HandleWhatIf(ServiceSession& session, const Request& req,
+                          const DispatchOptions& options) {
+  const std::string which = req.GetString("mechanisms", "all");
+  JobRecord probe = ParseJobFields(req, session.now());
+  req.RejectUnknown();
+  const std::vector<std::string> mechanisms =
+      which == "all" ? MechanismNames() : SplitCsv(which);
+  if (mechanisms.empty()) return {{Err("whatif: no mechanisms named")}, false};
+  const std::vector<WhatIfAnswer> answers =
+      session.WhatIf(probe, mechanisms, options.force_replay);
+  WireResponse resp;
+  resp.lines.push_back("ok n=" + std::to_string(answers.size()));
+  for (const WhatIfAnswer& answer : answers) {
+    resp.lines.push_back(FormatWhatIfAnswer(answer));
+  }
+  resp.lines.push_back("end");
+  return resp;
+}
+
+WireResponse HandleSnapshot(ServiceSession& session, const Request& req) {
+  const std::string path = req.GetString("path", "");
+  req.RejectUnknown();
+  if (path.empty()) return {{Err("snapshot needs path=")}, false};
+  session.SnapshotTo(path);
+  return {{"ok path=" + EscapeField(path) + " ops=" +
+           std::to_string(session.ops_logged()) +
+           " now=" + std::to_string(session.now())},
+          false};
+}
+
+}  // namespace
+
+WireResponse HandleRequestLine(ServiceSession& session, const std::string& line,
+                               const DispatchOptions& options) {
+  try {
+    const Request req = Request::Parse(line);
+    const std::string& verb = req.verb();
+    if (verb == "submit") return HandleSubmit(session, req);
+    if (verb == "cancel") return HandleCancel(session, req);
+    if (verb == "query-job") return HandleQueryJob(session, req);
+    if (verb == "query-metrics") return HandleQueryMetrics(session, req);
+    if (verb == "advance") return HandleAdvance(session, req);
+    if (verb == "whatif") return HandleWhatIf(session, req, options);
+    if (verb == "snapshot") return HandleSnapshot(session, req);
+    if (verb == "ping") {
+      req.RejectUnknown();
+      return {{"ok now=" + std::to_string(session.now())}, false};
+    }
+    if (verb == "shutdown") {
+      req.RejectUnknown();
+      return {{"ok bye"}, true};
+    }
+    return {{Err("unknown verb '" + verb + "'")}, false};
+  } catch (const std::exception& e) {
+    return {{Err(e.what())}, false};
+  }
+}
+
+ScheduleServer::ScheduleServer(ServiceSession& session, std::uint16_t port)
+    : session_(&session), listener_(port) {}
+
+void ScheduleServer::Serve() {
+  for (;;) {
+    Socket client = listener_.Accept();
+    SendLine(client, kWireGreeting);
+    for (;;) {
+      const std::optional<std::string> line = client.RecvLine();
+      if (!line.has_value()) break;  // client hung up; accept the next one
+      if (line->empty()) continue;
+      const WireResponse resp = HandleRequestLine(*session_, *line);
+      for (const std::string& out : resp.lines) SendLine(client, out);
+      if (resp.shutdown) return;
+    }
+  }
+}
+
+}  // namespace hs

@@ -1,0 +1,55 @@
+// ScheduleServer: the hs-session v1 verb dispatcher + loopback serve loop.
+//
+// The dispatcher is a pure function from (session, request line) to
+// response lines, so tests drive it without a socket and hs_client's
+// --oracle-snapshot mode reuses it verbatim against a restored session.
+// Responses are one `ok`/`err` line, except `whatif`, which is framed
+// `ok n=K` / K answer lines / `end` (the multi-line responses end with a
+// sentinel so clients never guess).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/service_session.h"
+#include "util/socket.h"
+
+namespace hs {
+
+/// Dispatcher knobs. `force_replay` answers every what-if through op-log
+/// replay even for the live mechanism — hs_client's oracle mode, which the
+/// CI smoke diffs against the live server's fork-path answers.
+struct DispatchOptions {
+  bool force_replay = false;
+};
+
+struct WireResponse {
+  std::vector<std::string> lines;
+  bool shutdown = false;  // the `shutdown` verb was accepted
+};
+
+/// Handles one request line. Never throws: errors come back as `err ...`.
+WireResponse HandleRequestLine(ServiceSession& session, const std::string& line,
+                               const DispatchOptions& options = {});
+
+/// Serves `session` on 127.0.0.1:`port` (0 = ephemeral; port() tells).
+/// One client at a time, sequential accept loop — the session is single-
+/// threaded state and verbs are meant to be serialized anyway.
+class ScheduleServer {
+ public:
+  ScheduleServer(ServiceSession& session, std::uint16_t port);
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Greets each connection with `# hs-session v1`, then answers request
+  /// lines until the client disconnects (accept the next) or a `shutdown`
+  /// verb arrives (return).
+  void Serve();
+
+ private:
+  ServiceSession* session_;
+  TcpListener listener_;
+};
+
+}  // namespace hs

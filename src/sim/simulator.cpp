@@ -12,6 +12,20 @@ EventId Simulator::Schedule(SimTime time, EventKind kind, JobId job, std::int64_
   return queue_.Push(time, kind, job, aux);
 }
 
+void Simulator::FastForward(SimTime t) {
+  if (t < now_) {
+    throw std::runtime_error("Simulator::FastForward into the past: t=" +
+                             std::to_string(t) + " now=" + std::to_string(now_));
+  }
+  if (!queue_.Empty() && queue_.PeekTime() <= t) {
+    throw std::runtime_error(
+        "Simulator::FastForward over a pending event at t=" +
+        std::to_string(queue_.PeekTime()) + " (run to " + std::to_string(t) +
+        " first)");
+  }
+  now_ = t;
+}
+
 void Simulator::Run(SimTime until) {
   while (!queue_.Empty()) {
     const SimTime t = queue_.PeekTime();

@@ -28,6 +28,16 @@ class Simulator {
  public:
   explicit Simulator(EventHandler& handler) : handler_(handler) {}
 
+  /// Clone constructor (the SimulationSession::Fork path): copies the full
+  /// event heap — including handle generations and the queue nonce, so
+  /// EventIds issued by `other` keep cancelling the matching events in the
+  /// clone — plus the clock and counters, but dispatches to `handler`.
+  Simulator(EventHandler& handler, const Simulator& other)
+      : handler_(handler),
+        queue_(other.queue_),
+        now_(other.now_),
+        events_processed_(other.events_processed_) {}
+
   /// Schedules an event; must not be in the past.
   EventId Schedule(SimTime time, EventKind kind, JobId job = kNoJob,
                    std::int64_t aux = 0);
@@ -35,6 +45,16 @@ class Simulator {
 
   /// Runs until the queue is empty (or `until`, if provided and earlier).
   void Run(SimTime until = kNever);
+
+  /// Timestamp of the earliest pending event (kNever when exhausted).
+  /// Non-const like exhausted(): peeking compacts tombstoned entries.
+  SimTime NextEventTime() { return queue_.Empty() ? kNever : queue_.PeekTime(); }
+
+  /// Pins the clock at `t` without dispatching anything. Only legal when
+  /// every event at/before `t` has already been processed — the incremental
+  /// stepping primitive (Run(t) then FastForward(t) leaves now() == t even
+  /// when no event is stamped exactly t).
+  void FastForward(SimTime t);
 
   SimTime now() const { return now_; }
   std::size_t events_processed() const { return events_processed_; }

@@ -1,0 +1,139 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace hs {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in LoopbackAddr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+void Socket::SendAll(std::string_view data) {
+  if (fd_ < 0) throw std::runtime_error("Socket::SendAll on closed socket");
+  while (!data.empty()) {
+    // MSG_NOSIGNAL: a hung-up peer must surface as the exception below, not
+    // as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail("Socket::SendAll");
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<std::string> Socket::RecvLine() {
+  if (fd_ < 0) throw std::runtime_error("Socket::RecvLine on closed socket");
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail("Socket::RecvLine");
+    }
+    if (n == 0) {  // EOF
+      if (buf_.empty()) return std::nullopt;
+      std::string line = std::move(buf_);
+      buf_.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void SendLine(Socket& socket, std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  socket.SendAll(framed);
+}
+
+Socket ConnectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) Fail("ConnectLoopback: socket");
+  Socket sock(fd);
+  const sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Fail("ConnectLoopback: connect to 127.0.0.1:" + std::to_string(port));
+  }
+  return sock;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) Fail("TcpListener: socket");
+  listen_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Fail("TcpListener: bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 8) != 0) Fail("TcpListener: listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Fail("TcpListener: getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket TcpListener::Accept() {
+  for (;;) {
+    const int fd = ::accept(listen_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    Fail("TcpListener::Accept");
+  }
+}
+
+}  // namespace hs

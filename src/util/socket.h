@@ -1,0 +1,67 @@
+// Minimal loopback TCP primitives for the scheduler service.
+//
+// Deliberately tiny: IPv4 loopback only (the service is a local co-process,
+// like hs_worker), blocking I/O, newline-delimited text messages. Errors
+// throw std::runtime_error naming the failing call, matching the
+// subprocess.h / file_util.h idiom.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hs {
+
+/// A connected stream socket; move-only RAII over the file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes all of `data` (retrying short writes); throws on error.
+  /// SIGPIPE is suppressed — a peer hangup surfaces as the exception.
+  void SendAll(std::string_view data);
+
+  /// Reads up to and including the next '\n'; returns the line without the
+  /// newline (and without a trailing '\r'). nullopt on clean EOF with no
+  /// buffered partial line; a partial line at EOF is returned as-is.
+  std::optional<std::string> RecvLine();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes received past the last returned line
+};
+
+/// Sends `line` + '\n'.
+void SendLine(Socket& socket, std::string_view line);
+
+/// Connects to 127.0.0.1:`port`; throws std::runtime_error on failure.
+Socket ConnectLoopback(std::uint16_t port);
+
+/// A listening socket bound to 127.0.0.1 (never a routable interface).
+/// Port 0 requests an ephemeral port; port() reports the bound one.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection; throws on listener failure.
+  Socket Accept();
+
+ private:
+  Socket listen_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace hs

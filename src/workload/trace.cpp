@@ -13,7 +13,7 @@ void Trace::Canonicalize() {
   for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<JobId>(i);
 }
 
-std::string Trace::Validate() const {
+std::string Trace::Validate(bool require_sorted) const {
   if (num_nodes <= 0) return "num_nodes must be positive";
   SimTime prev = -1;
   for (const auto& job : jobs) {
@@ -22,14 +22,25 @@ std::string Trace::Validate() const {
     if (job.size > num_nodes) {
       return "job " + std::to_string(job.id) + ": size exceeds machine";
     }
-    if (job.submit_time < prev) return "jobs not sorted by submit_time";
+    if (require_sorted && job.submit_time < prev) {
+      return "jobs not sorted by submit_time";
+    }
     prev = job.submit_time;
   }
   return {};
 }
 
-SimTime Trace::FirstSubmit() const { return jobs.empty() ? 0 : jobs.front().submit_time; }
-SimTime Trace::LastSubmit() const { return jobs.empty() ? 0 : jobs.back().submit_time; }
+SimTime Trace::FirstSubmit() const {
+  SimTime first = kNever;
+  for (const auto& job : jobs) first = std::min(first, job.submit_time);
+  return jobs.empty() ? 0 : first;
+}
+
+SimTime Trace::LastSubmit() const {
+  SimTime last = 0;
+  for (const auto& job : jobs) last = std::max(last, job.submit_time);
+  return last;
+}
 
 double Trace::TotalDemand() const {
   double demand = 0.0;

@@ -17,9 +17,13 @@ struct Trace {
   void Canonicalize();
 
   /// Validates the machine size and every job; empty string when valid.
-  std::string Validate() const;
+  /// `require_sorted` additionally demands submit-time order — the normal
+  /// contract for generated traces; online sessions append live submissions
+  /// at the tail and validate with it off.
+  std::string Validate(bool require_sorted = true) const;
 
-  /// First/last submission (0/0 for an empty trace).
+  /// Earliest/latest submission (0/0 for an empty trace). Full scans, so
+  /// they stay correct for online-extended (tail-appended) traces.
   SimTime FirstSubmit() const;
   SimTime LastSubmit() const;
 

@@ -1,0 +1,112 @@
+// End-to-end server tests: an in-process ScheduleServer on an ephemeral
+// loopback port, driven through real sockets — greeting, the verb loop,
+// reconnection after a client hangs up, and shutdown.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service_session.h"
+#include "util/socket.h"
+
+namespace hs {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimSpec spec = SimSpec::Parse("CUP&SPAA/FCFS/W5/preset=midsize");
+    spec.seed = 4;
+    session_ = std::make_unique<ServiceSession>(spec);
+    server_ = std::make_unique<ScheduleServer>(*session_, /*port=*/0);
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  void TearDown() override {
+    if (serve_thread_.joinable()) {
+      // Guarantee the serve loop exits even when a test failed early.
+      try {
+        Socket finisher = Connect();
+        SendLine(finisher, "shutdown");
+        (void)finisher.RecvLine();
+      } catch (const std::exception&) {
+      }
+      serve_thread_.join();
+    }
+  }
+
+  /// Connects and consumes the greeting line.
+  Socket Connect() {
+    Socket sock = ConnectLoopback(server_->port());
+    const std::optional<std::string> greeting = sock.RecvLine();
+    EXPECT_EQ(greeting, std::optional<std::string>(kWireGreeting));
+    return sock;
+  }
+
+  /// One request, one single-line response.
+  std::string Roundtrip(Socket& sock, const std::string& request) {
+    SendLine(sock, request);
+    const std::optional<std::string> line = sock.RecvLine();
+    EXPECT_TRUE(line.has_value()) << request;
+    return line.value_or("");
+  }
+
+  std::unique_ptr<ServiceSession> session_;
+  std::unique_ptr<ScheduleServer> server_;
+  std::thread serve_thread_;
+};
+
+TEST_F(ServerTest, VerbLoopOverARealSocket) {
+  Socket sock = Connect();
+  EXPECT_EQ(Roundtrip(sock, "ping"), "ok now=0");
+  EXPECT_EQ(Roundtrip(sock, "advance by=7200").rfind("ok now=7200", 0), 0u);
+
+  const std::string submit =
+      Roundtrip(sock, "submit class=rigid size=64 compute=600 submit=+300");
+  EXPECT_EQ(submit.rfind("ok job=", 0), 0u) << submit;
+  EXPECT_EQ(Roundtrip(sock, "query-metrics").rfind("ok now=7200 events=", 0), 0u);
+
+  // Blank lines are ignored, not answered.
+  sock.SendAll("\n");
+  EXPECT_EQ(Roundtrip(sock, "ping"), "ok now=7200");
+
+  // whatif is framed ok n=K ... end.
+  SendLine(sock, "whatif mechanisms=baseline size=32 compute=60 submit=+60");
+  EXPECT_EQ(sock.RecvLine(), std::optional<std::string>("ok n=1"));
+  const std::optional<std::string> answer = sock.RecvLine();
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->rfind("mech=baseline ", 0), 0u);
+  EXPECT_EQ(sock.RecvLine(), std::optional<std::string>("end"));
+}
+
+TEST_F(ServerTest, SurvivesClientHangupAndServesTheNextConnection) {
+  {
+    Socket first = Connect();
+    EXPECT_EQ(Roundtrip(first, "advance by=3600").rfind("ok now=3600", 0), 0u);
+  }  // hang up without shutdown
+
+  Socket second = Connect();
+  // Session state persisted across the reconnect.
+  EXPECT_EQ(Roundtrip(second, "ping"), "ok now=3600");
+}
+
+TEST_F(ServerTest, ShutdownStopsTheServeLoop) {
+  Socket sock = Connect();
+  EXPECT_EQ(Roundtrip(sock, "shutdown"), "ok bye");
+  serve_thread_.join();  // Serve() returned; TearDown sees nothing to do
+  EXPECT_EQ(sock.RecvLine(), std::nullopt);  // server side closed the stream
+}
+
+TEST_F(ServerTest, ErrorsAreAnsweredInline) {
+  Socket sock = Connect();
+  EXPECT_EQ(Roundtrip(sock, "frobnicate all=1").rfind("err msg=", 0), 0u);
+  // The connection stays usable after an error.
+  EXPECT_EQ(Roundtrip(sock, "ping"), "ok now=0");
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,84 @@
+// Loopback socket primitive tests: ephemeral binding, line framing across
+// split writes, CRLF tolerance, and EOF semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "util/socket.h"
+
+namespace hs {
+namespace {
+
+TEST(SocketTest, EphemeralListenerReportsItsPort) {
+  TcpListener listener(0);
+  EXPECT_GT(listener.port(), 0);
+  // A second ephemeral listener gets its own port.
+  TcpListener other(0);
+  EXPECT_NE(other.port(), listener.port());
+}
+
+TEST(SocketTest, LineRoundTripOverLoopback) {
+  TcpListener listener(0);
+  std::thread echo([&listener] {
+    Socket peer = listener.Accept();
+    for (;;) {
+      const std::optional<std::string> line = peer.RecvLine();
+      if (!line.has_value()) break;
+      SendLine(peer, "echo:" + *line);
+    }
+  });
+
+  Socket client = ConnectLoopback(listener.port());
+  SendLine(client, "hello world");
+  EXPECT_EQ(client.RecvLine(), std::optional<std::string>("echo:hello world"));
+
+  // Several lines in one send still come back one at a time.
+  client.SendAll("a\nb\nc\n");
+  EXPECT_EQ(client.RecvLine(), std::optional<std::string>("echo:a"));
+  EXPECT_EQ(client.RecvLine(), std::optional<std::string>("echo:b"));
+  EXPECT_EQ(client.RecvLine(), std::optional<std::string>("echo:c"));
+
+  // A line split across writes arrives whole; '\r\n' is stripped to the line.
+  client.SendAll("split");
+  client.SendAll(" line\r\n");
+  EXPECT_EQ(client.RecvLine(), std::optional<std::string>("echo:split line"));
+
+  client.Close();
+  echo.join();
+}
+
+TEST(SocketTest, CleanEofIsNulloptPartialLineIsReturned) {
+  TcpListener listener(0);
+  std::thread writer([&listener] {
+    Socket peer = listener.Accept();
+    peer.SendAll("complete\npartial");  // no trailing newline, then close
+  });
+
+  Socket client = ConnectLoopback(listener.port());
+  EXPECT_EQ(client.RecvLine(), std::optional<std::string>("complete"));
+  EXPECT_EQ(client.RecvLine(), std::optional<std::string>("partial"));
+  EXPECT_EQ(client.RecvLine(), std::nullopt);
+  writer.join();
+}
+
+TEST(SocketTest, ConnectToClosedPortThrows) {
+  // Bind-then-drop guarantees the port is currently closed.
+  std::uint16_t dead_port = 0;
+  { dead_port = TcpListener(0).port(); }
+  EXPECT_THROW(ConnectLoopback(dead_port), std::runtime_error);
+}
+
+TEST(SocketTest, MovedFromSocketIsInvalid) {
+  TcpListener listener(0);
+  std::thread accepter([&listener] { (void)listener.Accept(); });
+  Socket a = ConnectLoopback(listener.port());
+  EXPECT_TRUE(a.valid());
+  Socket b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  accepter.join();
+}
+
+}  // namespace
+}  // namespace hs
