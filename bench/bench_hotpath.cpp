@@ -4,6 +4,11 @@
 //
 //   cluster_ops     platform: start/finish/reserve/release node bookkeeping
 //   queue_order_*   sched: policy-ordered waiting-queue views (hot + churn)
+//   sched_pass_*    sched: ExecutionEngine::RunSchedulingPass in isolation
+//                   (quiet: saturated cluster, blocked queue, nothing to do;
+//                   storm: AI-swarm same-tick arrival bursts that start and
+//                   drain through the free pool) — pass cost tracked
+//                   independently of end_to_end_cells
 //   event_churn     sim: schedule/cancel/pop cycles (malleable resizes)
 //   trace_gen_burst workload: modulated synthesis (burst/aimix presets)
 //   end_to_end      exp: sequential ExperimentRunner cells/sec
@@ -35,9 +40,11 @@
 #include <string>
 #include <vector>
 
+#include "exp/fixtures.h"
 #include "exp/runner.h"
 #include "exp/session.h"
 #include "platform/cluster.h"
+#include "sched/batch_scheduler.h"
 #include "sched/policy.h"
 #include "sched/queue_manager.h"
 #include "sim/event_queue.h"
@@ -196,6 +203,96 @@ std::int64_t QueueOrderChurn(const std::vector<JobRecord>& records, int calls) {
   return sink == -1 ? 0 : calls;
 }
 
+// --- sched: the scheduling pass in isolation ----------------------------------
+
+/// The pass rigs and the id pool they draw storm bursts from. Quantum-sized
+/// aimix jobs (128 nodes — the smallest allocation the Theta synthesis
+/// emits) are the AI-swarm component: 16 fit concurrently, so the engine
+/// carries a realistic running table with free headroom left over.
+struct PassRig {
+  std::unique_ptr<test::EngineSandbox> sandbox;
+  std::vector<JobId> small_ids;  // unstarted small jobs (storm ammunition)
+};
+
+/// A warm ExecutionEngine over an aimix trace: small (AI-swarm) jobs are
+/// started directly until the cluster reaches `busy_frac`, then `backlog`
+/// further jobs are enqueued as the waiting queue. High busy_frac + backlog
+/// is the quiet-rig shape (saturated machine, blocked queue); low busy_frac
+/// with no backlog leaves free headroom for storm rounds.
+PassRig MakePassRig(int weeks, double busy_frac, int backlog) {
+  SimSpec spec = SimSpec::Parse("baseline/FCFS/W5/preset=aimix/ai_frac=0.5");
+  spec.weeks = weeks;
+  spec.seed = 42;
+  EngineConfig config;
+  config.checkpoint.node_mtbf = 1000LL * 365 * kDay;  // no dumps: pass-only cost
+  PassRig rig;
+  rig.sandbox = std::make_unique<test::EngineSandbox>(spec.BuildTrace(), config);
+  ExecutionEngine& engine = rig.sandbox->engine_;
+  const Trace& trace = rig.sandbox->trace_;
+  const int nodes = trace.num_nodes;
+  const int total = static_cast<int>(trace.jobs.size());
+  int backlog_left = backlog;
+  for (JobId id = 0; id < total; ++id) {
+    const JobRecord& rec = trace.jobs[static_cast<std::size_t>(id)];
+    const bool small = rec.size <= 128;  // the Theta size quantum: 16 fit concurrently
+    if (small && engine.cluster().busy_count() <
+                     static_cast<int>(busy_frac * nodes) &&
+        rec.size <= engine.cluster().free_count()) {
+      engine.EnqueueFresh(id, 0);
+      if (!engine.StartWaiting(id, rec.size, 0)) engine.queue().Remove(id);
+    } else if (backlog_left > 0) {
+      engine.EnqueueFresh(id, 0);
+      --backlog_left;
+    } else if (small) {
+      rig.small_ids.push_back(id);
+    }
+  }
+  return rig;
+}
+
+/// Repeated passes over a saturated cluster and an unchanged blocked queue —
+/// the dominant quiescent-callback shape (most events change nothing the
+/// pass could use). Returns passes performed.
+std::int64_t SchedPassQuiet(test::EngineSandbox& rig, int calls) {
+  std::int64_t started = 0;
+  for (int i = 1; i <= calls; ++i) {
+    started += rig.engine_.RunSchedulingPass(i);
+  }
+  return started == -1 ? 0 : calls;
+}
+
+/// AI-swarm storm rounds: every round submits a same-tick burst of small
+/// jobs, runs one pass (they start through the free pool), then finishes the
+/// started jobs and clears the stragglers — steady-state arrival churn.
+/// Returns jobs pushed through.
+std::int64_t SchedPassStorm(PassRig& rig, int burst, int rounds) {
+  ExecutionEngine& engine = rig.sandbox->engine_;
+  const int pool = static_cast<int>(rig.small_ids.size());
+  std::int64_t ops = 0;
+  int next = 0;
+  std::vector<JobId> batch;
+  for (int r = 1; r <= rounds; ++r) {
+    const SimTime now = r;
+    batch.clear();
+    for (int b = 0; b < burst; ++b) {
+      const JobId id = rig.small_ids[static_cast<std::size_t>(next++ % pool)];
+      if (engine.IsWaiting(id) || engine.IsRunning(id)) continue;
+      engine.EnqueueFresh(id, now);
+      batch.push_back(id);
+    }
+    engine.RunSchedulingPass(now);
+    for (const JobId id : batch) {
+      if (engine.IsRunning(id)) {
+        engine.FinishRunning(id, now);
+      } else if (engine.IsWaiting(id)) {
+        engine.queue().Remove(id);
+      }
+    }
+    ops += static_cast<std::int64_t>(batch.size());
+  }
+  return ops;
+}
+
 // --- sim: event queue churn ---------------------------------------------------
 
 /// Schedule/cancel/pop cycles shaped like malleable resizes: every resize
@@ -349,6 +446,9 @@ int main(int argc, char** argv) try {
   const int e2e_seeds = quick ? 1 : 2;
   const int trace_gen_weeks = quick ? 1 : 4;
   const int fork_count = quick ? 50 : 200;
+  const int pass_quiet_calls = quick ? 5000 : 20000;
+  const int pass_storm_rounds = quick ? 300 : 1000;
+  const int pass_storm_burst = 64;
 
   std::printf("=== bench_hotpath (%s: reps=%d) ===\n", quick ? "quick" : "full", reps);
 
@@ -363,6 +463,22 @@ int main(int argc, char** argv) try {
   results.push_back(RunBench("queue_order_churn", reps, [&] {
     return QueueOrderChurn(records, order_calls_churn);
   }));
+  {
+    // Rigs are built once: the families measure steady-state pass cost, not
+    // trace synthesis or warmup placement. A settling pass lets whatever can
+    // still start (head + backfill) do so, so the timed passes see a
+    // genuinely blocked steady state.
+    auto quiet_rig = MakePassRig(/*weeks=*/1, /*busy_frac=*/0.95,
+                                 /*backlog=*/2000);
+    quiet_rig.sandbox->engine_.RunSchedulingPass(0);
+    results.push_back(RunBench("sched_pass_quiet", reps, [&] {
+      return SchedPassQuiet(*quiet_rig.sandbox, pass_quiet_calls);
+    }));
+    auto storm_rig = MakePassRig(/*weeks=*/1, /*busy_frac=*/0.6, /*backlog=*/0);
+    results.push_back(RunBench("sched_pass_storm", reps, [&] {
+      return SchedPassStorm(storm_rig, pass_storm_burst, pass_storm_rounds);
+    }));
+  }
   results.push_back(RunBench("event_churn", reps, [&] {
     return EventChurn(event_jobs, event_rounds);
   }));

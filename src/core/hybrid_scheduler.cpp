@@ -202,8 +202,13 @@ void HybridScheduler::OnSubmitEvent(JobId id, SimTime now) {
     // the shared batch queue like any other job).
     engine_.EnqueueFresh(id, now, /*boosted=*/false);
     if (rec.size <= config_.static_od_partition) {
+      // Same-tick batch admission: the job is only marked here; the one
+      // TryStartPartitionJobs call in OnQuiescent admits the whole tick's
+      // arrivals in a single FIFO walk. Decisions are unchanged — the
+      // partition queue is FIFO, finishes (which grow the idle set) sort
+      // before submits within a tick, and OnQuiescent runs before the
+      // clock advances — so N same-tick submits cost one walk, not N.
       engine_.queue().FindMutable(id)->partition_only = true;
-      TryStartPartitionJobs(now);
     }
     return;
   }

@@ -73,6 +73,7 @@ void Cluster::CompactFreeList() {
 }
 
 std::vector<int> Cluster::StartFromFree(JobId job, int count) {
+  ++epoch_;
   if (count > free_count()) throw std::runtime_error("StartFromFree: not enough free nodes");
   if (alloc_.count(job)) throw std::runtime_error("StartFromFree: job already running");
   std::vector<int> nodes;
@@ -88,6 +89,7 @@ std::vector<int> Cluster::StartFromFree(JobId job, int count) {
 }
 
 void Cluster::StartOn(JobId job, const std::vector<int>& nodes) {
+  ++epoch_;
   if (alloc_.count(job)) throw std::runtime_error("StartOn: job already running");
   for (const int node : nodes) {
     if (running_[node] != kNoJob) throw std::runtime_error("StartOn: node occupied");
@@ -106,6 +108,7 @@ void Cluster::StartOn(JobId job, const std::vector<int>& nodes) {
 }
 
 std::vector<int> Cluster::Finish(JobId job) {
+  ++epoch_;
   const auto it = alloc_.find(job);
   if (it == alloc_.end()) throw std::runtime_error("Finish: job not running");
   std::vector<int> released = std::move(it->second);
@@ -125,6 +128,7 @@ std::vector<int> Cluster::Finish(JobId job) {
 }
 
 std::vector<int> Cluster::ReleaseSome(JobId job, int count) {
+  ++epoch_;
   const auto it = alloc_.find(job);
   if (it == alloc_.end()) throw std::runtime_error("ReleaseSome: job not running");
   auto& nodes = it->second;
@@ -155,6 +159,7 @@ std::vector<int> Cluster::ReleaseSome(JobId job, int count) {
 }
 
 void Cluster::AddNodes(JobId job, const std::vector<int>& nodes) {
+  ++epoch_;
   const auto it = alloc_.find(job);
   if (it == alloc_.end()) throw std::runtime_error("AddNodes: job not running");
   for (const int node : nodes) {
@@ -174,6 +179,7 @@ void Cluster::AddNodes(JobId job, const std::vector<int>& nodes) {
 }
 
 std::vector<int> Cluster::ExpandFromFree(JobId job, int count) {
+  ++epoch_;
   const auto it = alloc_.find(job);
   if (it == alloc_.end()) throw std::runtime_error("ExpandFromFree: job not running");
   if (count > free_count()) throw std::runtime_error("ExpandFromFree: not enough free nodes");
@@ -190,6 +196,7 @@ std::vector<int> Cluster::ExpandFromFree(JobId job, int count) {
 }
 
 int Cluster::ReserveFromFree(JobId od, int count) {
+  ++epoch_;
   const int take = std::min(count, free_count());
   auto& res = reservation_[od];
   for (int i = 0; i < take; ++i) {
@@ -207,6 +214,7 @@ int Cluster::ReserveFromFree(JobId od, int count) {
 }
 
 void Cluster::ReserveSpecific(JobId od, const std::vector<int>& nodes) {
+  ++epoch_;
   for (const int node : nodes) {
     if (running_[node] != kNoJob || reserved_[node] != kNoJob) {
       throw std::runtime_error("ReserveSpecific: node not free");
@@ -223,6 +231,7 @@ void Cluster::ReserveSpecific(JobId od, const std::vector<int>& nodes) {
 }
 
 std::vector<int> Cluster::Unreserve(JobId od) {
+  ++epoch_;
   const auto it = reservation_.find(od);
   if (it == reservation_.end()) return {};
   std::vector<int> freed;
@@ -242,6 +251,7 @@ std::vector<int> Cluster::Unreserve(JobId od) {
 }
 
 std::vector<int> Cluster::StartOnReservation(JobId job, int extra_from_free) {
+  ++epoch_;
   if (alloc_.count(job)) throw std::runtime_error("StartOnReservation: job already running");
   if (extra_from_free > free_count()) {
     throw std::runtime_error("StartOnReservation: not enough free nodes");

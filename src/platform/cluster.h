@@ -12,6 +12,7 @@
 // time (`Touch`) for the utilization metrics.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,11 @@ class Cluster {
   int free_count() const { return free_live_; }
   int busy_count() const { return busy_count_; }
   int reserved_idle_count() const { return reserved_idle_count_; }
+
+  /// Bumped by every structural mutation (start/finish/shrink/expand/
+  /// reserve/unreserve) but not by Touch(): schedulers key pass caches on
+  /// it, and the utilization integral cannot change a scheduling decision.
+  std::uint64_t epoch() const { return epoch_; }
 
   /// Accumulates node-second integrals up to `now` (monotone).
   void Touch(SimTime now);
@@ -135,6 +141,7 @@ class Cluster {
   std::unordered_map<JobId, int> reserved_idle_by_od_;
   int busy_count_ = 0;
   int reserved_idle_count_ = 0;
+  std::uint64_t epoch_ = 0;
 
   SimTime last_touch_ = 0;
   double busy_node_seconds_ = 0.0;

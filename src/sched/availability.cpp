@@ -1,0 +1,105 @@
+#include "sched/availability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace hs {
+
+namespace {
+
+/// All overdue steps share est_end == now, so the (est_end, id) order the
+/// legacy sort imposed degenerates to id order among them.
+constexpr JobId kMaxJobId = std::numeric_limits<JobId>::max();
+
+}  // namespace
+
+void AvailabilityProfile::Set(JobId id, SimTime end, int alloc) {
+  if (alloc < 1) throw std::invalid_argument("AvailabilityProfile::Set: alloc < 1");
+  const auto it = entry_.find(id);
+  if (it != entry_.end()) {
+    if (it->second.first == end && it->second.second == alloc) return;
+    by_end_.erase({it->second.first, id});
+    it->second = {end, alloc};
+  } else {
+    entry_.emplace(id, std::make_pair(end, alloc));
+  }
+  by_end_[{end, id}] = alloc;
+  ++epoch_;
+}
+
+void AvailabilityProfile::Erase(JobId id) {
+  const auto it = entry_.find(id);
+  if (it == entry_.end()) return;
+  by_end_.erase({it->second.first, id});
+  entry_.erase(it);
+  ++epoch_;
+}
+
+void AvailabilityProfile::Clear() {
+  if (entry_.empty()) return;
+  by_end_.clear();
+  entry_.clear();
+  ++epoch_;
+}
+
+SimTime AvailabilityProfile::EndOf(JobId id) const {
+  const auto it = entry_.find(id);
+  return it == entry_.end() ? kNever : it->second.first;
+}
+
+int AvailabilityProfile::AllocOf(JobId id) const {
+  const auto it = entry_.find(id);
+  return it == entry_.end() ? 0 : it->second.second;
+}
+
+std::pair<SimTime, int> AvailabilityProfile::EarliestFit(int free_now, int need,
+                                                         SimTime now) const {
+  int avail = free_now;
+  // Overdue prefix: steps at or before `now` clamp to `now` and rank by id.
+  const auto split = by_end_.upper_bound({now, kMaxJobId});
+  if (split != by_end_.begin()) {
+    overdue_scratch_.clear();
+    for (auto it = by_end_.begin(); it != split; ++it) {
+      overdue_scratch_.push_back({it->first.second, it->second});
+    }
+    std::sort(overdue_scratch_.begin(), overdue_scratch_.end());
+    for (const auto& [id, alloc] : overdue_scratch_) {
+      avail += alloc;
+      if (avail >= need) return {now, avail - need};
+    }
+  }
+  for (auto it = split; it != by_end_.end(); ++it) {
+    avail += it->second;
+    if (avail >= need) return {it->first.first, avail - need};
+  }
+  return {kNever, 0};
+}
+
+SimTime AvailabilityProfile::NextEndAfter(SimTime now) const {
+  const auto it = by_end_.upper_bound({now, kMaxJobId});
+  return it == by_end_.end() ? kNever : it->first.first;
+}
+
+void AvailabilityProfile::AppendSortedView(SimTime now,
+                                           std::vector<RunningView>* out) const {
+  assert(out != nullptr);
+  out->reserve(out->size() + entry_.size());
+  const auto split = by_end_.upper_bound({now, kMaxJobId});
+  if (split != by_end_.begin()) {
+    overdue_scratch_.clear();
+    for (auto it = by_end_.begin(); it != split; ++it) {
+      overdue_scratch_.push_back({it->first.second, it->second});
+    }
+    std::sort(overdue_scratch_.begin(), overdue_scratch_.end());
+    for (const auto& [id, alloc] : overdue_scratch_) {
+      out->push_back({id, alloc, now});
+    }
+  }
+  for (auto it = split; it != by_end_.end(); ++it) {
+    out->push_back({it->first.second, it->second, it->first.first});
+  }
+}
+
+}  // namespace hs

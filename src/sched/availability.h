@@ -1,0 +1,87 @@
+// AvailabilityProfile: a persistent free-node step function over future
+// time, maintained incrementally instead of re-derived per scheduling pass.
+//
+// Each running job contributes one step: its allocation becomes available
+// at its *drift-free completion bound* E. E is constant between engine
+// mutations — for rigid jobs it is the estimate-kill time, for draining
+// jobs the drain deadline, and for malleable jobs
+//     E = max(last_advance, setup_end) + ceil(est_work_remaining / alloc)
+// (the work-conserving progress model advances work_done by exactly
+// alloc node-seconds per second, so the projected end does not move as the
+// clock does). The instantaneous estimate the scheduler reasons with is
+// max(E, now): a job past its bound that has not been killed yet (a
+// malleable under-estimator between its estimate bound and its true
+// finish) is treated as ending "now", exactly as the legacy per-pass
+// recomputation did.
+//
+// The profile serves the EASY shadow computation directly: EarliestFit()
+// walks the steps in ascending (max(E, now), id) order accumulating
+// released allocations — the same total order the legacy pass obtained by
+// sorting a RunningView snapshot on every pass, now answered from a
+// maintained ordered map without materializing or sorting anything.
+//
+// An epoch counter increments on every mutation; pass caches (the
+// incremental-repair scheme in ExecutionEngine) key on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/backfill.h"
+
+namespace hs {
+
+class AvailabilityProfile {
+ public:
+  /// Inserts or updates a job's step. `alloc` must be >= 1.
+  void Set(JobId id, SimTime end, int alloc);
+  /// Removes a job's step (no-op if absent).
+  void Erase(JobId id);
+  void Clear();
+
+  bool Contains(JobId id) const { return entry_.count(id) > 0; }
+  std::size_t size() const { return entry_.size(); }
+  /// Bumped by every Set/Erase/Clear that changes the profile.
+  std::uint64_t epoch() const { return epoch_; }
+  /// The job's stored completion bound E (kNever if absent).
+  SimTime EndOf(JobId id) const;
+  /// The job's stored allocation (0 if absent).
+  int AllocOf(JobId id) const;
+
+  /// Earliest time at which `need` nodes are available given `free_now`
+  /// free nodes right now, together with the nodes to spare at that moment
+  /// — the EASY shadow reservation for a blocked head job. Matches the
+  /// legacy accumulate-until-satisfied walk over a (est_end, id)-sorted
+  /// running snapshot exactly, including its tie order: jobs at or past
+  /// their bound (E <= now) count as ending `now` and are visited in id
+  /// order ahead of every strictly-future step. Returns {kNever, 0} when
+  /// the requirement is unreachable even after everything ends.
+  std::pair<SimTime, int> EarliestFit(int free_now, int need, SimTime now) const;
+
+  /// Smallest stored bound strictly greater than `now` (kNever if none):
+  /// the next moment the clock alone can change what EarliestFit would
+  /// answer. Pass caches stay valid only up to (not including) this time.
+  SimTime NextEndAfter(SimTime now) const;
+
+  /// Appends the profile as RunningViews in the exact order and with the
+  /// exact est_end values the legacy per-pass snapshot sort produced:
+  /// (max(E, now), id) ascending. For differential tests and debugging.
+  void AppendSortedView(SimTime now, std::vector<RunningView>* out) const;
+
+ private:
+  /// Steps keyed by (E, id): the strictly-future suffix is already in
+  /// legacy order; the overdue prefix (E <= now) is re-ranked by id at
+  /// query time (it is empty in the common case — only jobs running past
+  /// their estimate bound land there).
+  std::map<std::pair<SimTime, JobId>, int> by_end_;
+  std::unordered_map<JobId, std::pair<SimTime, int>> entry_;  // id -> (E, alloc)
+  std::uint64_t epoch_ = 0;
+  /// Query-time scratch for the overdue prefix; reused across calls so the
+  /// hot path does not allocate.
+  mutable std::vector<std::pair<JobId, int>> overdue_scratch_;
+};
+
+}  // namespace hs

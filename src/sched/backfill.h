@@ -8,6 +8,16 @@
 // for it to start, plus the count of "extra" nodes left at that moment.
 // Later jobs may jump ahead only if they terminate before the shadow time
 // or use no more than the extra nodes — i.e., they never delay the head job.
+//
+// Two entry points share one queue-walk core:
+//   * EasyBackfill(BackfillInput) — the legacy snapshot form: the caller
+//     materializes a RunningView vector and the shadow falls out of an
+//     (est_end, id) sort over it. Kept for tests and as the differential
+//     oracle for the profile-backed planner.
+//   * PlanBackfill(...) — the production form: the shadow is answered by an
+//     incrementally-maintained AvailabilityProfile query, so a pass sorts
+//     and copies nothing. Per-job callbacks go through the small
+//     BackfillEnv interface (one virtual call) instead of std::function.
 #pragma once
 
 #include <functional>
@@ -16,6 +26,8 @@
 #include "sched/policy.h"
 
 namespace hs {
+
+class AvailabilityProfile;
 
 /// A running job as the backfill pass sees it.
 struct RunningView {
@@ -28,6 +40,18 @@ struct RunningView {
 struct StartDecision {
   JobId job = kNoJob;
   int alloc = 0;
+};
+
+/// Per-job callbacks of the planning walk, as a small interface so the hot
+/// path pays one indirect call instead of std::function dispatch.
+class BackfillEnv {
+ public:
+  virtual ~BackfillEnv() = default;
+  /// Wall-time bound if `w` starts now on `alloc` nodes (estimate-based).
+  virtual SimTime WallEstimate(const WaitingJob& w, int alloc) const = 0;
+  /// Nodes already held for the job elsewhere (its private reservation);
+  /// the walk only needs to find size - held from the free pool.
+  virtual int HeldNodes(const WaitingJob& w) const = 0;
 };
 
 struct BackfillInput {
@@ -51,5 +75,14 @@ struct BackfillResult {
 };
 
 BackfillResult EasyBackfill(const BackfillInput& input);
+
+/// Profile-backed planning: byte-identical decisions to EasyBackfill over a
+/// RunningView snapshot of the same state (the shadow query reproduces the
+/// legacy sort order exactly, overdue-clamping included), without building
+/// or sorting that snapshot.
+BackfillResult PlanBackfill(int free_nodes, SimTime now,
+                            const AvailabilityProfile& avail,
+                            const std::vector<const WaitingJob*>& queue,
+                            const BackfillEnv& env);
 
 }  // namespace hs

@@ -50,7 +50,13 @@ ExecutionEngine::ExecutionEngine(const ExecutionEngine& other, const Trace& trac
       failure_rng_(other.failure_rng_),
       running_(other.running_),
       jobs_finished_(other.jobs_finished_),
-      jobs_killed_(other.jobs_killed_) {
+      jobs_killed_(other.jobs_killed_),
+      avail_(other.avail_),
+      pass_cache_valid_(other.pass_cache_valid_),
+      pass_cluster_epoch_(other.pass_cluster_epoch_),
+      pass_queue_epoch_(other.pass_queue_epoch_),
+      pass_avail_epoch_(other.pass_avail_epoch_),
+      pass_next_step_(other.pass_next_step_) {
   if (&trace != other.trace_) {
     for (auto& [id, r] : running_) {
       r.rec = &trace_->jobs.at(static_cast<std::size_t>(id));
@@ -173,6 +179,7 @@ void ExecutionEngine::BeginExecution(WaitingJob waiting, const std::vector<int>&
   auto [it, inserted] = running_.emplace(r.id, std::move(r));
   assert(inserted);
   ScheduleCompletionEvents(it->second, now);
+  SyncAvailability(it->second.id);
 }
 
 void ExecutionEngine::ScheduleCompletionEvents(RunningJob& r, SimTime now) {
@@ -265,6 +272,7 @@ std::vector<int> ExecutionEngine::FinishRunning(JobId id, SimTime now) {
   AccountExecutionOverheads(r, now);
   collector_->OnFinish(*r.rec, now);
   running_.erase(id);
+  avail_.Erase(id);
   ++jobs_finished_;
   const std::vector<int> released = cluster_.Finish(id);
   return FreePoolOnly(cluster_, released);
@@ -284,6 +292,7 @@ std::vector<int> ExecutionEngine::KillAtEstimate(JobId id, SimTime now) {
   AccountExecutionOverheads(r, now);
   collector_->OnKill(*r.rec, now, lost);
   running_.erase(id);
+  avail_.Erase(id);
   ++jobs_killed_;
   const std::vector<int> released = cluster_.Finish(id);
   return FreePoolOnly(cluster_, released);
@@ -340,6 +349,7 @@ std::vector<int> ExecutionEngine::PreemptNow(JobId id, SimTime now, PreemptKind 
   AccountExecutionOverheads(r, now);
   collector_->OnPreempt(*r.rec, now, lost, kind);
   running_.erase(id);
+  avail_.Erase(id);
   const std::vector<int> released = cluster_.Finish(id);
   EnqueueResubmission(std::move(resub), now);
   return FreePoolOnly(cluster_, released);
@@ -353,6 +363,7 @@ void ExecutionEngine::BeginDrain(JobId id, JobId od, SimTime now) {
   r.drain_for = od;
   r.drain_deadline = now + config_.drain_warning;
   r.drain_event = sim_->Schedule(r.drain_deadline, EventKind::kWarningExpire, id, od);
+  SyncAvailability(id);  // the profile bound becomes the drain deadline
 }
 
 std::vector<int> ExecutionEngine::CompleteDrain(JobId id, SimTime now) {
@@ -364,6 +375,7 @@ std::vector<int> ExecutionEngine::CompleteDrain(JobId id, SimTime now) {
   AccountExecutionOverheads(r, now);
   collector_->OnPreempt(*r.rec, now, 0.0, PreemptKind::kDrained);
   running_.erase(id);
+  avail_.Erase(id);
   const std::vector<int> released = cluster_.Finish(id);
   EnqueueResubmission(std::move(resub), now);
   return FreePoolOnly(cluster_, released);
@@ -377,6 +389,7 @@ void ExecutionEngine::CancelDrain(JobId id) {
   r.drain_for = kNoJob;
   r.drain_event = kNoEvent;
   r.drain_deadline = kNever;
+  SyncAvailability(id);  // back to the execution's own completion bound
 }
 
 std::vector<int> ExecutionEngine::ShrinkBy(JobId id, int nodes, SimTime now) {
@@ -392,6 +405,7 @@ std::vector<int> ExecutionEngine::ShrinkBy(JobId id, int nodes, SimTime now) {
   collector_->OnShrink(*r.rec, now, from, r.alloc);
   CancelCompletionEvents(r);
   ScheduleCompletionEvents(r, now);
+  SyncAvailability(id);
   return FreePoolOnly(cluster_, released);
 }
 
@@ -407,6 +421,7 @@ void ExecutionEngine::ExpandByFromFree(JobId id, int nodes, SimTime now) {
   collector_->OnExpand(*r.rec, now, from, r.alloc);
   CancelCompletionEvents(r);
   ScheduleCompletionEvents(r, now);
+  SyncAvailability(id);
 }
 
 SimTime ExecutionEngine::EstimatedEnd(JobId id, SimTime now) const {
@@ -414,13 +429,32 @@ SimTime ExecutionEngine::EstimatedEnd(JobId id, SimTime now) const {
 }
 
 SimTime ExecutionEngine::EstimatedEndOf(const RunningJob& r, SimTime now) const {
+  return std::max(now, ProfileEndOf(r));
+}
+
+SimTime ExecutionEngine::ProfileEndOf(const RunningJob& r) {
   if (r.draining) return r.drain_deadline;
   if (r.malleable_mode) {
-    const std::int64_t done = ProjectedWork(r, now);
-    const std::int64_t est_rem = std::max<std::int64_t>(0, r.est_work_remaining - done);
-    return std::max(now, r.setup_end) + CeilDiv(est_rem, r.alloc);
+    // Drift-free form of the instantaneous estimate: work_done advances by
+    // exactly alloc node-seconds per second past max(last_advance,
+    // setup_end), so the projected end E = t0 + ceil((est_work_remaining -
+    // work_done) / alloc) is constant until the next mutation, and the
+    // instantaneous estimate equals max(E, now) (integer arithmetic makes
+    // the reduction exact; see availability.h).
+    const std::int64_t est_rem =
+        std::max<std::int64_t>(0, r.est_work_remaining - r.work_done);
+    return std::max(r.last_advance, r.setup_end) + CeilDiv(est_rem, r.alloc);
   }
   return r.kill_time_abs;
+}
+
+void ExecutionEngine::SyncAvailability(JobId id) {
+  const auto it = running_.find(id);
+  if (it == running_.end()) {
+    avail_.Erase(id);
+    return;
+  }
+  avail_.Set(id, ProfileEndOf(it->second), it->second.alloc);
 }
 
 double ExecutionEngine::PreemptionCostNodeSec(JobId id, SimTime now) const {
@@ -456,29 +490,57 @@ bool ExecutionEngine::IsPreemptable(JobId id) const {
   return !r.rec->is_on_demand() && !r.draining && !r.is_tenant;
 }
 
-int ExecutionEngine::RunSchedulingPass(SimTime now) {
-  BackfillInput input;
-  input.free_nodes = cluster_.free_count();
-  input.now = now;
-  // Map order is fine here: EasyBackfill's shadow computation imposes its
-  // own (est_end, id) total order, so no per-pass id sort or by-id lookups.
-  input.running.reserve(running_.size());
-  for (const auto& [id, r] : running_) {
-    input.running.push_back({id, r.alloc, EstimatedEndOf(r, now)});
+namespace {
+
+/// The engine's BackfillEnv: held nodes come from the job's own reserved-
+/// idle count, wall estimates from the engine's estimate model.
+class EnginePassEnv final : public BackfillEnv {
+ public:
+  explicit EnginePassEnv(const ExecutionEngine& engine) : engine_(&engine) {}
+  SimTime WallEstimate(const WaitingJob& w, int alloc) const override {
+    return engine_->WallEstimate(w, alloc);
   }
-  input.queue = queue_.Ordered(*policy_, now);
-  std::erase_if(input.queue,
-                [](const WaitingJob* w) { return w->partition_only; });
-  input.wall_estimate = [this](const WaitingJob& w, int alloc) {
-    return WallEstimate(w, alloc);
-  };
-  input.held_nodes = [this](const WaitingJob& w) {
-    return cluster_.ReservedIdleCount(w.id);
-  };
-  const BackfillResult result = EasyBackfill(input);
+  int HeldNodes(const WaitingJob& w) const override {
+    return engine_->cluster().ReservedIdleCount(w.id);
+  }
+
+ private:
+  const ExecutionEngine* engine_;
+};
+
+}  // namespace
+
+int ExecutionEngine::RunSchedulingPass(SimTime now) {
+  // Incremental schedule repair: a pass whose plan was empty recorded what
+  // it consulted; if none of it changed, re-planning is provably another
+  // empty plan, so skip. The time-invariance gate is required — a policy
+  // whose order drifts with the clock (WFP3) can promote a startable job
+  // to the head even with frozen state. The clock gate (`now` short of the
+  // next profile step) freezes the overdue-clamped prefix of the shadow
+  // query; past it, a blocked head's shadow/extra answer could change.
+  // Starting no jobs has no side effects, so skipping is state-identical.
+  if (pass_cache_valid_ && policy_->time_invariant() &&
+      pass_cluster_epoch_ == cluster_.epoch() &&
+      pass_queue_epoch_ == queue_.epoch() &&
+      pass_avail_epoch_ == avail_.epoch() && now < pass_next_step_) {
+    return 0;
+  }
+  // The eligible view is a reference into the queue's cache: planning reads
+  // it to completion before any start mutates the queue.
+  const std::vector<const WaitingJob*>& queue = queue_.OrderedEligible(*policy_, now);
+  const EnginePassEnv env(*this);
+  const BackfillResult result =
+      PlanBackfill(cluster_.free_count(), now, avail_, queue, env);
   int started = 0;
   for (const StartDecision& d : result.starts) {
     if (StartWaiting(d.job, d.alloc, now)) ++started;
+  }
+  pass_cache_valid_ = result.starts.empty();
+  if (pass_cache_valid_) {
+    pass_cluster_epoch_ = cluster_.epoch();
+    pass_queue_epoch_ = queue_.epoch();
+    pass_avail_epoch_ = avail_.epoch();
+    pass_next_step_ = avail_.NextEndAfter(now);
   }
   return started;
 }

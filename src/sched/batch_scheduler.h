@@ -21,6 +21,7 @@
 #include "checkpoint/checkpoint_model.h"
 #include "metrics/collector.h"
 #include "platform/cluster.h"
+#include "sched/availability.h"
 #include "sched/backfill.h"
 #include "sched/policy.h"
 #include "sched/queue_manager.h"
@@ -208,7 +209,19 @@ class ExecutionEngine {
 
   /// One EASY pass over the free pool: starts whatever fits, reserves for
   /// the head job. Returns the number of jobs started.
+  ///
+  /// The pass plans against the incrementally-maintained availability
+  /// profile (no per-pass RunningView snapshot or sort), and skips itself
+  /// entirely when it is provably idempotent: the previous pass planned
+  /// zero starts, the policy order cannot drift with the clock, none of
+  /// the pass's inputs (cluster, queue, profile — each epoch-tracked) has
+  /// changed, and the clock has not crossed a profile step. Decisions are
+  /// byte-identical to the legacy recompute-from-scratch pass.
   int RunSchedulingPass(SimTime now);
+
+  /// The maintained free-node availability timeline (one step per running
+  /// job at its drift-free completion bound).
+  const AvailabilityProfile& availability() const { return avail_; }
 
   /// Wall-estimate of a waiting job started now with `alloc` nodes.
   SimTime WallEstimate(const WaitingJob& w, int alloc) const;
@@ -221,8 +234,20 @@ class ExecutionEngine {
   RunningJob& MustRun(JobId id);
   const RunningJob& MustRun(JobId id) const;
 
-  /// EstimatedEnd without the by-id lookup (hot-path form).
+  /// EstimatedEnd without the by-id lookup (hot-path form): the job's
+  /// drift-free profile bound clamped to now.
   SimTime EstimatedEndOf(const RunningJob& r, SimTime now) const;
+
+  /// The job's drift-free completion bound E: constant between engine
+  /// mutations, with EstimatedEndOf(r, now) == max(E, now) (see
+  /// availability.h for the derivation). This is the value the
+  /// availability profile stores.
+  static SimTime ProfileEndOf(const RunningJob& r);
+
+  /// Re-syncs `id`'s availability-profile step with its RunningJob state
+  /// (erases the step when the job is no longer running). Called by every
+  /// mutation that changes an execution's allocation or completion bound.
+  void SyncAvailability(JobId id);
 
   /// Creates the execution record, pays setup, schedules finish/kill.
   void BeginExecution(WaitingJob waiting, const std::vector<int>& nodes,
@@ -258,6 +283,21 @@ class ExecutionEngine {
   std::unordered_map<JobId, RunningJob> running_;
   std::size_t jobs_finished_ = 0;
   std::size_t jobs_killed_ = 0;
+
+  /// Free-node step function over future time, kept in lockstep with
+  /// running_ (SyncAvailability at every mutation).
+  AvailabilityProfile avail_;
+
+  /// Incremental schedule repair: a pass that planned zero starts records
+  /// the epochs of everything it consulted plus the next profile step; a
+  /// later pass with identical epochs, a time-invariant policy, and a
+  /// clock still short of that step is provably a no-op and is skipped.
+  /// Any start invalidates the cache (and bumps the epochs anyway).
+  bool pass_cache_valid_ = false;
+  std::uint64_t pass_cluster_epoch_ = 0;
+  std::uint64_t pass_queue_epoch_ = 0;
+  std::uint64_t pass_avail_epoch_ = 0;
+  SimTime pass_next_step_ = kNever;
 };
 
 }  // namespace hs

@@ -42,8 +42,8 @@ WaitingJob* QueueManager::FindMutable(JobId id) {
   return &it->second;
 }
 
-std::vector<const WaitingJob*> QueueManager::Ordered(const OrderingPolicy& policy,
-                                                     SimTime now) const {
+const std::vector<const WaitingJob*>& QueueManager::EnsureOrdered(
+    const OrderingPolicy& policy, SimTime now) const {
   const bool hit = cache_valid_ && cache_epoch_ == epoch_ &&
                    cache_policy_ == policy.name() &&
                    (cache_time_invariant_ || cache_now_ == now);
@@ -63,8 +63,27 @@ std::vector<const WaitingJob*> QueueManager::Ordered(const OrderingPolicy& polic
     cache_policy_ = policy.name();
     cache_time_invariant_ = policy.time_invariant();
     cache_now_ = now;
+    eligible_valid_ = false;
   }
   return cache_;
+}
+
+std::vector<const WaitingJob*> QueueManager::Ordered(const OrderingPolicy& policy,
+                                                     SimTime now) const {
+  return EnsureOrdered(policy, now);
+}
+
+const std::vector<const WaitingJob*>& QueueManager::OrderedEligible(
+    const OrderingPolicy& policy, SimTime now) const {
+  EnsureOrdered(policy, now);
+  if (!eligible_valid_) {
+    eligible_cache_.clear();
+    for (const WaitingJob* w : cache_) {
+      if (!w->partition_only) eligible_cache_.push_back(w);
+    }
+    eligible_valid_ = true;
+  }
+  return eligible_cache_;
 }
 
 std::vector<const WaitingJob*> QueueManager::All() const {

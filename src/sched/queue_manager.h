@@ -33,6 +33,8 @@ class QueueManager {
     epoch_ = other.epoch_;
     cache_.clear();
     cache_valid_ = false;
+    eligible_cache_.clear();
+    eligible_valid_ = false;
     return *this;
   }
 
@@ -53,15 +55,31 @@ class QueueManager {
   std::size_t size() const { return jobs_.size(); }
   bool empty() const { return jobs_.empty(); }
 
+  /// Bumped by every mutation that can change ordering inputs; schedulers
+  /// key their own pass caches on it (paired with the cluster and
+  /// availability-profile epochs).
+  std::uint64_t epoch() const { return epoch_; }
+
   /// Entries ordered by (boosted first, policy key, first_submit, id).
   /// Served from the epoch-keyed cache when nothing relevant changed; the
   /// returned vector is the caller's own copy, safe across queue edits.
   std::vector<const WaitingJob*> Ordered(const OrderingPolicy& policy, SimTime now) const;
 
+  /// Ordered() minus partition_only entries — the scheduling pass's view —
+  /// filtered once per cache refresh instead of per pass. Returns a
+  /// reference into the cache: valid only until the next queue mutation,
+  /// so callers must finish reading before starting/removing jobs.
+  const std::vector<const WaitingJob*>& OrderedEligible(const OrderingPolicy& policy,
+                                                        SimTime now) const;
+
   /// Unordered view (iteration for metrics/tests).
   std::vector<const WaitingJob*> All() const;
 
  private:
+  /// Refreshes the ordered cache if stale; returns it.
+  const std::vector<const WaitingJob*>& EnsureOrdered(const OrderingPolicy& policy,
+                                                      SimTime now) const;
+
   std::unordered_map<JobId, WaitingJob> jobs_;
 
   // Ordered-view cache. Entry pointers stay valid across map churn
@@ -74,6 +92,10 @@ class QueueManager {
   mutable std::string cache_policy_;
   mutable bool cache_time_invariant_ = false;
   mutable SimTime cache_now_ = 0;
+  // Eligible (non-partition_only) projection of cache_; rebuilt lazily
+  // after every cache_ refresh.
+  mutable std::vector<const WaitingJob*> eligible_cache_;
+  mutable bool eligible_valid_ = false;
 };
 
 }  // namespace hs

@@ -1,0 +1,397 @@
+// Differential guards for the availability profile and the profile-backed
+// backfill planner (the "decisions unchanged" contract of the incremental
+// scheduling pass):
+//
+//   1. ~10k random profile mutations (start/finish/kill map to Set/Erase,
+//      shrink/expand/drain to Set updates) checked after every step against
+//      a naive recompute-from-scratch oracle — the same shape as
+//      platform_cluster_property_test.cpp.
+//   2. Randomized queues and running sets where PlanBackfill (profile
+//      query) must emit byte-identical StartDecisions — and the same
+//      blocked head, shadow time, and extra-node window — as the legacy
+//      EasyBackfill snapshot walk, overdue (E <= now) clamping and held
+//      reservation nodes included.
+//   3. The engine-level identity the profile rests on:
+//      EstimatedEnd(id, now) == max(availability().EndOf(id), now) across
+//      every mutation path that re-syncs a job's step.
+#include "sched/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "exp/fixtures.h"
+#include "sched/backfill.h"
+#include "util/rng.h"
+
+namespace hs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. Profile vs naive oracle.
+
+/// The oracle: a flat copy of the profile's (id -> E, alloc) state, with
+/// every query answered by sorting a fresh snapshot — exactly what the
+/// legacy pass did per call.
+class NaiveProfile {
+ public:
+  std::map<JobId, std::pair<SimTime, int>> entries;
+
+  std::vector<RunningView> SortedView(SimTime now) const {
+    std::vector<RunningView> view;
+    view.reserve(entries.size());
+    for (const auto& [id, e] : entries) {
+      view.push_back({id, e.second, std::max(e.first, now)});
+    }
+    std::sort(view.begin(), view.end(), [](const RunningView& a, const RunningView& b) {
+      if (a.est_end != b.est_end) return a.est_end < b.est_end;
+      return a.id < b.id;
+    });
+    return view;
+  }
+
+  std::pair<SimTime, int> EarliestFit(int free_now, int need, SimTime now) const {
+    int avail = free_now;
+    for (const auto& r : SortedView(now)) {
+      avail += r.alloc;
+      if (avail >= need) return {r.est_end, avail - need};
+    }
+    return {kNever, 0};
+  }
+
+  SimTime NextEndAfter(SimTime now) const {
+    SimTime next = kNever;
+    for (const auto& [id, e] : entries) {
+      if (e.first > now && e.first < next) next = e.first;
+    }
+    return next;
+  }
+};
+
+TEST(AvailabilityProfilePropertyTest, TenThousandRandomOpsMatchNaiveOracle) {
+  constexpr int kOps = 10000;
+  AvailabilityProfile profile;
+  NaiveProfile naive;
+  Rng rng(0xA7A11AB1EULL);
+  JobId next_job = 1;
+  std::vector<JobId> live;
+
+  const auto pick = [&rng](const std::vector<JobId>& from) {
+    return from[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(from.size()) - 1))];
+  };
+  const auto drop = [](std::vector<JobId>& from, JobId id) {
+    from.erase(std::remove(from.begin(), from.end(), id), from.end());
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int action = static_cast<int>(rng.UniformInt(0, 9));
+    switch (action) {
+      case 0:
+      case 1:
+      case 2: {  // start: fresh step
+        const JobId id = next_job++;
+        const SimTime end = rng.UniformInt(0, 5000);
+        const int alloc = static_cast<int>(rng.UniformInt(1, 64));
+        profile.Set(id, end, alloc);
+        naive.entries[id] = {end, alloc};
+        live.push_back(id);
+        break;
+      }
+      case 3:
+      case 4: {  // finish / kill: step removed
+        if (live.empty()) break;
+        const JobId id = pick(live);
+        profile.Erase(id);
+        naive.entries.erase(id);
+        drop(live, id);
+        break;
+      }
+      case 5: {  // erase of an absent id is a silent no-op
+        const std::uint64_t before = profile.epoch();
+        profile.Erase(next_job + 100);
+        EXPECT_EQ(profile.epoch(), before);
+        break;
+      }
+      case 6:
+      case 7: {  // shrink / expand: alloc changes, bound recomputed
+        if (live.empty()) break;
+        const JobId id = pick(live);
+        const SimTime end = rng.UniformInt(0, 5000);
+        const int alloc = static_cast<int>(rng.UniformInt(1, 64));
+        profile.Set(id, end, alloc);
+        naive.entries[id] = {end, alloc};
+        break;
+      }
+      case 8: {  // drain / cancel-drain: bound moves, alloc stays
+        if (live.empty()) break;
+        const JobId id = pick(live);
+        const int alloc = profile.AllocOf(id);
+        const SimTime end = rng.UniformInt(0, 5000);
+        profile.Set(id, end, alloc);
+        naive.entries[id] = {end, alloc};
+        break;
+      }
+      case 9: {  // identical re-Set must not bump the epoch
+        if (live.empty()) break;
+        const JobId id = pick(live);
+        const std::uint64_t before = profile.epoch();
+        profile.Set(id, profile.EndOf(id), profile.AllocOf(id));
+        EXPECT_EQ(profile.epoch(), before) << "op " << op;
+        break;
+      }
+    }
+
+    ASSERT_EQ(profile.size(), naive.entries.size()) << "op " << op;
+    // Random point lookups.
+    if (!live.empty()) {
+      const JobId id = pick(live);
+      ASSERT_TRUE(profile.Contains(id));
+      ASSERT_EQ(profile.EndOf(id), naive.entries.at(id).first) << "op " << op;
+      ASSERT_EQ(profile.AllocOf(id), naive.entries.at(id).second) << "op " << op;
+    }
+    EXPECT_FALSE(profile.Contains(next_job + 100));
+    EXPECT_EQ(profile.EndOf(next_job + 100), kNever);
+    EXPECT_EQ(profile.AllocOf(next_job + 100), 0);
+
+    // Random queries: `now` deliberately straddles stored bounds so the
+    // overdue-clamped prefix is regularly non-empty.
+    const SimTime now = rng.UniformInt(0, 5500);
+    const int free_now = static_cast<int>(rng.UniformInt(0, 128));
+    const int need = static_cast<int>(rng.UniformInt(1, 256));
+    ASSERT_EQ(profile.EarliestFit(free_now, need, now),
+              naive.EarliestFit(free_now, need, now))
+        << "op " << op << " now=" << now << " free=" << free_now << " need=" << need;
+    ASSERT_EQ(profile.NextEndAfter(now), naive.NextEndAfter(now)) << "op " << op;
+
+    if (op % 100 == 0) {
+      std::vector<RunningView> got;
+      profile.AppendSortedView(now, &got);
+      const std::vector<RunningView> want = naive.SortedView(now);
+      ASSERT_EQ(got.size(), want.size()) << "op " << op;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i].id, want[i].id) << "op " << op << " slot " << i;
+        ASSERT_EQ(got[i].alloc, want[i].alloc) << "op " << op << " slot " << i;
+        ASSERT_EQ(got[i].est_end, want[i].est_end) << "op " << op << " slot " << i;
+      }
+    }
+  }
+
+  profile.Clear();
+  EXPECT_EQ(profile.size(), 0u);
+  EXPECT_EQ(profile.EarliestFit(0, 1, 0), (std::pair<SimTime, int>{kNever, 0}));
+  EXPECT_EQ(profile.NextEndAfter(0), kNever);
+}
+
+// ---------------------------------------------------------------------------
+// 2. PlanBackfill vs EasyBackfill over randomized inputs.
+
+/// Owns records/queue storage (the sched_backfill_test fixture shape) plus
+/// a held-nodes table, and exposes both callback forms — std::function for
+/// the legacy input, BackfillEnv for the planner — backed by the same data.
+class DifferentialFixture : public BackfillEnv {
+ public:
+  WaitingJob* AddRigid(JobId id, int size, SimTime estimate) {
+    JobRecord& rec = records_[id];
+    rec.id = id;
+    rec.size = size;
+    rec.min_size = size;
+    rec.compute_time = estimate;
+    rec.estimate = estimate;
+    WaitingJob w;
+    w.id = id;
+    w.record = &rec;
+    w.estimate_remaining = estimate;
+    w.est_work_remaining = static_cast<std::int64_t>(estimate) * size;
+    queue_storage_.push_back(w);
+    return &queue_storage_.back();
+  }
+
+  WaitingJob* AddMalleable(JobId id, int max, int min, SimTime estimate) {
+    WaitingJob* w = AddRigid(id, max, estimate);
+    records_[id].klass = JobClass::kMalleable;
+    records_[id].min_size = min;
+    w->flexible = true;
+    return w;
+  }
+
+  void Hold(JobId id, int nodes) { held_[id] = nodes; }
+
+  SimTime WallEstimate(const WaitingJob& w, int alloc) const override {
+    if (w.record->is_malleable()) return (w.est_work_remaining + alloc - 1) / alloc;
+    return w.estimate_remaining;
+  }
+
+  int HeldNodes(const WaitingJob& w) const override {
+    const auto it = held_.find(w.id);
+    return it == held_.end() ? 0 : it->second;
+  }
+
+  std::vector<const WaitingJob*> Queue() const {
+    std::vector<const WaitingJob*> q;
+    for (const auto& w : queue_storage_) q.push_back(&w);
+    return q;
+  }
+
+  /// The legacy input over the same data: RunningView snapshot with the
+  /// engine's clamped est_end = max(E, now).
+  BackfillInput MakeLegacyInput(int free, SimTime now,
+                                const AvailabilityProfile& avail) const {
+    BackfillInput input;
+    input.free_nodes = free;
+    input.now = now;
+    input.queue = Queue();
+    avail.AppendSortedView(now, &input.running);
+    // The planner's oracle must not depend on snapshot order: shuffle-proof
+    // by reversing (EasyBackfill re-sorts internally).
+    std::reverse(input.running.begin(), input.running.end());
+    input.wall_estimate = [this](const WaitingJob& w, int alloc) {
+      return WallEstimate(w, alloc);
+    };
+    input.held_nodes = [this](const WaitingJob& w) { return HeldNodes(w); };
+    return input;
+  }
+
+ private:
+  std::map<JobId, JobRecord> records_;
+  std::deque<WaitingJob> queue_storage_;
+  std::map<JobId, int> held_;
+};
+
+TEST(AvailabilityBackfillDifferentialTest, ProfilePlanMatchesLegacyOverRandomInputs) {
+  constexpr int kTrials = 400;
+  Rng rng(0xBADC0DEULL);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const SimTime now = rng.UniformInt(0, 2000);
+    const int nodes = static_cast<int>(rng.UniformInt(8, 96));
+
+    // Random running set; roughly a quarter of the bounds land at or
+    // before `now` to exercise the overdue-clamped prefix.
+    AvailabilityProfile avail;
+    int busy = 0;
+    const int num_running = static_cast<int>(rng.UniformInt(0, 10));
+    for (int i = 0; i < num_running && busy < nodes; ++i) {
+      const int alloc =
+          static_cast<int>(rng.UniformInt(1, std::min(nodes - busy, 24)));
+      const SimTime end = rng.Chance(0.25) ? rng.UniformInt(0, now)
+                                           : rng.UniformInt(now + 1, now + 3000);
+      avail.Set(1000 + i, end, alloc);
+      busy += alloc;
+    }
+    const int free = nodes - busy;
+
+    // Random queue: rigid/malleable mix, occasional held reservation.
+    DifferentialFixture fx;
+    const int num_waiting = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < num_waiting; ++i) {
+      const JobId id = 1 + i;
+      const SimTime estimate = rng.UniformInt(1, 4000);
+      if (rng.Chance(0.3)) {
+        const int max = static_cast<int>(rng.UniformInt(2, 32));
+        const int min = static_cast<int>(rng.UniformInt(1, max));
+        fx.AddMalleable(id, max, min, estimate);
+      } else {
+        fx.AddRigid(id, static_cast<int>(rng.UniformInt(1, 48)), estimate);
+      }
+      if (rng.Chance(0.15)) fx.Hold(id, static_cast<int>(rng.UniformInt(1, 8)));
+    }
+
+    const BackfillResult legacy = EasyBackfill(fx.MakeLegacyInput(free, now, avail));
+    const BackfillResult plan = PlanBackfill(free, now, avail, fx.Queue(), fx);
+
+    ASSERT_EQ(plan.starts.size(), legacy.starts.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < legacy.starts.size(); ++i) {
+      ASSERT_EQ(plan.starts[i].job, legacy.starts[i].job) << "trial " << trial;
+      ASSERT_EQ(plan.starts[i].alloc, legacy.starts[i].alloc) << "trial " << trial;
+    }
+    ASSERT_EQ(plan.blocked_head, legacy.blocked_head) << "trial " << trial;
+    ASSERT_EQ(plan.shadow_time, legacy.shadow_time) << "trial " << trial;
+    ASSERT_EQ(plan.extra_nodes, legacy.extra_nodes) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Engine identity: EstimatedEnd == max(profile bound, now).
+
+JobRecord Rigid(JobId id, SimTime submit, int size, SimTime compute, SimTime setup,
+                SimTime estimate) {
+  JobRecord rec;
+  rec.id = id;
+  rec.klass = JobClass::kRigid;
+  rec.submit_time = submit;
+  rec.size = size;
+  rec.min_size = size;
+  rec.compute_time = compute;
+  rec.setup_time = setup;
+  rec.estimate = estimate;
+  return rec;
+}
+
+JobRecord Malleable(JobId id, SimTime submit, int max, int min, SimTime compute,
+                    SimTime setup, SimTime estimate) {
+  JobRecord rec = Rigid(id, submit, max, compute, setup, estimate);
+  rec.klass = JobClass::kMalleable;
+  rec.min_size = min;
+  return rec;
+}
+
+void ExpectProfileMatchesRunning(const ExecutionEngine& engine, SimTime now) {
+  ASSERT_EQ(engine.availability().size(), engine.running_jobs().size());
+  for (const auto& [id, r] : engine.running_jobs()) {
+    ASSERT_TRUE(engine.availability().Contains(id)) << "job " << id;
+    EXPECT_EQ(engine.availability().AllocOf(id), r.alloc) << "job " << id;
+    EXPECT_EQ(engine.EstimatedEnd(id, now),
+              std::max(engine.availability().EndOf(id), now))
+        << "job " << id;
+  }
+}
+
+TEST(AvailabilityEngineIdentityTest, ProfileTracksEveryMutationPath) {
+  Trace trace;
+  trace.num_nodes = 64;
+  trace.jobs = {Rigid(0, 0, 8, 1000, 100, 2000),
+                Malleable(1, 0, 16, 4, 3000, 0, 4000),
+                Rigid(2, 0, 4, 500, 0, 800)};
+  EngineConfig config;
+  config.checkpoint.node_mtbf = 1000LL * 365 * kDay;
+  test::EngineSandbox h(std::move(trace), config);
+
+  for (JobId id = 0; id < 3; ++id) h.engine_.EnqueueFresh(id, 0);
+  ASSERT_TRUE(h.engine_.StartWaiting(0, 8, 0));
+  ASSERT_TRUE(h.engine_.StartWaiting(1, 8, 0));
+  ASSERT_TRUE(h.engine_.StartWaiting(2, 4, 0));
+  ExpectProfileMatchesRunning(h.engine_, 0);
+
+  // Shrink and expand re-project the malleable bound.
+  h.engine_.ShrinkBy(1, 4, 0);
+  ExpectProfileMatchesRunning(h.engine_, 0);
+  h.engine_.ExpandByFromFree(1, 8, 0);
+  ExpectProfileMatchesRunning(h.engine_, 0);
+
+  // Drain (malleable only) pins the bound to the warning deadline; cancel
+  // restores the work projection.
+  h.engine_.BeginDrain(1, /*od=*/100, 0);
+  ExpectProfileMatchesRunning(h.engine_, 0);
+  h.engine_.CancelDrain(1);
+  ExpectProfileMatchesRunning(h.engine_, 0);
+
+  // Overdue clamp: past the stored bound the estimate floors at `now`.
+  const SimTime bound = h.engine_.availability().EndOf(2);
+  ASSERT_LT(bound, kNever);
+  EXPECT_EQ(h.engine_.EstimatedEnd(2, bound + 50), bound + 50);
+
+  // Removal paths drop the step.
+  h.engine_.FinishRunning(2, 0);
+  EXPECT_FALSE(h.engine_.availability().Contains(2));
+  ExpectProfileMatchesRunning(h.engine_, 0);
+
+  h.sim_.Run();
+  EXPECT_EQ(h.engine_.availability().size(), 0u);
+}
+
+}  // namespace
+}  // namespace hs

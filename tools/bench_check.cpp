@@ -1,0 +1,113 @@
+// bench_check: CI gate comparing a fresh bench_hotpath JSON report against
+// the committed baseline. Fails (exit 1) when any family present in BOTH
+// files regressed by more than the allowed fraction (default 30% — wide
+// enough to ride out shared-runner noise, tight enough to catch a real
+// hot-path regression).
+//
+// Usage: bench_check <current.json> <baseline.json> [--max-regression=0.30]
+//
+// The reports are the flat JSON bench_hotpath emits; families are matched
+// by name, so adding or removing a family never breaks the gate — only a
+// family in both reports is compared.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Reads a whole file; empty string on failure.
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Extracts every `"name": {"unit": ..., "median": <v>, ...}` family from a
+/// bench_hotpath report. Deliberately the same crude scan the benchmark
+/// itself uses for its baseline column — no JSON dependency.
+std::map<std::string, double> Families(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"unit\"", pos)) != std::string::npos) {
+    // Backtrack over `: ` to the closing quote of the family name.
+    const std::size_t q2 = text.rfind('"', pos);
+    if (q2 == std::string::npos || q2 == 0) break;
+    const std::size_t q1 = text.rfind('"', q2 - 1);
+    if (q1 == std::string::npos) break;
+    const std::string name = text.substr(q1 + 1, q2 - q1 - 1);
+    const std::size_t med = text.find("\"median\":", pos);
+    if (med == std::string::npos) break;
+    const double value = std::strtod(text.c_str() + med + 9, nullptr);
+    if (!name.empty() && value > 0.0) out[name] = value;
+    pos = med;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string current_path, baseline_path;
+  double max_regression = 0.30;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--max-regression=", 17) == 0) {
+      max_regression = std::strtod(arg + 17, nullptr);
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else {
+      std::fprintf(stderr, "bench_check: unexpected argument '%s'\n", arg);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || max_regression <= 0.0 || max_regression >= 1.0) {
+    std::fprintf(stderr,
+                 "usage: bench_check <current.json> <baseline.json> "
+                 "[--max-regression=0.30]\n");
+    return 2;
+  }
+
+  const std::string current_text = Slurp(current_path);
+  const std::string baseline_text = Slurp(baseline_path);
+  if (current_text.empty() || baseline_text.empty()) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n",
+                 current_text.empty() ? current_path.c_str() : baseline_path.c_str());
+    return 2;
+  }
+
+  const auto current = Families(current_text);
+  const auto baseline = Families(baseline_text);
+  int compared = 0;
+  int failed = 0;
+  const double floor = 1.0 - max_regression;
+  for (const auto& [name, base_median] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) continue;
+    ++compared;
+    const double ratio = it->second / base_median;
+    const bool bad = ratio < floor;
+    failed += bad ? 1 : 0;
+    std::printf("  %-22s %10.3g vs %10.3g   (%.2fx)%s\n", name.c_str(), it->second,
+                base_median, ratio, bad ? "  REGRESSION" : "");
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_check: no common families between reports\n");
+    return 2;
+  }
+  if (failed > 0) {
+    std::printf("bench_check: FAIL — %d/%d families regressed beyond %.0f%%\n", failed,
+                compared, max_regression * 100.0);
+    return 1;
+  }
+  std::printf("bench_check: OK — %d families within %.0f%% of baseline\n", compared,
+              max_regression * 100.0);
+  return 0;
+}
