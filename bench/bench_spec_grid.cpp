@@ -20,6 +20,13 @@
 //   --shards=K          run through ShardedRunner with K hs_worker procs
 //   --strategy=NAME     round-robin | cost-weighted (default)
 //   --worker-bin=PATH   hs_worker override (default: next to this binary)
+//   --retries=N         respawns per failed shard beyond the first attempt
+//   --shard-timeout=S   kill + retry a worker silent for S seconds (0: off)
+//   --best-effort       quarantine isolated poison cells instead of failing
+//
+// With --shards=K the run ends with a fabric summary (launches, retries,
+// hang kills, wasted vs useful cell executions, quarantined cells) so
+// retry overhead is visible in the BENCH artifacts.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -53,6 +60,11 @@ int main(int argc, char** argv) try {
   const bool strip_wallclock = args.GetBool("strip-wallclock", false);
   const std::string strategy_name = args.GetString("strategy", "cost-weighted");
   const std::string worker_bin = args.GetString("worker-bin", "");
+  const int retries = static_cast<int>(args.GetInt("retries", 0));
+  if (retries < 0) throw std::invalid_argument("--retries must be >= 0");
+  const double shard_timeout = args.GetDouble("shard-timeout", 0.0);
+  if (shard_timeout < 0) throw std::invalid_argument("--shard-timeout must be >= 0");
+  const bool best_effort = args.GetBool("best-effort", false);
   const std::string preset =
       ScenarioRegistry().Canonical(args.GetString("preset", "paper"));
   const bool digest = args.GetBool("digest", false);
@@ -108,10 +120,20 @@ int main(int argc, char** argv) try {
     options.shards = static_cast<std::size_t>(shards);
     options.strategy = ParseShardStrategy(strategy_name);
     options.worker_cmd = worker_bin;
+    options.retry.max_attempts = retries + 1;
+    options.shard_timeout_s = shard_timeout;
+    options.best_effort = best_effort;
     ShardedRunner runner(options);
     rows = runner.Run(specs, &merged);
-    std::printf("scattered %zu cells across %zu workers (%s)\n\n", specs.size(),
-                runner.last_plan().shard_count(), ShardStrategyName(options.strategy));
+    // Quarantined cells never arrive: account for them explicitly so every
+    // healthy row still flushes through the order-restoring merge.
+    for (const FabricCellError& cell : runner.last_report().quarantined) {
+      merged.Skip(cell.spec_index);
+    }
+    std::printf("scattered %zu cells across %zu workers (%s)\n",
+                specs.size(), runner.last_plan().shard_count(),
+                ShardStrategyName(options.strategy));
+    std::printf("%s\n", runner.last_report().Summary().c_str());
   } else {
     ThreadPool pool;
     ExperimentRunner runner(pool);

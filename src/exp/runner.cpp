@@ -139,7 +139,10 @@ void TeeResultSink::OnResult(std::size_t spec_index, const SpecResult& row) {
 }
 
 MergingResultSink::MergingResultSink(ResultSink& inner, std::size_t expected_rows)
-    : inner_(inner), held_(expected_rows), seen_(expected_rows, false) {}
+    : inner_(inner),
+      held_(expected_rows),
+      seen_(expected_rows, false),
+      skipped_(expected_rows, false) {}
 
 void MergingResultSink::OnResult(std::size_t spec_index, const SpecResult& row) {
   if (spec_index >= held_.size()) {
@@ -147,15 +150,39 @@ void MergingResultSink::OnResult(std::size_t spec_index, const SpecResult& row) 
                             std::to_string(spec_index) + " >= expected " +
                             std::to_string(held_.size()));
   }
-  if (seen_[spec_index]) {
+  if (seen_[spec_index] || skipped_[spec_index]) {
     throw std::runtime_error("MergingResultSink: duplicate row for spec index " +
                              std::to_string(spec_index));
   }
   seen_[spec_index] = true;
   held_[spec_index] = std::make_unique<SpecResult>(row);
-  while (next_ < held_.size() && held_[next_] != nullptr) {
-    inner_.OnResult(next_, *held_[next_]);
-    held_[next_].reset();  // forwarded; only the arrival flag stays
+  FlushReady();
+}
+
+void MergingResultSink::Skip(std::size_t spec_index) {
+  if (spec_index >= held_.size()) {
+    throw std::out_of_range("MergingResultSink: spec index " +
+                            std::to_string(spec_index) + " >= expected " +
+                            std::to_string(held_.size()));
+  }
+  if (seen_[spec_index]) {
+    throw std::runtime_error("MergingResultSink: cannot skip spec index " +
+                             std::to_string(spec_index) + ": its row arrived");
+  }
+  if (skipped_[spec_index]) {
+    throw std::runtime_error("MergingResultSink: spec index " +
+                             std::to_string(spec_index) + " skipped twice");
+  }
+  skipped_[spec_index] = true;
+  FlushReady();
+}
+
+void MergingResultSink::FlushReady() {
+  while (next_ < held_.size() && (held_[next_] != nullptr || skipped_[next_])) {
+    if (held_[next_] != nullptr) {
+      inner_.OnResult(next_, *held_[next_]);
+      held_[next_].reset();  // forwarded; only the arrival flag stays
+    }
     ++next_;
   }
 }
@@ -163,9 +190,17 @@ void MergingResultSink::OnResult(std::size_t spec_index, const SpecResult& row) 
 std::vector<std::size_t> MergingResultSink::MissingIndices() const {
   std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < seen_.size(); ++i) {
-    if (!seen_[i]) missing.push_back(i);
+    if (!seen_[i] && !skipped_[i]) missing.push_back(i);
   }
   return missing;
+}
+
+std::vector<std::size_t> MergingResultSink::SkippedIndices() const {
+  std::vector<std::size_t> skipped;
+  for (std::size_t i = 0; i < skipped_.size(); ++i) {
+    if (skipped_[i]) skipped.push_back(i);
+  }
+  return skipped;
 }
 
 void MergingResultSink::Finish() const {

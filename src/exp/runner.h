@@ -98,25 +98,44 @@ class TeeResultSink final : public ResultSink {
 /// completed: it throws std::runtime_error naming the missing indices when
 /// rows were dropped (a worker died mid-shard), so partial output can never
 /// be mistaken for a full grid.
+///
+/// Skip(i) declares that row i will never arrive (a quarantined poison
+/// cell in a best-effort sharded run): the merge flushes past it so every
+/// healthy row still reaches the inner sink in canonical order, and
+/// Finish() treats it as accounted for — quarantine is explicit, never a
+/// silent drop.
 class MergingResultSink final : public ResultSink {
  public:
   /// `inner` must outlive the sink.
   MergingResultSink(ResultSink& inner, std::size_t expected_rows);
   void OnResult(std::size_t spec_index, const SpecResult& row) override;
 
-  /// Rows forwarded to the inner sink so far (the in-order prefix).
+  /// Marks `spec_index` as known-missing and flushes any held rows past
+  /// it. Throws std::out_of_range like OnResult and std::runtime_error
+  /// when the row already arrived or was already skipped.
+  void Skip(std::size_t spec_index);
+
+  /// Rows forwarded to the inner sink so far (the in-order prefix;
+  /// skipped indices count once passed).
   std::size_t flushed() const { return next_; }
 
-  /// Indices never delivered, in ascending order.
+  /// Indices neither delivered nor skipped, in ascending order.
   std::vector<std::size_t> MissingIndices() const;
 
-  /// Throws std::runtime_error unless every expected row arrived.
+  /// Indices declared missing via Skip, in ascending order.
+  std::vector<std::size_t> SkippedIndices() const;
+
+  /// Throws std::runtime_error unless every expected row arrived or was
+  /// explicitly skipped.
   void Finish() const;
 
  private:
+  void FlushReady();
+
   ResultSink& inner_;
   std::vector<std::unique_ptr<SpecResult>> held_;  // buffered, not yet flushed
   std::vector<bool> seen_;
+  std::vector<bool> skipped_;
   std::size_t next_ = 0;  // first index not yet forwarded
 };
 

@@ -69,4 +69,22 @@ IndexedSpecResult ParseWorkerRow(const std::string& line);
 /// ParseWorkerRow, prefixed with the path and line number.
 std::vector<IndexedSpecResult> ReadWorkerRows(const std::string& path);
 
+/// A tolerant read of a worker output stream whose writer may have been
+/// killed mid-write.
+struct WorkerRowsRead {
+  std::vector<IndexedSpecResult> rows;  // every complete, well-formed row
+  bool torn_final_line = false;         // last line was a truncated row
+  std::string torn_line;                // its raw text (diagnostics)
+};
+
+/// Like ReadWorkerRows, but classifies the two shapes a killed worker
+/// legitimately leaves behind instead of throwing a generic parse error:
+/// a missing file (died before opening --out) reads as zero rows, and a
+/// malformed FINAL line reads as `torn_final_line` — that row simply
+/// never made it, a dropped-row condition the orchestrator can retry. A
+/// malformed line anywhere *else* still throws like ReadWorkerRows:
+/// earlier lines were complete, so that is schema/version skew, not a
+/// crash.
+WorkerRowsRead ReadWorkerRowsTolerant(const std::string& path);
+
 }  // namespace hs

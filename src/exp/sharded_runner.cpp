@@ -1,22 +1,28 @@
 #include "exp/sharded_runner.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
 #include <filesystem>
 #include <stdexcept>
+#include <sys/stat.h>
+#include <thread>
 #include <utility>
 
 #include "exp/shard_io.h"
 #include "util/file_util.h"
+#include "util/rng.h"
 #include "util/subprocess.h"
 
 namespace hs {
 
 namespace {
 
-std::string ShardPath(const std::string& dir, std::size_t shard, const char* suffix) {
-  return dir + "/shard_" + std::to_string(shard) + suffix;
-}
+using Clock = std::chrono::steady_clock;
 
-/// The tail of a worker's stderr capture, for error messages.
+/// The tail of a worker's stderr capture, for error messages and
+/// quarantine records.
 std::string StderrTail(const std::string& path, std::size_t max_bytes = 2000) {
   std::string text;
   try {
@@ -30,69 +36,50 @@ std::string StderrTail(const std::string& path, std::size_t max_bytes = 2000) {
   return text;
 }
 
-/// Collects every row of one shard's output, enforcing that the shard
-/// returned exactly its assigned indices with the specs it was given.
-void GatherShard(std::size_t shard, const std::string& out_path,
-                 const std::vector<std::size_t>& assigned,
-                 const std::vector<SimSpec>& specs,
-                 std::vector<IndexedSpecResult>* gathered) {
-  const std::vector<IndexedSpecResult> rows = ReadWorkerRows(out_path);
-  std::vector<bool> assigned_here(specs.size(), false);
-  for (const std::size_t index : assigned) assigned_here[index] = true;
-  std::vector<bool> returned_here(specs.size(), false);
-  for (const IndexedSpecResult& row : rows) {
-    if (row.index >= specs.size()) {
-      throw std::runtime_error("shard " + std::to_string(shard) +
-                               " returned out-of-range spec index " +
-                               std::to_string(row.index));
-    }
-    if (!assigned_here[row.index]) {
-      throw std::runtime_error("shard " + std::to_string(shard) +
-                               " returned spec index " + std::to_string(row.index) +
-                               " that was never assigned to it");
-    }
-    if (returned_here[row.index]) {
-      throw std::runtime_error("shard " + std::to_string(shard) +
-                               " returned spec index " + std::to_string(row.index) +
-                               " twice");
-    }
-    returned_here[row.index] = true;
-    if (!(row.row.spec == specs[row.index])) {
-      throw std::runtime_error(
-          "shard " + std::to_string(shard) + " returned spec '" +
-          row.row.spec.ToString() + "' for index " + std::to_string(row.index) +
-          " where the plan scattered '" + specs[row.index].ToString() +
-          "' (shard file / worker version skew?)");
-    }
-  }
-  std::vector<std::size_t> missing;
-  for (const std::size_t index : assigned) {
-    if (!returned_here[index]) missing.push_back(index);
-  }
-  if (!missing.empty()) {
-    throw std::runtime_error("shard " + std::to_string(shard) + " dropped " +
-                             std::to_string(missing.size()) + " of " +
-                             std::to_string(assigned.size()) +
-                             " assigned rows (spec indices " +
-                             FormatIndexList(missing) + ")");
-  }
-  gathered->insert(gathered->end(), rows.begin(), rows.end());
+/// Combined size of a launch's output files — growth means the worker is
+/// alive (rows or heartbeats), stall past the timeout means it is wedged.
+std::uintmax_t OutputBytes(const std::string& out_path, const std::string& err_path) {
+  std::uintmax_t total = 0;
+  struct stat st;
+  if (::stat(out_path.c_str(), &st) == 0) total += static_cast<std::uintmax_t>(st.st_size);
+  if (::stat(err_path.c_str(), &st) == 0) total += static_cast<std::uintmax_t>(st.st_size);
+  return total;
 }
 
-/// Adapter collecting the ordered rows while forwarding to the caller's
-/// sink (which may be null).
-class CollectingSink final : public ResultSink {
- public:
-  CollectingSink(std::vector<SpecResult>* rows, ResultSink* forward)
-      : rows_(rows), forward_(forward) {}
-  void OnResult(std::size_t spec_index, const SpecResult& row) override {
-    (*rows_)[spec_index] = row;
-    if (forward_ != nullptr) forward_->OnResult(spec_index, row);
-  }
+/// Deterministic backoff before attempt `next_attempt` (>= 2) of a unit
+/// from `origin` shard: exponential with seed-derived jitter.
+double BackoffSeconds(const RetryPolicy& policy, std::size_t origin, int next_attempt) {
+  if (policy.backoff_initial_s <= 0.0) return 0.0;
+  double base = policy.backoff_initial_s *
+                std::pow(policy.backoff_multiplier,
+                         std::max(0, next_attempt - 2));
+  base = std::min(base, policy.backoff_max_s);
+  if (policy.jitter_frac <= 0.0) return base;
+  std::uint64_t state = policy.jitter_seed ^
+                        (static_cast<std::uint64_t>(origin) * 0x9E3779B97F4A7C15ull) ^
+                        static_cast<std::uint64_t>(next_attempt);
+  const double unit = static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+  return base * (1.0 + policy.jitter_frac * unit);
+}
 
- private:
-  std::vector<SpecResult>* rows_;
-  ResultSink* forward_;
+/// One re-scatterable piece of work: a subset of spec indices descended
+/// from one original plan shard, with its attempt budget consumed so far.
+struct WorkUnit {
+  std::size_t origin_shard = 0;
+  std::vector<std::size_t> indices;
+  int attempts_used = 0;
+  Clock::time_point ready_at;  // backoff gate
+};
+
+/// One spawned worker process and everything needed to watch and gather it.
+struct Launch {
+  WorkUnit unit;
+  Subprocess proc;
+  std::string out_path;
+  std::string err_path;
+  Clock::time_point last_activity;
+  std::uintmax_t last_bytes = 0;
+  bool hang_killed = false;
 };
 
 }  // namespace
@@ -100,6 +87,34 @@ class CollectingSink final : public ResultSink {
 std::string DefaultWorkerCommand() {
   const std::string dir = SelfExeDir();
   return dir.empty() ? std::string("hs_worker") : dir + "/hs_worker";
+}
+
+std::string FabricReport::Summary() const {
+  std::string out;
+  out += "fabric: " + std::to_string(shard_count) + " shards, " +
+         std::to_string(workers_launched) + " worker launches (" +
+         std::to_string(retries) + " retries, " + std::to_string(bisections) +
+         " bisections, " + std::to_string(hang_kills) + " hang kills)\n";
+  out += "fabric: cells: " + std::to_string(rows_merged) + " merged useful, " +
+         std::to_string(wasted_cells()) + " wasted of " +
+         std::to_string(cells_scattered) + " scattered; " +
+         std::to_string(quarantined.size()) + " quarantined\n";
+  std::string per_shard;
+  for (std::size_t k = 0; k < launches_per_shard.size(); ++k) {
+    if (!per_shard.empty()) per_shard += ", ";
+    per_shard += "shard " + std::to_string(k) + ": " +
+                 std::to_string(launches_per_shard[k]);
+  }
+  if (!per_shard.empty()) out += "fabric: launches by shard: " + per_shard + "\n";
+  for (const FabricCellError& cell : quarantined) {
+    std::string reason = cell.reason;
+    constexpr std::size_t kMax = 300;
+    if (reason.size() > kMax) reason = reason.substr(0, kMax) + "...";
+    std::replace(reason.begin(), reason.end(), '\n', ' ');
+    out += "fabric: quarantined cell " + std::to_string(cell.spec_index) + " ('" +
+           cell.spec + "'): " + reason + "\n";
+  }
+  return out;
 }
 
 ShardedRunner::ShardedRunner(ShardedRunnerOptions options)
@@ -113,7 +128,13 @@ std::vector<SpecResult> ShardedRunner::Run(const std::vector<SimSpec>& specs,
       throw std::invalid_argument("invalid spec '" + spec.ToString() + "': " + error);
     }
   }
+  if (options_.retry.max_attempts < 1) {
+    throw std::invalid_argument("ShardedRunner: retry.max_attempts must be >= 1");
+  }
   last_plan_ = MakeShardPlan(specs, options_.shards, options_.strategy);
+  last_report_ = FabricReport{};
+  last_report_.shard_count = last_plan_.shard_count();
+  last_report_.launches_per_shard.assign(last_plan_.shard_count(), 0);
   if (specs.empty()) return {};
 
   const std::string worker =
@@ -127,62 +148,243 @@ std::vector<SpecResult> ShardedRunner::Run(const std::vector<SimSpec>& specs,
     std::filesystem::create_directories(work_dir);
   }
 
-  // Scatter: write every shard file and build every command line before
-  // the first spawn, so nothing that can throw sits between forks — and
-  // spawned children are always reaped (Wait) before any failure is
-  // raised, even if the spawn loop itself throws.
-  std::vector<std::vector<std::string>> argvs;
-  argvs.reserve(last_plan_.shard_count());
+  // --- the fault-tolerant scatter/gather loop --------------------------------
+  //
+  // Pending units wait out their backoff, at most shard_count() workers run
+  // at once, and every exit (clean, crashed, or hang-killed) is gathered
+  // tolerantly: rows already on disk are kept, only the missing indices are
+  // re-scattered. A unit that exhausts its attempts is bisected until the
+  // poison cell is isolated, then quarantined (best_effort) or thrown.
+  std::deque<WorkUnit> pending;
   for (std::size_t k = 0; k < last_plan_.shard_count(); ++k) {
-    WriteShardFileAt(ShardPath(work_dir, k, ".specs"), last_plan_.shards[k], specs);
-    std::vector<std::string> argv = {worker,
-                                     "--shard=" + ShardPath(work_dir, k, ".specs"),
-                                     "--out=" + ShardPath(work_dir, k, ".jsonl")};
-    if (options_.worker_threads > 0) {
-      argv.push_back("--threads=" + std::to_string(options_.worker_threads));
-    }
-    argvs.push_back(std::move(argv));
+    pending.push_back(WorkUnit{k, last_plan_.shards[k], 0, Clock::now()});
   }
-  std::vector<Subprocess> workers;
-  workers.reserve(last_plan_.shard_count());
-  std::vector<ProcessStatus> statuses;
-  statuses.reserve(last_plan_.shard_count());
-  try {
-    for (std::size_t k = 0; k < argvs.size(); ++k) {
-      workers.push_back(Subprocess::Spawn(argvs[k], ShardPath(work_dir, k, ".stdout"),
-                                          ShardPath(work_dir, k, ".stderr")));
+  std::deque<Launch> running;
+  std::vector<std::unique_ptr<SpecResult>> collected(specs.size());
+  const std::size_t max_parallel = std::max<std::size_t>(1, last_plan_.shard_count());
+  const double poll_s = std::max(0.001, options_.poll_interval_s);
+  std::size_t launch_seq = 0;
+
+  // Gathers one finished launch; returns true when its unit completed and
+  // enqueues follow-up work (retry / bisect / quarantine) otherwise.
+  // Throws on wire-format skew, and on terminal failure in fail-fast mode.
+  const auto handle_exit = [&](Launch& launch) {
+    WorkUnit& unit = launch.unit;
+    unit.attempts_used += 1;
+    const ProcessStatus status = launch.proc.Wait();
+
+    const WorkerRowsRead read = ReadWorkerRowsTolerant(launch.out_path);
+    std::vector<bool> assigned_here(specs.size(), false);
+    for (const std::size_t index : unit.indices) assigned_here[index] = true;
+    std::vector<bool> returned_here(specs.size(), false);
+    const std::string shard_name = "shard " + std::to_string(unit.origin_shard);
+    for (const IndexedSpecResult& row : read.rows) {
+      if (row.index >= specs.size()) {
+        throw std::runtime_error(shard_name + " returned out-of-range spec index " +
+                                 std::to_string(row.index));
+      }
+      if (!assigned_here[row.index]) {
+        throw std::runtime_error(shard_name + " returned spec index " +
+                                 std::to_string(row.index) +
+                                 " that was never assigned to it");
+      }
+      if (returned_here[row.index]) {
+        throw std::runtime_error(shard_name + " returned spec index " +
+                                 std::to_string(row.index) + " twice");
+      }
+      returned_here[row.index] = true;
+      if (!(row.row.spec == specs[row.index])) {
+        throw std::runtime_error(
+            shard_name + " returned spec '" + row.row.spec.ToString() +
+            "' for index " + std::to_string(row.index) +
+            " where the plan scattered '" + specs[row.index].ToString() +
+            "' (shard file / worker version skew?)");
+      }
+      // Keep every gathered row, even from a failed attempt: resume is
+      // exact, the retry covers only what is still missing.
+      collected[row.index] = std::make_unique<SpecResult>(row.row);
     }
-    for (Subprocess& child : workers) statuses.push_back(child.Wait());
+
+    std::vector<std::size_t> missing;
+    for (const std::size_t index : unit.indices) {
+      if (!returned_here[index]) missing.push_back(index);
+    }
+    if (missing.empty()) return;  // unit complete (exit status is moot: data is)
+
+    // Describe this failure once; retries, quarantine records, and the
+    // fail-fast error all reuse it.
+    std::string why;
+    if (launch.hang_killed) {
+      why = "hang timeout: no output activity for " +
+            std::to_string(options_.shard_timeout_s) + "s (killed)";
+    } else if (!status.ok()) {
+      why = "worker ('" + worker + "') failed: " + status.Describe() +
+            "; stderr: " + StderrTail(launch.err_path);
+    } else if (read.torn_final_line) {
+      why = "torn final result line (worker killed mid-write); dropped " +
+            std::to_string(missing.size()) + " of " +
+            std::to_string(unit.indices.size()) + " assigned rows (spec indices " +
+            FormatIndexList(missing) + ")";
+    } else {
+      why = "dropped " + std::to_string(missing.size()) + " of " +
+            std::to_string(unit.indices.size()) + " assigned rows (spec indices " +
+            FormatIndexList(missing) + ")";
+    }
+
+    if (unit.attempts_used < options_.retry.max_attempts) {
+      // Retry: re-scatter only the missing indices after backoff.
+      const double backoff =
+          BackoffSeconds(options_.retry, unit.origin_shard, unit.attempts_used + 1);
+      pending.push_back(WorkUnit{
+          unit.origin_shard, std::move(missing), unit.attempts_used,
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(backoff))});
+      last_report_.retries += 1;
+      return;
+    }
+
+    // Attempt budget exhausted.
+    const bool isolate = missing.size() > 1 &&
+                         (options_.retry.max_attempts > 1 || options_.best_effort);
+    if (isolate) {
+      // Bisect to find which cell(s) actually poison the unit; halves get
+      // a fresh budget (the tree is log-deep, so total work stays bounded).
+      const std::size_t half = missing.size() / 2;
+      std::vector<std::size_t> lo(missing.begin(), missing.begin() + half);
+      std::vector<std::size_t> hi(missing.begin() + half, missing.end());
+      pending.push_back(WorkUnit{unit.origin_shard, std::move(lo), 0, Clock::now()});
+      pending.push_back(WorkUnit{unit.origin_shard, std::move(hi), 0, Clock::now()});
+      last_report_.bisections += 1;
+      return;
+    }
+    if (options_.best_effort) {
+      for (const std::size_t index : missing) {
+        last_report_.quarantined.push_back(
+            FabricCellError{index, specs[index].ToString(), why});
+      }
+      return;
+    }
+    // Fail fast, naming the shard — and the isolated poison cell when
+    // bisection narrowed it down to one.
+    std::string message = shard_name + " " + why;
+    if (missing.size() == 1) {
+      message += " — isolated poison cell: spec index " + std::to_string(missing[0]) +
+                 " ('" + specs[missing[0]].ToString() + "')";
+    }
+    if (unit.attempts_used > 1) {
+      message += " [after " + std::to_string(unit.attempts_used) + " attempts]";
+    }
+    throw std::runtime_error(message);
+  };
+
+  try {
+    while (!pending.empty() || !running.empty()) {
+      const Clock::time_point now = Clock::now();
+      bool progressed = false;
+
+      // Spawn every pending unit whose backoff elapsed, capacity allowing.
+      for (std::size_t i = 0; i < pending.size() && running.size() < max_parallel;) {
+        if (pending[i].ready_at > now) {
+          ++i;
+          continue;
+        }
+        WorkUnit unit = std::move(pending[i]);
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        const std::string stem =
+            work_dir + "/shard_" + std::to_string(unit.origin_shard) + "_L" +
+            std::to_string(launch_seq++);
+        WriteShardFileAt(stem + ".specs", unit.indices, specs);
+        std::vector<std::string> argv = {worker, "--shard=" + stem + ".specs",
+                                         "--out=" + stem + ".jsonl",
+                                         "--attempt=" +
+                                             std::to_string(unit.attempts_used + 1)};
+        if (options_.worker_threads > 0) {
+          argv.push_back("--threads=" + std::to_string(options_.worker_threads));
+        }
+        last_report_.workers_launched += 1;
+        last_report_.cells_scattered += unit.indices.size();
+        last_report_.launches_per_shard[unit.origin_shard] += 1;
+        Launch launch;
+        launch.unit = std::move(unit);
+        launch.out_path = stem + ".jsonl";
+        launch.err_path = stem + ".stderr";
+        launch.proc =
+            Subprocess::Spawn(argv, stem + ".stdout", launch.err_path);
+        launch.last_activity = Clock::now();
+        launch.last_bytes = 0;
+        running.push_back(std::move(launch));
+        progressed = true;
+      }
+
+      // Reap finished workers; watch the rest for output stalls.
+      for (std::size_t i = 0; i < running.size();) {
+        Launch& launch = running[i];
+        if (launch.proc.Poll()) {
+          Launch done = std::move(launch);
+          running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+          handle_exit(done);
+          progressed = true;
+          continue;
+        }
+        if (options_.shard_timeout_s > 0.0) {
+          const std::uintmax_t bytes = OutputBytes(launch.out_path, launch.err_path);
+          if (bytes != launch.last_bytes) {
+            launch.last_bytes = bytes;
+            launch.last_activity = now;
+          } else if (now - launch.last_activity >
+                     std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(options_.shard_timeout_s))) {
+            launch.proc.Kill();  // SIGKILL; the next Poll() reaps it
+            launch.hang_killed = true;
+            last_report_.hang_kills += 1;
+          }
+        }
+        ++i;
+      }
+
+      if (!progressed) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+      }
+    }
   } catch (...) {
-    for (Subprocess& child : workers) child.Wait();  // no zombies
+    // Reap every still-running worker before surfacing the failure — no
+    // zombies, and the scratch dir stays for inspection.
+    for (Launch& launch : running) {
+      launch.proc.Kill();
+      launch.proc.Wait();
+    }
     throw;
   }
 
-  // Gather + merge. Any throw from here on leaves the scratch dir in place
-  // (shard files, partial outputs, stderr captures) for inspection.
-  std::vector<SpecResult> rows(specs.size());
-  for (std::size_t k = 0; k < statuses.size(); ++k) {
-    if (!statuses[k].ok()) {
-      throw std::runtime_error(
-          "shard " + std::to_string(k) + " worker ('" + worker + "') failed: " +
-          statuses[k].Describe() +
-          "; stderr: " + StderrTail(ShardPath(work_dir, k, ".stderr")));
-    }
-  }
-  std::vector<IndexedSpecResult> gathered;
-  gathered.reserve(specs.size());
-  for (std::size_t k = 0; k < last_plan_.shard_count(); ++k) {
-    GatherShard(k, ShardPath(work_dir, k, ".jsonl"), last_plan_.shards[k], specs,
-                &gathered);
-  }
-  // Feed rows in gather order (arbitrary) through the merging sink, which
-  // restores canonical spec order for the caller's sink.
-  CollectingSink collector(&rows, sink);
-  MergingResultSink merger(collector, specs.size());
-  for (const IndexedSpecResult& row : gathered) merger.OnResult(row.index, row.row);
-  merger.Finish();
+  std::sort(last_report_.quarantined.begin(), last_report_.quarantined.end(),
+            [](const FabricCellError& a, const FabricCellError& b) {
+              return a.spec_index < b.spec_index;
+            });
 
-  if (own_work_dir && !options_.keep_work_dir) RemoveTreeBestEffort(work_dir);
+  // Merge: healthy rows flow to the sink in canonical spec order;
+  // quarantined indices are simply absent (the report names them).
+  std::vector<bool> quarantined_index(specs.size(), false);
+  for (const FabricCellError& cell : last_report_.quarantined) {
+    quarantined_index[cell.spec_index] = true;
+  }
+  std::vector<SpecResult> rows(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (collected[i] == nullptr) {
+      if (!quarantined_index[i]) {
+        throw std::runtime_error("ShardedRunner: internal accounting error: spec index " +
+                                 std::to_string(i) +
+                                 " neither gathered nor quarantined");
+      }
+      continue;
+    }
+    rows[i] = *collected[i];
+    if (sink != nullptr) sink->OnResult(i, rows[i]);
+    last_report_.rows_merged += 1;
+  }
+
+  if (own_work_dir && !options_.keep_work_dir && last_report_.complete()) {
+    RemoveTreeBestEffort(work_dir);
+  }
   return rows;
 }
 

@@ -2,9 +2,11 @@
 
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 
 namespace hs {
@@ -115,6 +117,43 @@ ProcessStatus Subprocess::Wait() {
   return status_;
 }
 
+bool Subprocess::Poll() {
+  if (reaped_ || pid_ < 0) return true;
+  int wstatus = 0;
+  pid_t waited = -1;
+  do {
+    waited = ::waitpid(pid_, &wstatus, WNOHANG);
+  } while (waited < 0 && errno == EINTR);
+  if (waited == 0) return false;  // still running
+  reaped_ = true;
+  if (waited < 0) {
+    status_.error = std::string("waitpid: ") + std::strerror(errno);
+    return true;
+  }
+  if (WIFSIGNALED(wstatus)) {
+    status_.signaled = true;
+    status_.term_signal = WTERMSIG(wstatus);
+  } else if (WIFEXITED(wstatus)) {
+    status_.exit_code = WEXITSTATUS(wstatus);
+  }
+  return true;
+}
+
+bool Subprocess::WaitFor(double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!Poll()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+bool Subprocess::Kill(int sig) {
+  if (reaped_ || pid_ < 0) return false;
+  return ::kill(pid_, sig) == 0;
+}
+
 ProcessStatus RunProcess(const std::vector<std::string>& argv,
                          const std::string& stdout_path,
                          const std::string& stderr_path) {
@@ -123,7 +162,10 @@ ProcessStatus RunProcess(const std::vector<std::string>& argv,
 
 std::string SelfExeDir() {
   char buf[4096];
-  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  ssize_t n = -1;
+  do {
+    n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  } while (n < 0 && errno == EINTR);
   if (n <= 0) return {};
   buf[n] = '\0';
   const std::string path(buf);

@@ -1,9 +1,14 @@
 // Minimal POSIX subprocess spawning for the multi-process experiment
 // harness: fork/exec (no shell), optional stdout/stderr redirection to
-// files, and blocking waits. Workers share nothing with the parent beyond
-// their command line, so this stays deliberately small.
+// files, blocking and deadline waits, non-blocking polls, and kill — the
+// primitives the fault-tolerant ShardedRunner needs to respawn dead
+// workers and reap hung ones. Every wait/poll retries EINTR, so a stray
+// signal during gather can never surface as a spurious worker failure.
+// Workers share nothing with the parent beyond their command line, so
+// this stays deliberately small.
 #pragma once
 
+#include <csignal>
 #include <string>
 #include <sys/types.h>
 #include <vector>
@@ -27,6 +32,10 @@ struct ProcessStatus {
 /// asserts the child was reaped so shard failures cannot leak zombies).
 class Subprocess {
  public:
+  /// An empty handle (no child): running() is false, Wait()/Poll() return
+  /// an unspawned status. Assign a Spawn() result into it to arm it.
+  Subprocess() = default;
+
   /// Starts `argv` (argv[0] is the executable; PATH-searched when it has no
   /// '/'). Non-empty `stdout_path` / `stderr_path` redirect the child's
   /// streams to freshly truncated files. Never throws: a failed spawn is
@@ -42,14 +51,31 @@ class Subprocess {
   ~Subprocess();
 
   /// Blocks until the child exits; idempotent (later calls return the
-  /// cached status).
+  /// cached status). EINTR is retried.
   ProcessStatus Wait();
+
+  /// Non-blocking reap attempt (waitpid WNOHANG, EINTR retried): returns
+  /// true once the child has exited — the status is cached, and a later
+  /// Wait()/Poll() returns it without re-reaping. Also true when the spawn
+  /// itself failed (there is nothing left to wait for).
+  bool Poll();
+
+  /// Waits until the child exits or `timeout_s` elapses (short poll +
+  /// sleep loop); returns true when the child exited within the deadline.
+  /// On false the child is still running — Kill() + Wait() to reap it.
+  bool WaitFor(double timeout_s);
+
+  /// Sends `sig` (default SIGKILL) to a still-running child. Returns false
+  /// when there is nothing to signal (spawn failed or already reaped); the
+  /// caller still owns the reap (Wait/Poll) after a successful Kill.
+  bool Kill(int sig = SIGKILL);
+
+  /// True while a spawned child has not been reaped yet.
+  bool running() const { return pid_ >= 0 && !reaped_; }
 
   pid_t pid() const { return pid_; }
 
  private:
-  Subprocess() = default;
-
   pid_t pid_ = -1;  // -1: spawn failed or already reaped
   ProcessStatus status_;
   bool reaped_ = false;

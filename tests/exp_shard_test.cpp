@@ -222,6 +222,66 @@ TEST(ShardIoTest, WorkerRowRejectsSchemaSkew) {
   EXPECT_THROW(ParseWorkerRow("not json"), std::runtime_error);
 }
 
+// --- tolerant worker-row reads (crashed-worker gather) ----------------------
+
+TEST(ShardIoTest, TolerantReadClassifiesTornFinalLine) {
+  const std::string dir = MakeTempDir("hs-shard-test-");
+  const std::string path = dir + "/rows.jsonl";
+  std::ostringstream rows;
+  WriteWorkerRow(rows, 0, FakeRow("baseline/FCFS/W5"));
+  std::ostringstream torn_row;
+  WriteWorkerRow(torn_row, 1, FakeRow("N&SPAA/FCFS/W5"));
+  const std::string torn = torn_row.str().substr(0, torn_row.str().size() / 2);
+  WriteTextFile(path, rows.str() + torn);
+
+  const WorkerRowsRead read = ReadWorkerRowsTolerant(path);
+  ASSERT_EQ(read.rows.size(), 1u);  // the complete row survives
+  EXPECT_EQ(read.rows[0].index, 0u);
+  EXPECT_TRUE(read.torn_final_line);
+  EXPECT_EQ(read.torn_line, torn);
+  // The strict reader still refuses the same file (version-skew semantics).
+  EXPECT_THROW(ReadWorkerRows(path), std::runtime_error);
+
+  // A clean file: no tear. A missing file: zero rows (died before opening).
+  WriteTextFile(path, rows.str());
+  EXPECT_FALSE(ReadWorkerRowsTolerant(path).torn_final_line);
+  EXPECT_EQ(ReadWorkerRowsTolerant(dir + "/nope.jsonl").rows.size(), 0u);
+  EXPECT_FALSE(ReadWorkerRowsTolerant(dir + "/nope.jsonl").torn_final_line);
+
+  // Garbage on a NON-final line is schema skew, not a crash: still throws.
+  WriteTextFile(path, "not json\n" + rows.str());
+  EXPECT_THROW(ReadWorkerRowsTolerant(path), std::runtime_error);
+  RemoveTreeBestEffort(dir);
+}
+
+TEST(ShardedRunnerTest, TornFinalLineIsClassifiedAsCrashedWorker) {
+  // A wrapper that truncates its output mid-row emulates a worker killed
+  // while writing: the gather must classify that as a dropped-row crash
+  // naming the shard — not as a generic parse error.
+  const std::string dir = MakeTempDir("hs-shard-test-");
+  const std::string wrapper = WriteScript(
+      dir, "tearing_worker.sh",
+      "out=\"\"\n"
+      "for a in \"$@\"; do case \"$a\" in --out=*) out=\"${a#--out=}\";; esac; done\n" +
+          WorkerBinary() + " \"$@\" || exit $?\n" +
+          "size=$(wc -c < \"$out\")\n"
+          "head -c $((size - 20)) \"$out\" > \"$out.torn\" && mv \"$out.torn\" \"$out\"\n");
+  ShardedRunnerOptions options;
+  options.shards = 1;
+  options.worker_cmd = wrapper;
+  ShardedRunner runner(options);
+  try {
+    runner.Run(TinyGrid());
+    FAIL() << "a torn final line must throw in fail-fast mode";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("torn final result line"), std::string::npos) << what;
+    EXPECT_NE(what.find("dropped 1 of 6"), std::string::npos) << what;
+  }
+  RemoveTreeBestEffort(dir);
+}
+
 // --- MergingResultSink ------------------------------------------------------
 
 TEST(MergingSinkTest, ReordersOutOfOrderRows) {
@@ -259,6 +319,36 @@ TEST(MergingSinkTest, FinishNamesMissingRows) {
     EXPECT_NE(std::string(e.what()).find("3 of 4"), std::string::npos) << e.what();
     EXPECT_NE(std::string(e.what()).find("0, 2, 3"), std::string::npos) << e.what();
   }
+}
+
+TEST(MergingSinkTest, SkipFlushesPastQuarantinedIndices) {
+  RecordingSink inner;
+  MergingResultSink merged(inner, 4);
+  merged.OnResult(3, FakeRow("CUA&SPAA/FCFS/W5"));
+  merged.OnResult(0, FakeRow("baseline/FCFS/W5"));
+  EXPECT_EQ(merged.flushed(), 1u);  // 3 held behind the missing 1 and 2
+  merged.Skip(1);                   // quarantined: will never arrive
+  EXPECT_EQ(merged.flushed(), 2u);  // prefix advances past the gap, waits on 2
+  merged.OnResult(2, FakeRow("N&SPAA/FCFS/W5"));
+  EXPECT_EQ(merged.flushed(), 4u);  // 2 and the held 3 flush
+  EXPECT_EQ(inner.indices, (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_EQ(merged.SkippedIndices(), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(merged.MissingIndices().empty());
+  EXPECT_NO_THROW(merged.Finish());  // skipped is accounted, not missing
+}
+
+TEST(MergingSinkTest, SkipRejectsArrivedOrDoubleSkippedRows) {
+  RecordingSink inner;
+  MergingResultSink merged(inner, 3);
+  merged.OnResult(0, FakeRow("baseline/FCFS/W5"));
+  EXPECT_THROW(merged.Skip(0), std::runtime_error);   // row already arrived
+  merged.Skip(1);
+  EXPECT_THROW(merged.Skip(1), std::runtime_error);   // double skip
+  EXPECT_THROW(merged.OnResult(1, FakeRow("N&SPAA/FCFS/W5")),
+               std::runtime_error);                   // row after skip
+  EXPECT_THROW(merged.Skip(3), std::out_of_range);
+  EXPECT_EQ(merged.MissingIndices(), (std::vector<std::size_t>{2}));
+  EXPECT_THROW(merged.Finish(), std::runtime_error);  // 2 is genuinely missing
 }
 
 // --- ShardedRunner ----------------------------------------------------------

@@ -57,6 +57,37 @@ TEST(SubprocessTest, WaitIsIdempotent) {
   EXPECT_EQ(child.Wait().exit_code, 5);  // cached, no double-reap
 }
 
+TEST(SubprocessTest, PollReportsRunningThenExited) {
+  Subprocess child = Subprocess::Spawn({"/bin/sh", "-c", "sleep 0.2; exit 7"});
+  EXPECT_TRUE(child.running());
+  EXPECT_FALSE(child.Poll());  // still asleep
+  EXPECT_TRUE(child.WaitFor(10.0));
+  EXPECT_TRUE(child.Poll());  // cached after reap
+  EXPECT_FALSE(child.running());
+  EXPECT_EQ(child.Wait().exit_code, 7);
+}
+
+TEST(SubprocessTest, WaitForTimesOutAndKillReaps) {
+  Subprocess child = Subprocess::Spawn({"/bin/sleep", "30"});
+  EXPECT_FALSE(child.WaitFor(0.05));  // deadline elapses, child survives
+  EXPECT_TRUE(child.running());
+  EXPECT_TRUE(child.Kill());  // SIGKILL
+  const ProcessStatus status = child.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+}
+
+TEST(SubprocessTest, KillAfterReapIsRejected) {
+  Subprocess child = Subprocess::Spawn({"/bin/true"});
+  EXPECT_EQ(child.Wait().exit_code, 0);
+  EXPECT_FALSE(child.Kill());  // nothing left to signal
+  Subprocess failed = Subprocess::Spawn({});
+  EXPECT_TRUE(failed.Poll());  // spawn failure: nothing to wait for
+  EXPECT_FALSE(failed.Kill());
+  failed.Wait();
+}
+
 TEST(SubprocessTest, SelfExeDirIsAbsolute) {
   const std::string dir = SelfExeDir();
   ASSERT_FALSE(dir.empty());

@@ -1,6 +1,6 @@
 // hs_worker: executes one shard of a sharded experiment grid.
 //
-//   hs_worker --shard=FILE --out=FILE [--threads=N]
+//   hs_worker --shard=FILE --out=FILE [--threads=N] [--attempt=N]
 //
 // Reads the shard spec file written by ShardedRunner (shard_io.h), runs
 // every cell through the ordinary in-process ExperimentRunner (so trace
@@ -10,12 +10,30 @@
 // still on disk and the orchestrator reports exactly which spec indices
 // were dropped.
 //
+// Liveness: every completed cell also emits a heartbeat line
+// `# hs-progress cell=<global spec index>` on stderr (plus one
+// `# hs-progress start cells=<n>` after the shard file is read), flushed
+// immediately — the orchestrator watches the redirected stderr/out files
+// for growth, so a wedged worker is detected by inactivity and killed.
+//
+// Fault injection: the HS_FAULT environment variable carries a
+// deterministic FaultPlan (exp/fault_plan.h) — crash-before-cell, hang,
+// row drops, torn final lines — gated on --attempt (default 1), which the
+// orchestrator increments per respawn so injected chaos can heal on
+// retry. Production runs simply leave HS_FAULT unset.
+//
 // Exit status: 0 on success; 1 on any error (bad flags, unreadable shard
 // file, failing spec) with the reason on stderr.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
+#include <thread>
 #include <vector>
 
+#include "exp/fault_plan.h"
 #include "exp/runner.h"
 #include "exp/shard_io.h"
 #include "util/cli.h"
@@ -23,21 +41,59 @@
 
 namespace {
 
+/// Emits one flushed heartbeat line on stderr (the orchestrator's
+/// inactivity monitor watches the redirected file for growth).
+void Heartbeat(const char* what, long long value) {
+  std::fprintf(stderr, "# hs-progress %s=%lld\n", what, value);
+  std::fflush(stderr);
+}
+
 /// Translates the runner's local spec indices back to the global indices
-/// of the shard file and streams each row, durably, as it completes.
+/// of the shard file and streams each row, durably, as it completes —
+/// injecting the HS_FAULT plan (when armed for this attempt) at exactly
+/// the point a real crash/hang/drop would bite: between computing a cell
+/// and persisting its row.
 class ShardOutputSink final : public hs::ResultSink {
  public:
-  ShardOutputSink(std::ostream& out, std::vector<std::size_t> global_indices)
-      : out_(out), global_indices_(std::move(global_indices)) {}
+  ShardOutputSink(std::ostream& out, std::vector<std::size_t> global_indices,
+                  hs::FaultPlan fault)
+      : out_(out), global_indices_(std::move(global_indices)), fault_(fault) {}
 
   void OnResult(std::size_t spec_index, const hs::SpecResult& row) override {
-    hs::WriteWorkerRow(out_, global_indices_.at(spec_index), row);
+    const long long global =
+        static_cast<long long>(global_indices_.at(spec_index));
+    if (fault_.hang_at_cell == global) {
+      // Wedge silently: no row, no heartbeat — only the orchestrator's
+      // inactivity timeout ends this process.
+      while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+    if (fault_.crash_before_cell == global) {
+      if (fault_.torn_final_line) {
+        // A killed-mid-write tear: the first half of the row, no newline.
+        std::ostringstream full;
+        hs::WriteWorkerRow(full, static_cast<std::size_t>(global), row);
+        const std::string text = full.str();
+        out_ << text.substr(0, text.size() / 2);
+        out_.flush();
+      }
+      if (fault_.signal != 0) std::raise(fault_.signal);
+      std::_Exit(fault_.exit_code);
+    }
+    ++completed_;
+    if (fault_.drop_every > 0 && completed_ % fault_.drop_every == 0) {
+      Heartbeat("cell", global);  // computed, heartbeat sent — row "lost"
+      return;
+    }
+    hs::WriteWorkerRow(out_, static_cast<std::size_t>(global), row);
     out_.flush();
+    Heartbeat("cell", global);
   }
 
  private:
   std::ostream& out_;
   std::vector<std::size_t> global_indices_;
+  hs::FaultPlan fault_;
+  int completed_ = 0;
 };
 
 }  // namespace
@@ -49,12 +105,21 @@ int main(int argc, char** argv) {
     const std::string shard_path = args.GetString("shard", "");
     const std::string out_path = args.GetString("out", "");
     const int threads = static_cast<int>(args.GetInt("threads", 0));
+    const int attempt = static_cast<int>(args.GetInt("attempt", 1));
     args.RejectUnknown();
     if (shard_path.empty() || out_path.empty()) {
-      std::fprintf(stderr, "usage: %s --shard=FILE --out=FILE [--threads=N]\n",
+      std::fprintf(stderr,
+                   "usage: %s --shard=FILE --out=FILE [--threads=N] [--attempt=N]\n",
                    args.program().c_str());
       return 1;
     }
+    if (attempt < 1) {
+      std::fprintf(stderr, "hs_worker: --attempt must be >= 1\n");
+      return 1;
+    }
+
+    FaultPlan fault = FaultPlanFromEnv();
+    if (!fault.ActiveOn(attempt)) fault = FaultPlan{};  // healed on retry
 
     const std::vector<IndexedSpec> cells = ReadShardFileAt(shard_path);
     std::vector<SimSpec> specs;
@@ -71,7 +136,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "hs_worker: cannot open --out=%s\n", out_path.c_str());
       return 1;
     }
-    ShardOutputSink sink(out, std::move(global_indices));
+    Heartbeat("start cells", static_cast<long long>(specs.size()));
+    ShardOutputSink sink(out, std::move(global_indices), fault);
 
     ThreadPool pool(threads > 0 ? static_cast<std::size_t>(threads) : 0);
     ExperimentRunner runner(pool);
