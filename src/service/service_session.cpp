@@ -111,19 +111,41 @@ ServiceSession::JobStatus ServiceSession::Query(JobId id) const {
 
 std::vector<WhatIfAnswer> ServiceSession::WhatIf(
     const JobRecord& probe, const std::vector<std::string>& mechanisms,
-    bool force_replay) {
-  const std::string live_mech = CanonicalMechanismName(spec_.mechanism);
+    bool force_replay) const {
+  std::vector<WhatIfRun> runs = PrepareWhatIf(probe, mechanisms, force_replay);
   std::vector<WhatIfAnswer> answers;
-  answers.reserve(mechanisms.size());
-  for (const std::string& name : mechanisms) {
-    const std::string canonical = CanonicalMechanismName(name);
-    std::unique_ptr<SimulationSession> run =
-        (!force_replay && canonical == live_mech) ? live_->Fork()
-                                                  : Replay(canonical);
-    const JobId pid = run->SubmitJob(probe);
-    answers.push_back(RunUntilStarted(*run, pid, canonical));
+  answers.reserve(runs.size());
+  for (WhatIfRun& run : runs) {
+    answers.push_back(
+        RunUntilStarted(*run.session, run.probe, std::move(run.mechanism)));
   }
   return answers;
+}
+
+std::vector<WhatIfRun> ServiceSession::PrepareWhatIf(
+    const JobRecord& probe, const std::vector<std::string>& mechanisms,
+    bool force_replay) const {
+  const std::string live_mech = CanonicalMechanismName(spec_.mechanism);
+  std::vector<WhatIfRun> runs;
+  runs.reserve(mechanisms.size());
+  for (const std::string& name : mechanisms) {
+    WhatIfRun run;
+    run.mechanism = CanonicalMechanismName(name);
+    run.session = (!force_replay && run.mechanism == live_mech)
+                      ? live_->Fork()
+                      : Replay(run.mechanism);
+    run.probe = run.session->SubmitJob(probe);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+void ServiceSession::ReplaceWith(ServiceSession&& other) {
+  spec_ = std::move(other.spec_);
+  headroom_ = other.headroom_;
+  base_trace_ = std::move(other.base_trace_);
+  live_ = std::move(other.live_);
+  ops_ = std::move(other.ops_);
 }
 
 std::unique_ptr<SimulationSession> ServiceSession::Replay(

@@ -55,6 +55,16 @@ struct WhatIfAnswer {
 /// at 17 significant digits — the byte-deterministic response format.
 std::string FormatWhatIfAnswer(const WhatIfAnswer& answer);
 
+/// One prepared what-if run: a private copy of the live state (fork or
+/// op-log replay) with the probe already submitted. Preparing is cheap and
+/// reads the live session; running (RunUntilStarted) touches only the copy,
+/// so a concurrent server steps it off-thread without holding any lock.
+struct WhatIfRun {
+  std::string mechanism;                       // canonical name
+  std::unique_ptr<SimulationSession> session;  // private copy, probe in
+  JobId probe = kNoJob;
+};
+
 /// Runs `session` forward until `probe` first starts (or the event queue
 /// drains), and reports the answer. Shared by the fork path, the replay
 /// path, and the differential tests, so "truncated at the probe's start"
@@ -111,7 +121,19 @@ class ServiceSession {
   /// runs it to the probe's start. The live session is never perturbed.
   std::vector<WhatIfAnswer> WhatIf(const JobRecord& probe,
                                    const std::vector<std::string>& mechanisms,
-                                   bool force_replay = false);
+                                   bool force_replay = false) const;
+
+  /// The prepare half of WhatIf(): builds the private copies and submits
+  /// the probe, but does not step them. The concurrent server calls this
+  /// under the session read lock, then RunUntilStarted()s each run with no
+  /// lock held (the copies are private).
+  std::vector<WhatIfRun> PrepareWhatIf(const JobRecord& probe,
+                                       const std::vector<std::string>& mechanisms,
+                                       bool force_replay = false) const;
+
+  /// Becomes `other` (the `restore path=` verb): spec, trace, live state
+  /// and op log are all taken over; `other` is left moved-from.
+  void ReplaceWith(ServiceSession&& other);
 
   /// Serializes (spec, headroom, now, op log) as `# hs-session v1` text.
   std::string SnapshotText() const;

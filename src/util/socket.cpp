@@ -92,6 +92,19 @@ std::optional<std::string> Socket::RecvLine() {
   }
 }
 
+bool Socket::PeerClosed() const {
+  if (fd_ < 0) return true;
+  char probe;
+  const ssize_t n = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n > 0) return false;  // pending request bytes: still talking to us
+  if (n == 0) return true;  // orderly shutdown from the peer
+  return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
 void SendLine(Socket& socket, std::string_view line) {
   std::string framed(line);
   framed += '\n';
@@ -114,7 +127,9 @@ TcpListener::TcpListener(std::uint16_t port) {
   if (fd < 0) Fail("TcpListener: socket");
   listen_ = Socket(fd);
   const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    Fail("TcpListener: setsockopt(SO_REUSEADDR)");
+  }
   sockaddr_in addr = LoopbackAddr(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     Fail("TcpListener: bind 127.0.0.1:" + std::to_string(port));

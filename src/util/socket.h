@@ -37,6 +37,11 @@ class Socket {
   /// buffered partial line; a partial line at EOF is returned as-is.
   std::optional<std::string> RecvLine();
 
+  /// Non-blocking probe: true when the peer has closed (or the connection
+  /// is dead), false when it is still open (with or without pending bytes).
+  /// Lets a streaming sender notice a hang-up without writing anything.
+  bool PeerClosed() const;
+
  private:
   int fd_ = -1;
   std::string buf_;  // bytes received past the last returned line
@@ -44,6 +49,12 @@ class Socket {
 
 /// Sends `line` + '\n'.
 void SendLine(Socket& socket, std::string_view line);
+
+/// shutdown(2)s both directions of `fd` without closing it — wakes a thread
+/// blocked in recv on the same descriptor (its RecvLine sees EOF). The
+/// owning Socket still closes the fd; safe to call from another thread as
+/// long as the owner has not closed it yet.
+void ShutdownFd(int fd);
 
 /// Connects to 127.0.0.1:`port`; throws std::runtime_error on failure.
 Socket ConnectLoopback(std::uint16_t port);

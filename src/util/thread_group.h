@@ -1,0 +1,61 @@
+// ThreadGroup: a joinable set of worker threads.
+//
+// The thread-per-connection harness behind ScheduleServer: Spawn() is
+// thread-safe (the accept loop and connection handlers race on it freely),
+// JoinAll() drains every spawned thread — including ones spawned while the
+// drain is in progress — and the destructor joins whatever is left so a
+// thrown exception can never leak a detached thread.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hs {
+
+class ThreadGroup {
+ public:
+  ThreadGroup() = default;
+  ~ThreadGroup() { JoinAll(); }
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  /// Starts a thread running `fn` (any move-only callable) and tracks it.
+  template <typename F>
+  void Spawn(F&& fn) {
+    std::thread worker(std::forward<F>(fn));
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(std::move(worker));
+    ++spawned_;
+  }
+
+  /// Total threads spawned over the group's lifetime (joined or not).
+  std::size_t spawned() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spawned_;
+  }
+
+  /// Joins every tracked thread; loops until no new ones appear.
+  void JoinAll() {
+    for (;;) {
+      std::vector<std::thread> drained;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (threads_.empty()) return;
+        drained.swap(threads_);
+      }
+      for (std::thread& t : drained) {
+        if (t.joinable()) t.join();
+      }
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::thread> threads_;
+  std::size_t spawned_ = 0;
+};
+
+}  // namespace hs

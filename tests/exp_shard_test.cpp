@@ -425,7 +425,9 @@ TEST(ShardedRunnerTest, DyingWorkerIsSurfacedWithShardId) {
     runner.Run(specs);
     FAIL() << "worker exiting non-zero must throw";
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("shard 0"), std::string::npos) << e.what();
+    // Both shards die in parallel; whichever failure surfaces first names
+    // its shard id — either is correct.
+    EXPECT_NE(std::string(e.what()).find("shard "), std::string::npos) << e.what();
     EXPECT_NE(std::string(e.what()).find("exit 1"), std::string::npos) << e.what();
   }
 }

@@ -1,0 +1,249 @@
+// Concurrent multi-client stress: N client threads interleave mutating
+// (submit/cancel/advance) and read (ping/query-*/whatif) verbs against one
+// live ScheduleServer while a watcher streams metric ticks. The acceptance
+// oracle: because every mutation is serialized through the op log, the
+// final snapshot must byte-equal the snapshot of a cold session that
+// replays that log serially — and the replayed session must answer
+// query-metrics byte-identically to the live one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service_session.h"
+#include "util/socket.h"
+
+namespace hs {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kIterations = 6;
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimSpec spec = SimSpec::Parse("CUP&SPAA/FCFS/W5/preset=midsize");
+    spec.seed = 11;
+    session_ = std::make_unique<ServiceSession>(spec);
+    server_ = std::make_unique<ScheduleServer>(*session_, /*port=*/0);
+    server_->set_watch_poll_ms(1);
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  void TearDown() override {
+    if (serve_thread_.joinable()) {
+      try {
+        Socket finisher = Connect();
+        SendLine(finisher, "shutdown");
+        (void)finisher.RecvLine();
+      } catch (const std::exception&) {
+      }
+      serve_thread_.join();
+    }
+  }
+
+  Socket Connect() {
+    Socket sock = ConnectLoopback(server_->port());
+    const std::optional<std::string> greeting = sock.RecvLine();
+    EXPECT_EQ(greeting, std::optional<std::string>(kWireGreeting));
+    return sock;
+  }
+
+  std::unique_ptr<ServiceSession> session_;
+  std::unique_ptr<ScheduleServer> server_;
+  std::thread serve_thread_;
+};
+
+/// One request, one single-line response; returns "" on I/O trouble.
+std::string Roundtrip(Socket& sock, const std::string& request) {
+  SendLine(sock, request);
+  const std::optional<std::string> line = sock.RecvLine();
+  return line.value_or("");
+}
+
+/// Reads a framed `ok n=K ... end` response to completion; returns the
+/// number of body lines, or -1 on a non-framed (err) first line.
+int DrainFramed(Socket& sock) {
+  const std::optional<std::string> first = sock.RecvLine();
+  if (!first.has_value() || first->rfind("ok n=", 0) != 0) return -1;
+  int body = 0;
+  for (;;) {
+    const std::optional<std::string> line = sock.RecvLine();
+    if (!line.has_value()) return -1;
+    if (*line == "end") return body;
+    ++body;
+  }
+}
+
+TEST_F(ConcurrencyTest, InterleavedClientsKeepTheOpLogOracle) {
+  std::atomic<int> failures{0};
+  std::atomic<int> whatif_answers{0};
+
+  // A watcher streams ticks for the whole stress window (unbounded count;
+  // it is dropped when its socket closes at the end of the lambda). The
+  // main thread waits for tick 0 before unleashing the workers so the
+  // remaining ticks are guaranteed to see their advances.
+  std::atomic<bool> watcher_ready{false};
+  std::thread watcher([&] {
+    try {
+      Socket sock = ConnectLoopback(server_->port());
+      (void)sock.RecvLine();  // greeting
+      SendLine(sock, "watch every=300 count=0");
+      const std::optional<std::string> head = sock.RecvLine();
+      if (!head.has_value() || head->rfind("ok n=0 every=300", 0) != 0) {
+        ++failures;
+        watcher_ready = true;
+        return;
+      }
+      const std::optional<std::string> tick0 = sock.RecvLine();
+      if (!tick0.has_value() || tick0->rfind("tick seq=0 ", 0) != 0) {
+        ++failures;
+        watcher_ready = true;
+        return;
+      }
+      watcher_ready = true;
+      // Read a few more ticks, then hang up mid-stream (deliberately —
+      // the server must shrug it off while under load).
+      for (int i = 1; i < 4; ++i) {
+        const std::optional<std::string> tick = sock.RecvLine();
+        if (!tick.has_value() || tick->rfind("tick seq=", 0) != 0) {
+          ++failures;
+          return;
+        }
+      }
+    } catch (const std::exception&) {
+      ++failures;
+      watcher_ready = true;
+    }
+  });
+  while (!watcher_ready.load()) std::this_thread::yield();
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        Socket sock = ConnectLoopback(server_->port());
+        (void)sock.RecvLine();  // greeting
+        for (int i = 0; i < kIterations; ++i) {
+          // Mutators: advance and submit (relative times are resolved
+          // under the writer lock, so they are always strictly future).
+          if (Roundtrip(sock, "advance by=300").rfind("ok now=", 0) != 0) {
+            ++failures;
+          }
+          const std::string submitted = Roundtrip(
+              sock, "submit class=rigid size=8 compute=600 submit=+" +
+                        std::to_string(60 + w * kIterations + i));
+          if (submitted.rfind("ok job=", 0) != 0) ++failures;
+
+          // Reads interleave freely.
+          if (Roundtrip(sock, "ping").rfind("ok now=", 0) != 0) ++failures;
+          if (Roundtrip(sock, "query-metrics").rfind("ok now=", 0) != 0) {
+            ++failures;
+          }
+          if (Roundtrip(sock, "query-job job=0").rfind("ok job=0", 0) != 0) {
+            ++failures;
+          }
+
+          // Cancel the job we just submitted half the time; it may
+          // legitimately be refused if it already started.
+          if (i % 2 == 0) {
+            const JobId id = std::stoll(submitted.substr(7));
+            const std::string canceled =
+                Roundtrip(sock, "cancel job=" + std::to_string(id));
+            if (canceled.rfind("ok", 0) != 0 &&
+                canceled.rfind("err msg=", 0) != 0) {
+              ++failures;
+            }
+          }
+
+          // A what-if probe forks under the read lock and runs off it.
+          SendLine(sock, "whatif mechanisms=baseline,CUP&SPAA size=16 "
+                         "compute=120 submit=+30");
+          const int answers = DrainFramed(sock);
+          if (answers != 2) {
+            ++failures;
+          } else {
+            whatif_answers += answers;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+
+  for (std::thread& t : workers) t.join();
+  watcher.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(whatif_answers.load(), kWorkers * kIterations * 2);
+
+  // Quiesce the server before touching the session directly.
+  {
+    Socket finisher = Connect();
+    EXPECT_EQ(Roundtrip(finisher, "shutdown"), "ok bye");
+  }
+  serve_thread_.join();
+
+  // The oracle: the op log totally orders the concurrent mutations, so a
+  // serial replay (RestoreText) reproduces the live state exactly.
+  EXPECT_GT(session_->ops_logged(), 0u);
+  EXPECT_GT(session_->now(), 0);
+  const std::string snapshot = session_->SnapshotText();
+  const std::unique_ptr<ServiceSession> replayed =
+      ServiceSession::RestoreText(snapshot);
+  EXPECT_EQ(replayed->SnapshotText(), snapshot);
+  EXPECT_EQ(replayed->now(), session_->now());
+  EXPECT_EQ(replayed->events_processed(), session_->events_processed());
+  EXPECT_EQ(HandleRequestLine(*replayed, "query-metrics").lines,
+            HandleRequestLine(*session_, "query-metrics").lines);
+}
+
+// Mutating verbs from many clients serialize through the writer path: the
+// resulting op log applies cleanly in order (every submit's id matches,
+// every logged cancel is accepted) — RestoreText throws otherwise.
+TEST_F(ConcurrencyTest, ManyWritersProduceAReplayableLog) {
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      try {
+        Socket sock = ConnectLoopback(server_->port());
+        (void)sock.RecvLine();
+        for (int i = 0; i < kIterations; ++i) {
+          if (Roundtrip(sock, "submit class=od size=4 compute=300 submit=+120")
+                  .rfind("ok job=", 0) != 0) {
+            ++failures;
+          }
+          if (Roundtrip(sock, "advance by=30").rfind("ok now=", 0) != 0) {
+            ++failures;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  {
+    Socket finisher = Connect();
+    EXPECT_EQ(Roundtrip(finisher, "shutdown"), "ok bye");
+  }
+  serve_thread_.join();
+
+  EXPECT_EQ(session_->ops_logged(),
+            static_cast<std::size_t>(kWorkers * kIterations));
+  const std::string snapshot = session_->SnapshotText();
+  const std::unique_ptr<ServiceSession> replayed =
+      ServiceSession::RestoreText(snapshot);
+  EXPECT_EQ(replayed->SnapshotText(), snapshot);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,6 +1,7 @@
 // End-to-end server tests: an in-process ScheduleServer on an ephemeral
 // loopback port, driven through real sockets — greeting, the verb loop,
-// reconnection after a client hangs up, and shutdown.
+// reconnection after a client hangs up (including mid-response and
+// mid-stream), watch/restore, request validation, and shutdown.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -23,6 +24,7 @@ class ServerTest : public ::testing::Test {
     spec.seed = 4;
     session_ = std::make_unique<ServiceSession>(spec);
     server_ = std::make_unique<ScheduleServer>(*session_, /*port=*/0);
+    server_->set_watch_poll_ms(1);
     serve_thread_ = std::thread([this] { server_->Serve(); });
   }
 
@@ -106,6 +108,152 @@ TEST_F(ServerTest, ErrorsAreAnsweredInline) {
   EXPECT_EQ(Roundtrip(sock, "frobnicate all=1").rfind("err msg=", 0), 0u);
   // The connection stays usable after an error.
   EXPECT_EQ(Roundtrip(sock, "ping"), "ok now=0");
+}
+
+// Regression: a client that hangs up between request and response used to
+// make Socket::SendAll throw out of Serve(), killing the server for every
+// other client. Now the send failure drops that connection only.
+TEST_F(ServerTest, SurvivesClientVanishingMidWhatif) {
+  for (int round = 0; round < 2; ++round) {
+    {
+      Socket doomed = Connect();
+      // mechanisms=all answers with a framed multi-line response; hanging
+      // up before reading any of it makes the server's sends fail.
+      SendLine(doomed, "whatif size=32 compute=600 submit=+60");
+    }  // close without reading a single response byte
+    Socket alive = Connect();
+    EXPECT_EQ(Roundtrip(alive, "ping"), "ok now=0") << "round " << round;
+  }
+}
+
+// Regression (streaming flavor): a watcher that vanishes mid-stream must
+// not take the server down when its next tick send fails.
+TEST_F(ServerTest, SurvivesWatcherHangupWhileStreaming) {
+  {
+    Socket watcher = Connect();
+    SendLine(watcher, "watch every=60 count=100000");
+    EXPECT_EQ(watcher.RecvLine(),
+              std::optional<std::string>("ok n=100000 every=60"));
+    const std::optional<std::string> tick0 = watcher.RecvLine();
+    ASSERT_TRUE(tick0.has_value());
+    EXPECT_EQ(tick0->rfind("tick seq=0 ", 0), 0u);
+  }  // vanish with the stream open
+  Socket driver = Connect();
+  // Keep virtual time moving so the orphaned watch thread keeps trying to
+  // send ticks and hits the failure path.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(Roundtrip(driver, "advance by=60").rfind("ok now=", 0), 0u);
+  }
+  EXPECT_EQ(Roundtrip(driver, "ping"), "ok now=3000");
+}
+
+// Regression: `advance by=` with a negative delta silently requested time
+// travel; now both directions are rejected with an err naming the value.
+TEST_F(ServerTest, AdvanceRejectsTimeTravel) {
+  Socket sock = Connect();
+  EXPECT_EQ(Roundtrip(sock, "advance by=3600").rfind("ok now=3600", 0), 0u);
+
+  const std::string by_err = Roundtrip(sock, "advance by=-100");
+  EXPECT_EQ(by_err.rfind("err msg=", 0), 0u) << by_err;
+  EXPECT_NE(by_err.find("-100"), std::string::npos) << by_err;
+
+  const std::string to_err = Roundtrip(sock, "advance to=5");
+  EXPECT_EQ(to_err.rfind("err msg=", 0), 0u) << to_err;
+  EXPECT_NE(to_err.find("to=5"), std::string::npos) << to_err;
+  EXPECT_NE(to_err.find("3600"), std::string::npos) << to_err;
+
+  // Neither rejected request moved the clock.
+  EXPECT_EQ(Roundtrip(sock, "ping"), "ok now=3600");
+}
+
+// Regression: `whatif mechanisms=` used to run duplicates twice and drop
+// empty CSV segments silently; unknown names surfaced as a raw parse error
+// without the registered list.
+TEST_F(ServerTest, WhatifDedupesAndValidatesMechanisms) {
+  Socket sock = Connect();
+
+  SendLine(sock, "whatif mechanisms=baseline,baseline,baseline "
+                 "size=8 compute=60 submit=+60");
+  EXPECT_EQ(sock.RecvLine(), std::optional<std::string>("ok n=1"));
+  const std::optional<std::string> only = sock.RecvLine();
+  ASSERT_TRUE(only.has_value());
+  EXPECT_EQ(only->rfind("mech=baseline ", 0), 0u);
+  EXPECT_EQ(sock.RecvLine(), std::optional<std::string>("end"));
+
+  const std::string unknown =
+      Roundtrip(sock, "whatif mechanisms=nosuch size=8 compute=60 submit=+60");
+  EXPECT_EQ(unknown.rfind("err msg=", 0), 0u) << unknown;
+  EXPECT_NE(unknown.find("nosuch"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("registered:"), std::string::npos) << unknown;
+
+  const std::string empty = Roundtrip(
+      sock, "whatif mechanisms=baseline,,baseline size=8 compute=60 submit=+60");
+  EXPECT_EQ(empty.rfind("err msg=", 0), 0u) << empty;
+  // Wire err messages are percent-escaped.
+  EXPECT_NE(empty.find("empty%20mechanism%20token"), std::string::npos) << empty;
+}
+
+TEST_F(ServerTest, WatchStreamsTicksAsTimeAdvances) {
+  Socket watcher = Connect();
+  SendLine(watcher, "watch every=600 count=3");
+  EXPECT_EQ(watcher.RecvLine(), std::optional<std::string>("ok n=3 every=600"));
+  // Tick 0 fires immediately at the current now.
+  const std::optional<std::string> tick0 = watcher.RecvLine();
+  ASSERT_TRUE(tick0.has_value());
+  EXPECT_EQ(tick0->rfind("tick seq=0 now=0 ", 0), 0u) << *tick0;
+  EXPECT_NE(tick0->find(" utilization="), std::string::npos) << *tick0;
+  EXPECT_NE(tick0->find(" util_mean="), std::string::npos) << *tick0;
+
+  // A concurrent mutator advances past the remaining tick boundaries.
+  Socket driver = Connect();
+  EXPECT_EQ(Roundtrip(driver, "advance by=1800").rfind("ok now=1800", 0), 0u);
+
+  const std::optional<std::string> tick1 = watcher.RecvLine();
+  ASSERT_TRUE(tick1.has_value());
+  EXPECT_EQ(tick1->rfind("tick seq=1 now=1800 ", 0), 0u) << *tick1;
+  const std::optional<std::string> tick2 = watcher.RecvLine();
+  ASSERT_TRUE(tick2.has_value());
+  EXPECT_EQ(tick2->rfind("tick seq=2 now=1800 ", 0), 0u) << *tick2;
+  EXPECT_EQ(watcher.RecvLine(), std::optional<std::string>("end"));
+
+  // The watch connection is still a normal verb connection afterwards.
+  EXPECT_EQ(Roundtrip(watcher, "ping"), "ok now=1800");
+}
+
+TEST_F(ServerTest, WatchRejectsBadArguments) {
+  Socket sock = Connect();
+  const std::string bad_every = Roundtrip(sock, "watch every=0");
+  EXPECT_EQ(bad_every.rfind("err msg=", 0), 0u) << bad_every;
+  const std::string bad_count = Roundtrip(sock, "watch count=-1");
+  EXPECT_EQ(bad_count.rfind("err msg=", 0), 0u) << bad_count;
+  const std::string typo = Roundtrip(sock, "watch evry=60");
+  EXPECT_EQ(typo.rfind("err msg=", 0), 0u) << typo;
+  EXPECT_EQ(Roundtrip(sock, "ping"), "ok now=0");
+}
+
+TEST_F(ServerTest, RestoreRewindsToASnapshot) {
+  const std::string path = testing::TempDir() + "hs_restore_test.snap";
+  Socket sock = Connect();
+  EXPECT_EQ(Roundtrip(sock, "advance by=3600").rfind("ok now=3600", 0), 0u);
+  EXPECT_EQ(
+      Roundtrip(sock, "submit class=rigid size=16 compute=600 submit=+300")
+          .rfind("ok job=", 0),
+      0u);
+  const std::string snap = Roundtrip(sock, "snapshot path=" + path);
+  EXPECT_EQ(snap.rfind("ok path=", 0), 0u) << snap;
+
+  EXPECT_EQ(Roundtrip(sock, "advance by=7200").rfind("ok now=10800", 0), 0u);
+
+  const std::string restored = Roundtrip(sock, "restore path=" + path);
+  EXPECT_EQ(restored.rfind("ok path=", 0), 0u) << restored;
+  EXPECT_NE(restored.find("ops=1"), std::string::npos) << restored;
+  EXPECT_NE(restored.find("now=3600"), std::string::npos) << restored;
+  EXPECT_EQ(Roundtrip(sock, "ping"), "ok now=3600");
+
+  // Bad paths come back as errors, not dead servers.
+  const std::string missing = Roundtrip(sock, "restore path=/nonexistent/x.snap");
+  EXPECT_EQ(missing.rfind("err msg=", 0), 0u) << missing;
+  EXPECT_EQ(Roundtrip(sock, "restore").rfind("err msg=", 0), 0u);
 }
 
 }  // namespace

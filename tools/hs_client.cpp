@@ -4,7 +4,9 @@
 //   hs_client --oracle-snapshot=FILE VERB [key=value]...
 //
 // Joins the positional arguments into one hs-session v1 request line
-// (values escaped), sends it, and prints every response line to stdout.
+// (values escaped), sends it, and prints every response line to stdout as
+// it arrives (so `watch` streams live ticks; `ok n=0` marks an unbounded
+// stream that ends when the server closes it).
 // Exit status: 0 when the response starts with `ok`, 1 otherwise.
 //
 // --oracle-snapshot bypasses the network entirely: it restores a
@@ -57,42 +59,50 @@ int main(int argc, char** argv) {
     }
     const std::string request = BuildRequestLine(args.positional());
 
-    std::vector<std::string> lines;
     if (!oracle.empty()) {
       const auto session = ServiceSession::RestoreFrom(oracle);
       DispatchOptions options;
       options.force_replay = true;  // the oracle answers via op-log replay
-      lines = HandleRequestLine(*session, request, options).lines;
-    } else {
-      Socket sock = ConnectLoopback(static_cast<std::uint16_t>(port));
-      const std::optional<std::string> greeting = sock.RecvLine();
-      if (!greeting.has_value() || *greeting != kWireGreeting) {
-        std::fprintf(stderr, "hs_client: bad greeting from server\n");
-        return 1;
-      }
-      SendLine(sock, request);
-      const std::optional<std::string> first = sock.RecvLine();
-      if (!first.has_value()) {
-        std::fprintf(stderr, "hs_client: server closed the connection\n");
-        return 1;
-      }
-      lines.push_back(*first);
-      // Multi-line responses are framed `ok n=K ... end`.
-      if (first->rfind("ok n=", 0) == 0) {
-        for (;;) {
-          const std::optional<std::string> line = sock.RecvLine();
-          if (!line.has_value()) {
-            std::fprintf(stderr, "hs_client: truncated response\n");
-            return 1;
-          }
-          lines.push_back(*line);
-          if (*line == "end") break;
-        }
-      }
+      const std::vector<std::string> lines =
+          HandleRequestLine(*session, request, options).lines;
+      for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+      return !lines.empty() && lines.front().rfind("ok", 0) == 0 ? 0 : 1;
     }
 
-    for (const std::string& line : lines) std::printf("%s\n", line.c_str());
-    return !lines.empty() && lines.front().rfind("ok", 0) == 0 ? 0 : 1;
+    Socket sock = ConnectLoopback(static_cast<std::uint16_t>(port));
+    const std::optional<std::string> greeting = sock.RecvLine();
+    if (!greeting.has_value() || *greeting != kWireGreeting) {
+      std::fprintf(stderr, "hs_client: bad greeting from server\n");
+      return 1;
+    }
+    SendLine(sock, request);
+    const std::optional<std::string> first = sock.RecvLine();
+    if (!first.has_value()) {
+      std::fprintf(stderr, "hs_client: server closed the connection\n");
+      return 1;
+    }
+    std::printf("%s\n", first->c_str());
+    std::fflush(stdout);
+    const bool ok = first->rfind("ok", 0) == 0;
+    // Multi-line responses are framed `ok n=K ... end`; lines stream to
+    // stdout as they arrive (a `watch` tick shows up when it happens, not
+    // when the stream ends). `ok n=0` is an unbounded stream: the server
+    // closing it is the normal end, not a truncation.
+    if (first->rfind("ok n=", 0) == 0) {
+      const bool unbounded = first->rfind("ok n=0 ", 0) == 0 || *first == "ok n=0";
+      for (;;) {
+        const std::optional<std::string> line = sock.RecvLine();
+        if (!line.has_value()) {
+          if (unbounded) break;
+          std::fprintf(stderr, "hs_client: truncated response\n");
+          return 1;
+        }
+        std::printf("%s\n", line->c_str());
+        std::fflush(stdout);
+        if (*line == "end") break;
+      }
+    }
+    return ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hs_client: %s\n", e.what());
     return 1;

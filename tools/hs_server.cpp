@@ -4,10 +4,12 @@
 //
 // Loads the spec (trace + config), opens an online SimulationSession with
 // --headroom live-submission slots, binds 127.0.0.1:--port (0, the
-// default, picks an ephemeral port) and serves hs-session v1 verbs until a
-// `shutdown` verb arrives. --port-file writes the bound port as one line —
-// the rendezvous for scripts that start the server with --port=0 (the CI
-// smoke does).
+// default, picks an ephemeral port) and serves hs-session v1 verbs to any
+// number of concurrent clients (thread per connection; mutations
+// serialized through the op log, what-ifs forked off-thread) until a
+// `shutdown` verb arrives on any connection. --port-file writes the bound
+// port as one line — the rendezvous for scripts that start the server with
+// --port=0 (the CI smoke does).
 //
 // Exit status: 0 on clean shutdown; 1 on any error with the reason on
 // stderr.
