@@ -18,6 +18,8 @@
 //   --digest            print the streaming percentile digest (p50/p90/p99
 //                       per headline metric, O(1) memory) after the run
 //   --shards=K          run through ShardedRunner with K hs_worker procs
+//   --hosts=H1:P1,...   dispatch units to remote hs_agent daemons over TCP
+//                       (work-stealing; defaults --shards to 3x host count)
 //   --strategy=NAME     round-robin | cost-weighted (default)
 //   --worker-bin=PATH   hs_worker override (default: next to this binary)
 //   --retries=N         respawns per failed shard beyond the first attempt
@@ -38,6 +40,7 @@
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/sharded_runner.h"
+#include "exp/transport.h"
 #include "metrics/report.h"
 #include "util/cli.h"
 #include "util/env.h"
@@ -55,6 +58,7 @@ int main(int argc, char** argv) try {
   scale.seeds = static_cast<int>(args.GetInt("seeds", scale.seeds));
   const int shards = static_cast<int>(args.GetInt("shards", 0));
   if (shards < 0) throw std::invalid_argument("--shards must be >= 0");
+  const std::string hosts = args.GetString("hosts", "");
   const std::string csv_path =
       args.GetString("out", EnvString("HYBRIDSCHED_GRID_CSV", ""));
   const bool strip_wallclock = args.GetBool("strip-wallclock", false);
@@ -115,14 +119,18 @@ int main(int argc, char** argv) try {
 
   const auto started = std::chrono::steady_clock::now();
   std::vector<SpecResult> rows;
-  if (shards > 0) {
+  if (shards > 0 || !hosts.empty()) {
     ShardedRunnerOptions options;
-    options.shards = static_cast<std::size_t>(shards);
+    // With --hosts but no --shards, default to 3 units per agent so the
+    // work-stealing queue has enough granularity to balance uneven hosts.
+    options.shards = shards > 0 ? static_cast<std::size_t>(shards)
+                                : 3 * ParseHostList(hosts).size();
     options.strategy = ParseShardStrategy(strategy_name);
     options.worker_cmd = worker_bin;
     options.retry.max_attempts = retries + 1;
     options.shard_timeout_s = shard_timeout;
     options.best_effort = best_effort;
+    options.hosts = hosts;
     ShardedRunner runner(options);
     rows = runner.Run(specs, &merged);
     // Quarantined cells never arrive: account for them explicitly so every
@@ -130,8 +138,9 @@ int main(int argc, char** argv) try {
     for (const FabricCellError& cell : runner.last_report().quarantined) {
       merged.Skip(cell.spec_index);
     }
-    std::printf("scattered %zu cells across %zu workers (%s)\n",
+    std::printf("scattered %zu cells as %zu units via %s (%s)\n",
                 specs.size(), runner.last_plan().shard_count(),
+                runner.last_report().transport.c_str(),
                 ShardStrategyName(options.strategy));
     std::printf("%s\n", runner.last_report().Summary().c_str());
   } else {

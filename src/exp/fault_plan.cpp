@@ -39,6 +39,16 @@ std::string FaultPlan::ToString() const {
   }
   if (signal != defaults.signal) append("signal=" + std::to_string(signal));
   if (torn_final_line) append("torn-final-line");
+  if (drop_conn_at_cell >= 0) {
+    append("drop-conn-at-cell=" + std::to_string(drop_conn_at_cell));
+  }
+  if (kill_agent_at_cell >= 0) {
+    append("kill-agent-at-cell=" + std::to_string(kill_agent_at_cell));
+  }
+  if (torn_frame_at_cell >= 0) {
+    append("torn-frame-at-cell=" + std::to_string(torn_frame_at_cell));
+  }
+  if (stall_at_cell >= 0) append("stall-at-cell=" + std::to_string(stall_at_cell));
   if (attempts != defaults.attempts) append("attempts=" + std::to_string(attempts));
   return out;
 }
@@ -79,6 +89,14 @@ FaultPlan ParseFaultPlan(const std::string& text) {
       plan.exit_code = static_cast<int>(ParseNonNegative(token, value));
     } else if (key == "signal") {
       plan.signal = static_cast<int>(ParseNonNegative(token, value));
+    } else if (key == "drop-conn-at-cell") {
+      plan.drop_conn_at_cell = ParseNonNegative(token, value);
+    } else if (key == "kill-agent-at-cell") {
+      plan.kill_agent_at_cell = ParseNonNegative(token, value);
+    } else if (key == "torn-frame-at-cell") {
+      plan.torn_frame_at_cell = ParseNonNegative(token, value);
+    } else if (key == "stall-at-cell") {
+      plan.stall_at_cell = ParseNonNegative(token, value);
     } else if (key == "attempts") {
       plan.attempts = static_cast<int>(ParseNonNegative(token, value));
       if (plan.attempts == 0) {
@@ -88,7 +106,8 @@ FaultPlan ParseFaultPlan(const std::string& text) {
       throw std::invalid_argument(
           "fault plan: unknown token '" + token +
           "' (known: crash-before-cell, hang-at-cell, drop-every, exit-code, "
-          "signal, torn-final-line, attempts)");
+          "signal, torn-final-line, drop-conn-at-cell, kill-agent-at-cell, "
+          "torn-frame-at-cell, stall-at-cell, attempts)");
     }
   }
   return plan;

@@ -1,7 +1,8 @@
 // FaultPlan: deterministic fault injection for the sharded experiment
-// fabric. hs_worker honors the plan in the HS_FAULT environment variable,
-// so chaos is reproducible: the same plan against the same grid injects
-// the same fault at the same cell, in unit tests and CI alike.
+// fabric. hs_worker honors the worker-level tokens and hs_agent the
+// network-level ones, both from the HS_FAULT environment variable, so
+// chaos is reproducible: the same plan against the same grid injects the
+// same fault at the same cell, in unit tests and CI alike.
 //
 // Grammar — ';'-separated tokens, each `key=value` or a bare flag:
 //
@@ -20,6 +21,20 @@
 //                         (default 1: the fault heals on the first retry;
 //                         a large M makes the cell a permanent poison cell)
 //
+// Network tokens, honored by hs_agent (the TCP transport daemon) and
+// ignored by hs_worker — each fires when the agent is about to forward
+// the result row for global spec index N:
+//
+//   drop-conn-at-cell=N   close the orchestrator connection instead of
+//                         forwarding row N (the local worker is killed)
+//   kill-agent-at-cell=N  the agent raise(SIGKILL)s itself — a dead host:
+//                         every later connect to it is refused
+//   torn-frame-at-cell=N  send half of row N's frame with no newline,
+//                         then drop the connection (a torn wire write)
+//   stall-at-cell=N       stop forwarding anything but keep the
+//                         connection open — only the orchestrator's
+//                         inactivity monitor ends the unit
+//
 // Example: "crash-before-cell=5;exit-code=3;torn-final-line;attempts=1".
 #pragma once
 
@@ -36,9 +51,17 @@ struct FaultPlan {
   bool torn_final_line = false;
   int attempts = 1;                  // inject while attempt <= attempts
 
+  // Network faults (hs_agent only); all keyed by global spec index, -1 = off.
+  long long drop_conn_at_cell = -1;
+  long long kill_agent_at_cell = -1;
+  long long torn_frame_at_cell = -1;
+  long long stall_at_cell = -1;
+
   /// True when any fault is armed at all.
   bool any() const {
-    return crash_before_cell >= 0 || hang_at_cell >= 0 || drop_every > 0;
+    return crash_before_cell >= 0 || hang_at_cell >= 0 || drop_every > 0 ||
+           drop_conn_at_cell >= 0 || kill_agent_at_cell >= 0 ||
+           torn_frame_at_cell >= 0 || stall_at_cell >= 0;
   }
 
   /// True when the plan applies to a worker on its `attempt`-th try (1-based).

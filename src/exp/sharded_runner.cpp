@@ -6,11 +6,11 @@
 #include <deque>
 #include <filesystem>
 #include <stdexcept>
-#include <sys/stat.h>
 #include <thread>
 #include <utility>
 
 #include "exp/shard_io.h"
+#include "exp/transport.h"
 #include "util/file_util.h"
 #include "util/rng.h"
 #include "util/subprocess.h"
@@ -20,31 +20,6 @@ namespace hs {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-/// The tail of a worker's stderr capture, for error messages and
-/// quarantine records.
-std::string StderrTail(const std::string& path, std::size_t max_bytes = 2000) {
-  std::string text;
-  try {
-    text = ReadTextFile(path);
-  } catch (const std::exception&) {
-    return "<no stderr captured>";
-  }
-  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) text.pop_back();
-  if (text.empty()) return "<empty stderr>";
-  if (text.size() > max_bytes) text = "..." + text.substr(text.size() - max_bytes);
-  return text;
-}
-
-/// Combined size of a launch's output files — growth means the worker is
-/// alive (rows or heartbeats), stall past the timeout means it is wedged.
-std::uintmax_t OutputBytes(const std::string& out_path, const std::string& err_path) {
-  std::uintmax_t total = 0;
-  struct stat st;
-  if (::stat(out_path.c_str(), &st) == 0) total += static_cast<std::uintmax_t>(st.st_size);
-  if (::stat(err_path.c_str(), &st) == 0) total += static_cast<std::uintmax_t>(st.st_size);
-  return total;
-}
 
 /// Deterministic backoff before attempt `next_attempt` (>= 2) of a unit
 /// from `origin` shard: exponential with seed-derived jitter.
@@ -69,16 +44,17 @@ struct WorkUnit {
   std::vector<std::size_t> indices;
   int attempts_used = 0;
   Clock::time_point ready_at;  // backoff gate
+  /// Dispatch failures (dead host, refused connection) that never reached
+  /// an executor — these do not consume retry attempts, only patience.
+  int infra_failures = 0;
 };
 
-/// One spawned worker process and everything needed to watch and gather it.
-struct Launch {
+/// One launched unit in flight on some transport slot.
+struct Running {
   WorkUnit unit;
-  Subprocess proc;
-  std::string out_path;
-  std::string err_path;
+  std::unique_ptr<TransportTask> task;
   Clock::time_point last_activity;
-  std::uintmax_t last_bytes = 0;
+  std::uint64_t last_bytes = 0;
   bool hang_killed = false;
 };
 
@@ -91,6 +67,7 @@ std::string DefaultWorkerCommand() {
 
 std::string FabricReport::Summary() const {
   std::string out;
+  if (!transport.empty()) out += "fabric: transport: " + transport + "\n";
   out += "fabric: " + std::to_string(shard_count) + " shards, " +
          std::to_string(workers_launched) + " worker launches (" +
          std::to_string(retries) + " retries, " + std::to_string(bisections) +
@@ -99,6 +76,10 @@ std::string FabricReport::Summary() const {
          std::to_string(wasted_cells()) + " wasted of " +
          std::to_string(cells_scattered) + " scattered; " +
          std::to_string(quarantined.size()) + " quarantined\n";
+  if (conn_failures > 0) {
+    out += "fabric: " + std::to_string(conn_failures) +
+           " connection failures routed around\n";
+  }
   std::string per_shard;
   for (std::size_t k = 0; k < launches_per_shard.size(); ++k) {
     if (!per_shard.empty()) per_shard += ", ";
@@ -148,37 +129,81 @@ std::vector<SpecResult> ShardedRunner::Run(const std::vector<SimSpec>& specs,
     std::filesystem::create_directories(work_dir);
   }
 
-  // --- the fault-tolerant scatter/gather loop --------------------------------
+  // Pick the transport: empty --hosts keeps the original local fork/exec
+  // path (one slot per plan shard, same scratch files, same messages);
+  // otherwise every unit travels to an hs_agent over TCP.
+  std::unique_ptr<Transport> transport;
+  if (options_.hosts.empty()) {
+    transport = std::make_unique<LocalExecTransport>(
+        work_dir, worker, options_.worker_threads, last_plan_.shard_count());
+  } else {
+    TcpTransportOptions tcp;
+    tcp.worker_threads = options_.worker_threads;
+    tcp.connect_timeout_s = options_.connect_timeout_s;
+    transport = std::make_unique<TcpTransport>(ParseHostList(options_.hosts), tcp);
+  }
+  last_report_.transport = transport->Describe();
+
+  // --- the work-stealing scatter/gather loop ---------------------------------
   //
-  // Pending units wait out their backoff, at most shard_count() workers run
-  // at once, and every exit (clean, crashed, or hang-killed) is gathered
-  // tolerantly: rows already on disk are kept, only the missing indices are
-  // re-scattered. A unit that exhausts its attempts is bisected until the
+  // Pending units wait out their backoff and are drained by whichever
+  // transport slot is idle first (dynamic dispatch — a fast host simply
+  // takes more units). Every exit (clean, crashed, hang-killed, or a dead
+  // connection) is gathered tolerantly: rows already received are kept,
+  // only the missing indices are re-scattered. A dispatch that never
+  // reached an executor (dead host) re-queues the unit without consuming a
+  // retry attempt. A unit that exhausts its attempts is bisected until the
   // poison cell is isolated, then quarantined (best_effort) or thrown.
   std::deque<WorkUnit> pending;
   for (std::size_t k = 0; k < last_plan_.shard_count(); ++k) {
     pending.push_back(WorkUnit{k, last_plan_.shards[k], 0, Clock::now()});
   }
-  std::deque<Launch> running;
+  std::deque<Running> running;
   std::vector<std::unique_ptr<SpecResult>> collected(specs.size());
-  const std::size_t max_parallel = std::max<std::size_t>(1, last_plan_.shard_count());
+  const std::size_t max_parallel = std::max<std::size_t>(1, transport->slots());
   const double poll_s = std::max(0.001, options_.poll_interval_s);
-  std::size_t launch_seq = 0;
+  // Consecutive dispatch failures per slot before a slot counts as dead;
+  // the run only gives up when EVERY slot is dead (a unit bouncing off one
+  // dead host is fine — it will land on a live one when that frees up).
+  constexpr std::size_t kDeadSlotThreshold = 5;
 
-  // Gathers one finished launch; returns true when its unit completed and
+  // Gathers one finished launch; returns when its unit completed and
   // enqueues follow-up work (retry / bisect / quarantine) otherwise.
-  // Throws on wire-format skew, and on terminal failure in fail-fast mode.
-  const auto handle_exit = [&](Launch& launch) {
+  // Throws on wire-format skew, on an unreachable fabric, and on terminal
+  // failure in fail-fast mode.
+  const auto handle_exit = [&](Running& launch) {
     WorkUnit& unit = launch.unit;
-    unit.attempts_used += 1;
-    const ProcessStatus status = launch.proc.Wait();
+    const TransportOutcome outcome = launch.task->Take();
+    const std::string shard_name = "shard " + std::to_string(unit.origin_shard);
 
-    const WorkerRowsRead read = ReadWorkerRowsTolerant(launch.out_path);
+    if (outcome.infrastructure) {
+      // Never reached an executor: nothing ran, so no attempt was consumed
+      // and no worker/cell accounting sticks. Route around the dead host.
+      last_report_.conn_failures += 1;
+      last_report_.workers_launched -= 1;
+      last_report_.cells_scattered -= unit.indices.size();
+      last_report_.launches_per_shard[unit.origin_shard] -= 1;
+      unit.infra_failures += 1;
+      if (transport->AllSlotsDead(kDeadSlotThreshold)) {
+        throw std::runtime_error(shard_name + " could not be dispatched after " +
+                                 std::to_string(unit.infra_failures) +
+                                 " connection attempts — every agent is "
+                                 "unreachable; last error: " +
+                                 outcome.status);
+      }
+      const double pause = std::max(0.01, options_.retry.backoff_initial_s);
+      WorkUnit requeued = std::move(unit);
+      requeued.ready_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                             std::chrono::duration<double>(pause));
+      pending.push_back(std::move(requeued));
+      return;
+    }
+
+    unit.attempts_used += 1;
     std::vector<bool> assigned_here(specs.size(), false);
     for (const std::size_t index : unit.indices) assigned_here[index] = true;
     std::vector<bool> returned_here(specs.size(), false);
-    const std::string shard_name = "shard " + std::to_string(unit.origin_shard);
-    for (const IndexedSpecResult& row : read.rows) {
+    for (const IndexedSpecResult& row : outcome.rows) {
       if (row.index >= specs.size()) {
         throw std::runtime_error(shard_name + " returned out-of-range spec index " +
                                  std::to_string(row.index));
@@ -217,10 +242,9 @@ std::vector<SpecResult> ShardedRunner::Run(const std::vector<SimSpec>& specs,
     if (launch.hang_killed) {
       why = "hang timeout: no output activity for " +
             std::to_string(options_.shard_timeout_s) + "s (killed)";
-    } else if (!status.ok()) {
-      why = "worker ('" + worker + "') failed: " + status.Describe() +
-            "; stderr: " + StderrTail(launch.err_path);
-    } else if (read.torn_final_line) {
+    } else if (!outcome.clean) {
+      why = outcome.status;
+    } else if (outcome.torn_final_line) {
       why = "torn final result line (worker killed mid-write); dropped " +
             std::to_string(missing.size()) + " of " +
             std::to_string(unit.indices.size()) + " assigned rows (spec indices " +
@@ -282,7 +306,8 @@ std::vector<SpecResult> ShardedRunner::Run(const std::vector<SimSpec>& specs,
       const Clock::time_point now = Clock::now();
       bool progressed = false;
 
-      // Spawn every pending unit whose backoff elapsed, capacity allowing.
+      // Dispatch every pending unit whose backoff elapsed, capacity
+      // allowing — units go to whichever slot the transport has idle.
       for (std::size_t i = 0; i < pending.size() && running.size() < max_parallel;) {
         if (pending[i].ready_at > now) {
           ++i;
@@ -290,51 +315,38 @@ std::vector<SpecResult> ShardedRunner::Run(const std::vector<SimSpec>& specs,
         }
         WorkUnit unit = std::move(pending[i]);
         pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
-        const std::string stem =
-            work_dir + "/shard_" + std::to_string(unit.origin_shard) + "_L" +
-            std::to_string(launch_seq++);
-        WriteShardFileAt(stem + ".specs", unit.indices, specs);
-        std::vector<std::string> argv = {worker, "--shard=" + stem + ".specs",
-                                         "--out=" + stem + ".jsonl",
-                                         "--attempt=" +
-                                             std::to_string(unit.attempts_used + 1)};
-        if (options_.worker_threads > 0) {
-          argv.push_back("--threads=" + std::to_string(options_.worker_threads));
-        }
         last_report_.workers_launched += 1;
         last_report_.cells_scattered += unit.indices.size();
         last_report_.launches_per_shard[unit.origin_shard] += 1;
-        Launch launch;
+        Running launch;
+        launch.task = transport->Launch(unit.indices, specs, unit.origin_shard,
+                                        unit.attempts_used + 1);
         launch.unit = std::move(unit);
-        launch.out_path = stem + ".jsonl";
-        launch.err_path = stem + ".stderr";
-        launch.proc =
-            Subprocess::Spawn(argv, stem + ".stdout", launch.err_path);
         launch.last_activity = Clock::now();
         launch.last_bytes = 0;
         running.push_back(std::move(launch));
         progressed = true;
       }
 
-      // Reap finished workers; watch the rest for output stalls.
+      // Reap finished units; watch the rest for output stalls.
       for (std::size_t i = 0; i < running.size();) {
-        Launch& launch = running[i];
-        if (launch.proc.Poll()) {
-          Launch done = std::move(launch);
+        Running& launch = running[i];
+        if (launch.task->Poll()) {
+          Running done = std::move(launch);
           running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
           handle_exit(done);
           progressed = true;
           continue;
         }
-        if (options_.shard_timeout_s > 0.0) {
-          const std::uintmax_t bytes = OutputBytes(launch.out_path, launch.err_path);
+        if (options_.shard_timeout_s > 0.0 && !launch.hang_killed) {
+          const std::uint64_t bytes = launch.task->activity();
           if (bytes != launch.last_bytes) {
             launch.last_bytes = bytes;
             launch.last_activity = now;
           } else if (now - launch.last_activity >
                      std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(options_.shard_timeout_s))) {
-            launch.proc.Kill();  // SIGKILL; the next Poll() reaps it
+            launch.task->Kill();  // the next Poll() observes the kill
             launch.hang_killed = true;
             last_report_.hang_kills += 1;
           }
@@ -347,12 +359,9 @@ std::vector<SpecResult> ShardedRunner::Run(const std::vector<SimSpec>& specs,
       }
     }
   } catch (...) {
-    // Reap every still-running worker before surfacing the failure — no
+    // Stop every still-running unit before surfacing the failure — no
     // zombies, and the scratch dir stays for inspection.
-    for (Launch& launch : running) {
-      launch.proc.Kill();
-      launch.proc.Wait();
-    }
+    for (Running& launch : running) launch.task->Kill();
     throw;
   }
 

@@ -84,6 +84,12 @@ struct FabricReport {
   std::size_t hang_kills = 0;        // workers killed by the inactivity timeout
   std::size_t cells_scattered = 0;   // cell slots across every launch
   std::size_t rows_merged = 0;       // healthy rows that reached the sink
+  /// Dispatches that never reached an executor (dead host, refused or
+  /// dropped handshake). These consume no retry attempts and leave no
+  /// launch/cell accounting behind — the unit was simply re-queued.
+  std::size_t conn_failures = 0;
+  /// Transport label of the last Run ("local-exec (3 slots)", "tcp (...)").
+  std::string transport;
   /// Worker launches per original plan shard (retries and bisected
   /// descendants count toward their origin shard).
   std::vector<std::size_t> launches_per_shard;
@@ -130,6 +136,15 @@ struct ShardedRunnerOptions {
   /// Degrade gracefully: quarantine isolated poison cells into the
   /// FabricReport and deliver every healthy row, instead of throwing.
   bool best_effort = false;
+  /// Comma-separated `host:port` hs_agent endpoints. Empty (default) runs
+  /// workers locally via fork/exec; non-empty switches to the TCP
+  /// transport: one concurrency slot per agent, units drained
+  /// work-stealing style by whichever agent is idle, and a dead
+  /// connection treated as a dead worker (the unit is re-queued
+  /// elsewhere without consuming a retry attempt).
+  std::string hosts;
+  /// TCP transport only: per-connect + greeting deadline.
+  double connect_timeout_s = 5.0;
 };
 
 class ShardedRunner {

@@ -1,0 +1,415 @@
+#include "exp/transport.h"
+
+#include <stdexcept>
+#include <sys/stat.h>
+#include <utility>
+
+#include "util/file_util.h"
+#include "util/socket.h"
+#include "util/subprocess.h"
+
+namespace hs {
+
+namespace {
+
+/// The tail of a worker's stderr capture, for error messages and
+/// quarantine records.
+std::string StderrTailOf(const std::string& text_in, std::size_t max_bytes = 2000) {
+  std::string text = text_in;
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) text.pop_back();
+  if (text.empty()) return "<empty stderr>";
+  if (text.size() > max_bytes) text = "..." + text.substr(text.size() - max_bytes);
+  return text;
+}
+
+std::string StderrTailOfFile(const std::string& path) {
+  try {
+    return StderrTailOf(ReadTextFile(path));
+  } catch (const std::exception&) {
+    return "<no stderr captured>";
+  }
+}
+
+/// Combined size of a launch's output files — growth means the worker is
+/// alive (rows or heartbeats), stall past the timeout means it is wedged.
+std::uint64_t OutputBytes(const std::string& out_path, const std::string& err_path) {
+  std::uint64_t total = 0;
+  struct stat st;
+  if (::stat(out_path.c_str(), &st) == 0) total += static_cast<std::uint64_t>(st.st_size);
+  if (::stat(err_path.c_str(), &st) == 0) total += static_cast<std::uint64_t>(st.st_size);
+  return total;
+}
+
+bool StartsWith(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+// --- local fork/exec ---------------------------------------------------------
+
+class LocalExecTask final : public TransportTask {
+ public:
+  LocalExecTask(Subprocess proc, std::string worker_cmd, std::string out_path,
+                std::string err_path)
+      : proc_(std::move(proc)),
+        worker_cmd_(std::move(worker_cmd)),
+        out_path_(std::move(out_path)),
+        err_path_(std::move(err_path)) {}
+
+  ~LocalExecTask() override {
+    // Defensive reap: normally Take() (via Wait) or Kill() reaped already;
+    // exception unwinds must not trip the Subprocess zombie assert.
+    if (proc_.running()) {
+      proc_.Kill();
+      proc_.Wait();
+    }
+  }
+
+  bool Poll() override { return proc_.Poll(); }
+
+  std::uint64_t activity() override { return OutputBytes(out_path_, err_path_); }
+
+  void Kill() override {
+    proc_.Kill();  // SIGKILL; Wait() reaps promptly so Poll() turns true
+    proc_.Wait();
+  }
+
+  TransportOutcome Take() override {
+    TransportOutcome outcome;
+    const ProcessStatus status = proc_.Wait();
+    const WorkerRowsRead read = ReadWorkerRowsTolerant(out_path_);
+    outcome.rows = read.rows;
+    outcome.torn_final_line = read.torn_final_line;
+    outcome.clean = status.ok();
+    if (!outcome.clean) {
+      outcome.status = "worker ('" + worker_cmd_ + "') failed: " +
+                       status.Describe() + "; stderr: " + StderrTailOfFile(err_path_);
+    }
+    return outcome;
+  }
+
+ private:
+  Subprocess proc_;
+  std::string worker_cmd_;
+  std::string out_path_;
+  std::string err_path_;
+};
+
+/// A launch that failed before reaching any executor: immediately finished
+/// with an `infrastructure` outcome.
+class FailedLaunchTask final : public TransportTask {
+ public:
+  explicit FailedLaunchTask(std::string status) {
+    outcome_.infrastructure = true;
+    outcome_.status = std::move(status);
+  }
+  bool Poll() override { return true; }
+  std::uint64_t activity() override { return 0; }
+  void Kill() override {}
+  TransportOutcome Take() override { return outcome_; }
+
+ private:
+  TransportOutcome outcome_;
+};
+
+}  // namespace
+
+// --- host list ---------------------------------------------------------------
+
+std::vector<HostEndpoint> ParseHostList(const std::string& hosts) {
+  std::vector<HostEndpoint> out;
+  std::size_t pos = 0;
+  while (pos <= hosts.size()) {
+    const std::size_t comma = hosts.find(',', pos);
+    std::string entry = hosts.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? hosts.size() + 1 : comma + 1;
+    while (!entry.empty() && entry.front() == ' ') entry.erase(entry.begin());
+    while (!entry.empty() && entry.back() == ' ') entry.pop_back();
+    if (entry.empty()) {
+      if (hosts.empty()) break;  // an empty list is "run locally"
+      throw std::invalid_argument("host list: empty entry in '" + hosts + "'");
+    }
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == entry.size()) {
+      throw std::invalid_argument("host list: entry '" + entry +
+                                  "' is not host:port");
+    }
+    const std::string port_text = entry.substr(colon + 1);
+    long port = 0;
+    std::size_t parsed = 0;
+    try {
+      port = std::stol(port_text, &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    if (parsed != port_text.size() || port < 1 || port > 65535) {
+      throw std::invalid_argument("host list: bad port in '" + entry +
+                                  "' (want 1..65535)");
+    }
+    out.push_back(HostEndpoint{entry.substr(0, colon),
+                               static_cast<std::uint16_t>(port)});
+  }
+  return out;
+}
+
+// --- LocalExecTransport ------------------------------------------------------
+
+LocalExecTransport::LocalExecTransport(std::string work_dir, std::string worker_cmd,
+                                       int worker_threads, std::size_t slots)
+    : work_dir_(std::move(work_dir)),
+      worker_cmd_(std::move(worker_cmd)),
+      worker_threads_(worker_threads),
+      slots_(slots == 0 ? 1 : slots) {}
+
+std::string LocalExecTransport::Describe() const {
+  return "local-exec (" + std::to_string(slots_) + " slots)";
+}
+
+std::unique_ptr<TransportTask> LocalExecTransport::Launch(
+    const std::vector<std::size_t>& indices, const std::vector<SimSpec>& specs,
+    std::size_t origin_shard, int attempt) {
+  const std::string stem = work_dir_ + "/shard_" + std::to_string(origin_shard) +
+                           "_L" + std::to_string(launch_seq_++);
+  WriteShardFileAt(stem + ".specs", indices, specs);
+  std::vector<std::string> argv = {worker_cmd_, "--shard=" + stem + ".specs",
+                                   "--out=" + stem + ".jsonl",
+                                   "--attempt=" + std::to_string(attempt)};
+  if (worker_threads_ > 0) {
+    argv.push_back("--threads=" + std::to_string(worker_threads_));
+  }
+  Subprocess proc = Subprocess::Spawn(argv, stem + ".stdout", stem + ".stderr");
+  return std::make_unique<LocalExecTask>(std::move(proc), worker_cmd_,
+                                         stem + ".jsonl", stem + ".stderr");
+}
+
+// --- TcpTransport ------------------------------------------------------------
+
+/// One unit streaming back from an hs_agent. Single-threaded and
+/// non-blocking: Poll() drains whatever lines have arrived; classification
+/// of the terminal state mirrors the local file gather exactly.
+class TcpTransportTask final : public TransportTask {
+ public:
+  TcpTransportTask(TcpTransport* transport, std::size_t slot_index, Socket sock)
+      : transport_(transport), slot_index_(slot_index), sock_(std::move(sock)) {}
+
+  ~TcpTransportTask() override {
+    sock_.Close();
+    Release();
+  }
+
+  bool Poll() override {
+    if (finished_) return true;
+    for (;;) {
+      std::string line;
+      RecvLineStatus status;
+      try {
+        status = sock_.RecvLineWithTimeout(0.0, &line);
+      } catch (const std::exception& e) {
+        FinishLost(std::string("connection error: ") + e.what());
+        return true;
+      }
+      if (status == RecvLineStatus::kTimeout) return false;
+      if (status == RecvLineStatus::kEof) {
+        FinishLost("connection lost mid-unit (agent died or dropped the link)");
+        return true;
+      }
+      activity_ += line.size() + 1;
+      if (StartsWith(line, "row ")) {
+        raw_rows_.push_back(line.substr(4));
+      } else if (StartsWith(line, "# hs-progress")) {
+        // Heartbeat: the activity bump above is its entire job.
+      } else if (StartsWith(line, "log ")) {
+        stderr_text_ += line.substr(4);
+        stderr_text_ += '\n';
+        constexpr std::size_t kMaxStderr = 64 * 1024;
+        if (stderr_text_.size() > kMaxStderr) {
+          stderr_text_.erase(0, stderr_text_.size() - kMaxStderr);
+        }
+      } else if (StartsWith(line, "done ")) {
+        FinishDone(line.substr(5));
+        return true;
+      } else if (StartsWith(line, "err ")) {
+        clean_ = false;
+        fail_ = "agent " + Label() + " error: " + line.substr(4);
+        Finish();
+        return true;
+      } else {
+        // Unknown frame: keep it as a raw-row candidate. Take() classifies
+        // a malformed FINAL row as a torn frame and a malformed earlier
+        // row as version skew — the same rule the file gather applies.
+        raw_rows_.push_back(line);
+      }
+    }
+  }
+
+  std::uint64_t activity() override { return activity_; }
+
+  void Kill() override {
+    if (finished_) return;
+    clean_ = false;
+    fail_ = "agent " + Label() + ": unit killed by the orchestrator";
+    sock_.Close();  // the agent sees the hangup and kills its worker
+    Finish();
+  }
+
+  TransportOutcome Take() override {
+    TransportOutcome outcome;
+    outcome.clean = clean_ && done_seen_;
+    outcome.status = fail_;
+    for (std::size_t i = 0; i < raw_rows_.size(); ++i) {
+      try {
+        outcome.rows.push_back(ParseWorkerRow(raw_rows_[i]));
+      } catch (const std::exception& e) {
+        if (i + 1 == raw_rows_.size()) {
+          outcome.torn_final_line = true;  // killed mid-write on the wire
+          break;
+        }
+        throw std::runtime_error("agent " + Label() +
+                                 " sent a malformed result row mid-stream (" +
+                                 e.what() + "): " + raw_rows_[i]);
+      }
+    }
+    return outcome;
+  }
+
+ private:
+  std::string Label() const {
+    return transport_->agents_[slot_index_].endpoint.Label();
+  }
+
+  std::string StderrTail() const {
+    return stderr_text_.empty() ? "<empty stderr>" : StderrTailOf(stderr_text_);
+  }
+
+  void FinishDone(const std::string& status_text) {
+    done_seen_ = true;
+    // "exit=C" or "signal=S".
+    std::string describe = status_text;
+    bool ok = false;
+    if (StartsWith(status_text, "exit=")) {
+      describe = "exit " + status_text.substr(5);
+      ok = status_text == "exit=0";
+    } else if (StartsWith(status_text, "signal=")) {
+      describe = "signal " + status_text.substr(7);
+    }
+    clean_ = ok;
+    if (!ok) {
+      fail_ = "agent " + Label() + ": worker failed: " + describe +
+              "; stderr: " + StderrTail();
+    }
+    Finish();
+  }
+
+  void FinishLost(const std::string& how) {
+    clean_ = false;
+    fail_ = "agent " + Label() + " " + how + "; stderr: " + StderrTail();
+    Finish();
+  }
+
+  void Finish() {
+    finished_ = true;
+    Release();
+  }
+
+  void Release() {
+    if (released_) return;
+    released_ = true;
+    transport_->agents_[slot_index_].busy = false;
+  }
+
+  TcpTransport* transport_;
+  std::size_t slot_index_;
+  Socket sock_;
+  std::uint64_t activity_ = 0;
+  bool finished_ = false;
+  bool released_ = false;
+  bool done_seen_ = false;
+  bool clean_ = false;
+  std::string fail_;
+  std::string stderr_text_;
+  std::vector<std::string> raw_rows_;
+};
+
+TcpTransport::TcpTransport(std::vector<HostEndpoint> hosts,
+                           TcpTransportOptions options)
+    : options_(options) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("TcpTransport: need at least one host");
+  }
+  for (HostEndpoint& host : hosts) {
+    agents_.push_back(AgentSlot{std::move(host)});
+  }
+}
+
+std::string TcpTransport::Describe() const {
+  std::string list;
+  for (const AgentSlot& agent : agents_) {
+    if (!list.empty()) list += ", ";
+    list += agent.endpoint.Label();
+  }
+  return "tcp (" + std::to_string(agents_.size()) + " agents: " + list + ")";
+}
+
+bool TcpTransport::AllSlotsDead(std::size_t threshold) const {
+  for (const AgentSlot& agent : agents_) {
+    if (agent.consecutive_failures < threshold) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<TransportTask> TcpTransport::Launch(
+    const std::vector<std::size_t>& indices, const std::vector<SimSpec>& specs,
+    std::size_t origin_shard, int attempt) {
+  AgentSlot* pick = nullptr;
+  std::size_t pick_index = 0;
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    AgentSlot& agent = agents_[i];
+    if (agent.busy) continue;
+    if (pick == nullptr || agent.consecutive_failures < pick->consecutive_failures) {
+      pick = &agent;
+      pick_index = i;
+    }
+  }
+  if (pick == nullptr) {
+    throw std::logic_error("TcpTransport::Launch called with no idle agent slot");
+  }
+  pick->busy = true;
+  try {
+    Socket sock = ConnectTcp(pick->endpoint.host, pick->endpoint.port,
+                             options_.connect_timeout_s);
+    std::string greeting;
+    if (sock.RecvLineWithTimeout(options_.connect_timeout_s, &greeting) !=
+        RecvLineStatus::kLine) {
+      throw std::runtime_error("no greeting within " +
+                               std::to_string(options_.connect_timeout_s) + "s");
+    }
+    if (greeting != kFabricGreeting) {
+      throw std::runtime_error("unexpected greeting '" + greeting +
+                               "' (agent version skew?)");
+    }
+    std::string message = "unit origin=" + std::to_string(origin_shard) +
+                          " attempt=" + std::to_string(attempt) +
+                          " cells=" + std::to_string(indices.size());
+    if (options_.worker_threads > 0) {
+      message += " threads=" + std::to_string(options_.worker_threads);
+    }
+    message += '\n';
+    for (const std::size_t index : indices) {
+      message += std::to_string(index);
+      message += '\t';
+      message += specs[index].ToString();
+      message += '\n';
+    }
+    message += "end\n";
+    sock.SendAll(message);
+    pick->consecutive_failures = 0;
+    return std::make_unique<TcpTransportTask>(this, pick_index, std::move(sock));
+  } catch (const std::exception& e) {
+    pick->consecutive_failures += 1;
+    pick->busy = false;
+    return std::make_unique<FailedLaunchTask>(
+        "agent " + pick->endpoint.Label() + " unreachable: " + e.what());
+  }
+}
+
+}  // namespace hs

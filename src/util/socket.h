@@ -1,8 +1,12 @@
-// Minimal loopback TCP primitives for the scheduler service.
+// Minimal TCP primitives for the scheduler service and the distributed
+// experiment fabric.
 //
-// Deliberately tiny: IPv4 loopback only (the service is a local co-process,
-// like hs_worker), blocking I/O, newline-delimited text messages. Errors
-// throw std::runtime_error naming the failing call, matching the
+// Deliberately tiny: IPv4, blocking I/O by default, newline-delimited text
+// messages. Loopback is the default posture (the service is a local
+// co-process, like hs_worker); the fabric additionally needs real-host
+// connects (ConnectTcp) and bounded reads (RecvLineWithTimeout) so a
+// half-open or wedged peer can never hang the orchestrator forever.
+// Errors throw std::runtime_error naming the failing call, matching the
 // subprocess.h / file_util.h idiom.
 #pragma once
 
@@ -12,6 +16,14 @@
 #include <string_view>
 
 namespace hs {
+
+/// Outcome of a bounded line read (Socket::RecvLineWithTimeout).
+enum class RecvLineStatus {
+  kLine,     // a complete line (or the partial final line at EOF) arrived
+  kEof,      // clean EOF with nothing buffered
+  kTimeout,  // no complete line within the deadline; partial bytes stay
+             // buffered for the next call
+};
 
 /// A connected stream socket; move-only RAII over the file descriptor.
 class Socket {
@@ -37,6 +49,16 @@ class Socket {
   /// buffered partial line; a partial line at EOF is returned as-is.
   std::optional<std::string> RecvLine();
 
+  /// RecvLine bounded by a deadline: waits at most `timeout_s` seconds
+  /// (0 = a single non-blocking poll) for a complete line. kLine fills
+  /// `*line` with the same framing rules as RecvLine (a partial line at
+  /// EOF counts as a line); kEof is a clean EOF with nothing buffered;
+  /// kTimeout means no complete line arrived in time — any bytes already
+  /// received stay buffered, so a later call resumes mid-line losslessly.
+  /// EINTR never shortens the wait (the deadline is recomputed). Throws on
+  /// socket errors, like RecvLine.
+  RecvLineStatus RecvLineWithTimeout(double timeout_s, std::string* line);
+
   /// Non-blocking probe: true when the peer has closed (or the connection
   /// is dead), false when it is still open (with or without pending bytes).
   /// Lets a streaming sender notice a hang-up without writing anything.
@@ -59,11 +81,22 @@ void ShutdownFd(int fd);
 /// Connects to 127.0.0.1:`port`; throws std::runtime_error on failure.
 Socket ConnectLoopback(std::uint16_t port);
 
-/// A listening socket bound to 127.0.0.1 (never a routable interface).
-/// Port 0 requests an ephemeral port; port() reports the bound one.
+/// Connects to `host`:`port` (IPv4; numeric or resolvable name). A
+/// `connect_timeout_s` > 0 bounds the connect itself (non-blocking connect
+/// + poll, then the socket is returned to blocking mode); 0 uses the OS
+/// default. Throws std::runtime_error naming host:port on failure or
+/// timeout — a dead agent must surface quickly, not after the kernel's
+/// multi-minute SYN retry schedule.
+Socket ConnectTcp(const std::string& host, std::uint16_t port,
+                  double connect_timeout_s = 0.0);
+
+/// A listening socket bound to 127.0.0.1 by default (never a routable
+/// interface unless `bind_any` is explicitly requested — hs_agent opts in
+/// for real multi-host deployments). Port 0 requests an ephemeral port;
+/// port() reports the bound one.
 class TcpListener {
  public:
-  explicit TcpListener(std::uint16_t port);
+  explicit TcpListener(std::uint16_t port, bool bind_any = false);
 
   std::uint16_t port() const { return port_; }
 

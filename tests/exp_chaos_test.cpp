@@ -145,6 +145,29 @@ TEST(FaultPlanTest, RejectsMalformedPlans) {
   EXPECT_THROW(ParseFaultPlan("torn-final-line=1"), std::invalid_argument);
 }
 
+TEST(FaultPlanTest, NetworkTokensParseAndRoundTrip) {
+  const FaultPlan plan = ParseFaultPlan(
+      "drop-conn-at-cell=1;kill-agent-at-cell=2;torn-frame-at-cell=3;"
+      "stall-at-cell=4;attempts=2");
+  EXPECT_EQ(plan.drop_conn_at_cell, 1);
+  EXPECT_EQ(plan.kill_agent_at_cell, 2);
+  EXPECT_EQ(plan.torn_frame_at_cell, 3);
+  EXPECT_EQ(plan.stall_at_cell, 4);
+  EXPECT_TRUE(plan.any());
+  EXPECT_EQ(ParseFaultPlan(plan.ToString()).ToString(), plan.ToString());
+
+  // Each network token on its own arms the plan (any() gates injection).
+  for (const char* token :
+       {"drop-conn-at-cell=0", "kill-agent-at-cell=0", "torn-frame-at-cell=0",
+        "stall-at-cell=0"}) {
+    EXPECT_TRUE(ParseFaultPlan(token).any()) << token;
+    EXPECT_TRUE(ParseFaultPlan(token).ActiveOn(1)) << token;
+    EXPECT_FALSE(ParseFaultPlan(token).ActiveOn(2)) << token;
+  }
+  EXPECT_THROW(ParseFaultPlan("drop-conn-at-cell=-2"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultPlan("stall-at-cell"), std::invalid_argument);
+}
+
 TEST(FaultPlanTest, AttemptGatingHealsOnRetry) {
   const FaultPlan once = ParseFaultPlan("crash-before-cell=2");
   EXPECT_TRUE(once.ActiveOn(1));
@@ -251,6 +274,34 @@ TEST(ChaosTest, TransientDeathWithoutFaultPlanAlsoHeals) {
   EXPECT_EQ(run.report.retries, 1u);
   EXPECT_EQ(run.report.workers_launched, run.report.shard_count + 1);
   RemoveTreeBestEffort(dir);
+}
+
+TEST(ChaosTest, FabricReportAccountsRetriesExactly) {
+  // drop-every=1 on attempt 1 makes EVERY unit compute all its cells,
+  // write none of them, and exit 0; attempt 2 heals. The resulting
+  // accounting is thread- and timing-independent, so it can be checked
+  // exactly: one retry per shard, twice the launches and scattered cells,
+  // one full grid of wasted cell executions.
+  const std::vector<SimSpec> specs = TinyGrid();
+  const std::string golden = InProcessCsv(specs);
+  const FaultEnv fault("drop-every=1;attempts=1");
+  const FabricRun run = RunSharded(specs, FabricOptions(/*max_attempts=*/2));
+  EXPECT_EQ(run.csv, golden);
+  EXPECT_TRUE(run.report.complete());
+  EXPECT_EQ(run.report.retries, run.report.shard_count);
+  EXPECT_EQ(run.report.workers_launched, 2 * run.report.shard_count);
+  EXPECT_EQ(run.report.bisections, 0u);
+  EXPECT_EQ(run.report.hang_kills, 0u);
+  EXPECT_EQ(run.report.conn_failures, 0u);
+  EXPECT_EQ(run.report.cells_scattered, 2 * specs.size());
+  EXPECT_EQ(run.report.rows_merged, specs.size());
+  EXPECT_EQ(run.report.wasted_cells(), specs.size());
+  ASSERT_EQ(run.report.launches_per_shard.size(), run.report.shard_count);
+  for (std::size_t k = 0; k < run.report.shard_count; ++k) {
+    EXPECT_EQ(run.report.launches_per_shard[k], 2u) << "shard " << k;
+  }
+  EXPECT_NE(run.report.transport.find("local-exec"), std::string::npos)
+      << run.report.transport;
 }
 
 // --- the differential: seeded random schedules ------------------------------

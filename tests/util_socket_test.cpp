@@ -1,7 +1,9 @@
 // Loopback socket primitive tests: ephemeral binding, line framing across
-// split writes, CRLF tolerance, and EOF semantics.
+// split writes, CRLF tolerance, EOF semantics, bounded line reads, and
+// partial-write resilience under a slow-draining peer.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -67,6 +69,87 @@ TEST(SocketTest, ConnectToClosedPortThrows) {
   std::uint16_t dead_port = 0;
   { dead_port = TcpListener(0).port(); }
   EXPECT_THROW(ConnectLoopback(dead_port), std::runtime_error);
+}
+
+TEST(SocketTest, RecvLineWithTimeoutTimesOutThenDelivers) {
+  TcpListener listener(0);
+  Socket client = ConnectLoopback(listener.port());
+  Socket peer = listener.Accept();
+
+  // A silent peer: the zero-timeout poll and a short bounded wait both
+  // report kTimeout without consuming anything.
+  std::string line;
+  EXPECT_EQ(client.RecvLineWithTimeout(0.0, &line), RecvLineStatus::kTimeout);
+  EXPECT_EQ(client.RecvLineWithTimeout(0.05, &line), RecvLineStatus::kTimeout);
+
+  // Bytes without a newline stay buffered across kTimeout returns; the
+  // line is delivered whole once the terminator arrives.
+  peer.SendAll("hal");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(client.RecvLineWithTimeout(0.05, &line), RecvLineStatus::kTimeout);
+  peer.SendAll("f and rest\r\n");
+  EXPECT_EQ(client.RecvLineWithTimeout(5.0, &line), RecvLineStatus::kLine);
+  EXPECT_EQ(line, "half and rest");
+}
+
+TEST(SocketTest, RecvLineWithTimeoutEofSemanticsMatchRecvLine) {
+  TcpListener listener(0);
+  Socket client = ConnectLoopback(listener.port());
+  {
+    Socket peer = listener.Accept();
+    peer.SendAll("complete\npartial");  // no trailing newline, then close
+  }
+  std::string line;
+  EXPECT_EQ(client.RecvLineWithTimeout(5.0, &line), RecvLineStatus::kLine);
+  EXPECT_EQ(line, "complete");
+  // The unterminated final fragment still counts as a line at EOF...
+  EXPECT_EQ(client.RecvLineWithTimeout(5.0, &line), RecvLineStatus::kLine);
+  EXPECT_EQ(line, "partial");
+  // ...and only a clean EOF with nothing buffered is kEof.
+  EXPECT_EQ(client.RecvLineWithTimeout(5.0, &line), RecvLineStatus::kEof);
+}
+
+TEST(SocketTest, SendAllSurvivesPartialWritesToSlowReader) {
+  // A payload far beyond the kernel socket buffers forces send(2) to
+  // return short writes; SendAll must keep going until every byte is out,
+  // and the slow-draining reader must see the exact bytes.
+  const std::size_t kBytes = 4 * 1024 * 1024;
+  std::string payload(kBytes, 'x');
+  for (std::size_t i = 0; i < payload.size(); i += 4096) payload[i] = 'y';
+  payload.back() = '\n';
+
+  TcpListener listener(0);
+  std::string received;
+  std::thread reader([&listener, &received, kBytes] {
+    Socket peer = listener.Accept();
+    std::string line;
+    while (received.size() < kBytes) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));  // drain slowly
+      const RecvLineStatus status = peer.RecvLineWithTimeout(10.0, &line);
+      if (status != RecvLineStatus::kLine) break;
+      received += line;
+      received += '\n';
+    }
+  });
+  Socket client = ConnectLoopback(listener.port());
+  client.SendAll(payload);
+  client.Close();
+  reader.join();
+  EXPECT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+}
+
+TEST(SocketTest, SendAllToHungUpPeerThrowsInsteadOfSigpipe) {
+  TcpListener listener(0);
+  Socket client = ConnectLoopback(listener.port());
+  { (void)listener.Accept(); }  // accept, then immediately close
+  // The first sends may land in the kernel buffer; keep writing until the
+  // RST surfaces. A SIGPIPE would kill the process before the throw.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10000; ++i) client.SendAll(std::string(4096, 'z'));
+      },
+      std::runtime_error);
 }
 
 TEST(SocketTest, MovedFromSocketIsInvalid) {
